@@ -1,0 +1,65 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module regenerates one table or figure of the paper's evaluation
+(§6).  Conventions:
+
+- the experiment itself (processor sweeps over the *real* parallel
+  algorithm, priced by the calibrated cost model) runs once per module
+  and its rows/series are written to ``benchmarks/results/<name>.txt``
+  and echoed in the terminal summary at the end of the run, so
+  ``pytest benchmarks/ --benchmark-only`` leaves a full, inspectable
+  record both on disk and in any tee'd log;
+- the ``benchmark`` fixture times the underlying single-core kernel of
+  that experiment (the quantity absolute throughput derives from), so
+  pytest-benchmark output doubles as the calibration report.
+
+Problem sizes are scaled to a single-core Python host; DESIGN.md §3
+documents the scaling and EXPERIMENTS.md compares shapes with the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's Fig 7-10 x-axis, scaled to a sane sweep.
+PROC_GRID = [1, 2, 4, 8, 16, 32, 64, 128]
+#: Fig 11 runs on the 40-core shared-memory box.
+SHARED_MEMORY_PROC_GRID = [1, 5, 10, 20, 40]
+
+#: Reports accumulated during the session; echoed in the terminal
+#: summary, which pytest does not capture.
+_SESSION_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Writer: report(name, text) persists and queues an experiment record."""
+
+    def _report(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        _SESSION_REPORTS.append((name, text))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    """Echo every experiment table after the test results (uncaptured)."""
+    if not _SESSION_REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper tables & figures (also in benchmarks/results/)")
+    for name, text in _SESSION_REPORTS:
+        tr.write_line(f"\n===== {name} =====")
+        for line in text.splitlines():
+            tr.write_line(line)

@@ -1,0 +1,109 @@
+"""Figure 10 — LCS GCUPS / speedup / efficiency (§6.3.4).
+
+Same layout as Fig 9 (similar vs divergent synthetic chromosome pair,
+four band widths, delta fix-up accounting) with the LCS recurrence and
+its zero-penalty gaps — the hardest instance for rank convergence in
+the paper (Table 1's blank entries).
+
+Paper shapes to reproduce: strong input dependence, wider widths worse,
+and visibly weaker scaling than Smith-Waterman/Viterbi.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import scaling_sweep, throughput_gcups
+from repro.analysis.tables import format_series
+from repro.datagen.sequences import homologous_pair
+from repro.machine.cluster import SimCluster
+from repro.machine.cost_model import calibrate_cell_cost
+from repro.problems.alignment.lcs import LCSProblem
+
+from conftest import PROC_GRID
+
+WIDTHS = [32, 64, 128, 256]
+SEQ_LENGTH = 6000
+PAIRS = {
+    "similar(X,Y)": 0.03,
+    "divergent(21,22)": 0.35,
+}
+
+
+@pytest.fixture(scope="module")
+def fig10_data():
+    data = {}
+    for pair_name, divergence in PAIRS.items():
+        rng = np.random.default_rng(10)
+        a, b = homologous_pair(SEQ_LENGTH, rng, divergence=divergence)
+        per_width = {}
+        cell_cost = None
+        for width in WIDTHS:
+            problem = LCSProblem(a, b, width=width)
+            if cell_cost is None:
+                mid = problem.num_stages // 2
+                v = np.zeros(problem.stage_width(mid - 1))
+                cell_cost = calibrate_cell_cost(
+                    lambda: problem.apply_stage_with_pred(mid, v),
+                    problem.stage_cost(mid),
+                    min_seconds=0.05,
+                )
+            cluster = SimCluster.stampede(1, cell_cost=cell_cost)
+            curve = scaling_sweep(
+                problem,
+                cluster,
+                PROC_GRID,
+                label=f"LCS {pair_name} w={width}",
+                seed=10,
+                use_delta=True,
+            )
+            per_width[width] = (problem, curve)
+        data[pair_name] = (cell_cost, per_width)
+    return data
+
+
+def test_fig10_report(fig10_data, report, benchmark):
+    sections = []
+    for pair_name, (cell_cost, per_width) in fig10_data.items():
+        series = {}
+        for width, (problem, curve) in per_width.items():
+            cells = problem.total_cells()
+            series[f"GCUPS[w{width}]"] = [
+                round(throughput_gcups(cells, pt.time_seconds), 4)
+                for pt in curve.points
+            ]
+            series[f"spd[w{width}]"] = [
+                round(pt.speedup, 2) for pt in curve.points
+            ]
+            series[f"fix[w{width}]"] = [
+                "*" if pt.filled else "o" for pt in curve.points
+            ]
+        sections.append(
+            format_series(
+                "P",
+                PROC_GRID,
+                series,
+                title=(
+                    f"Fig 10 — LCS, {pair_name} pair (len {SEQ_LENGTH}, "
+                    f"delta fix-up, cell cost {cell_cost * 1e9:.2f} ns)"
+                ),
+            )
+        )
+    report("fig10_lcs", "\n\n".join(sections))
+
+    # Benchmark one banded LCS stage kernel.
+    rng = np.random.default_rng(1)
+    a, b = homologous_pair(2000, rng, divergence=0.1)
+    problem = LCSProblem(a, b, width=128)
+    v = np.zeros(problem.stage_width(999))
+    benchmark(lambda: problem.apply_stage_with_pred(1000, v))
+
+    # ---- shape assertions vs the paper ----
+    sim = fig10_data["similar(X,Y)"][1]
+    div = fig10_data["divergent(21,22)"][1]
+    for width in WIDTHS:
+        s64 = next(p for p in sim[width][1].points if p.num_procs == 64)
+        d64 = next(p for p in div[width][1].points if p.num_procs == 64)
+        assert s64.speedup >= d64.speedup * 0.9
+    s_small = next(p for p in sim[WIDTHS[0]][1].points if p.num_procs == 64)
+    s_big = next(p for p in sim[WIDTHS[-1]][1].points if p.num_procs == 64)
+    assert s_big.speedup <= s_small.speedup + 1e-9

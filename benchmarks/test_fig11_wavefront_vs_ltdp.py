@@ -1,0 +1,141 @@
+"""Figure 11 — across-stage (LTDP) parallelism vs wavefront (§6.4).
+
+Needleman–Wunsch and LCS on the shared-memory machine preset, four
+band widths, P ∈ {1, 5, 10, 20, 40}.  The LTDP side runs the real
+parallel algorithm (delta fix-up); the wavefront side is the tiled
+anti-diagonal schedule with exact LPT makespans, both priced by the
+same cost model with the same calibrated cell cost.  The wavefront
+baseline pays the paper's observed tiling overhead on top.
+
+Paper shapes to reproduce:
+- LTDP wins and the gap grows with processor count (paper: ~9x NW,
+  ~6x LCS at 40 procs at width 8192);
+- small widths favour LTDP (wavefront pays more barriers per unit of
+  compute); large widths favour wavefront.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import scaling_sweep
+from repro.analysis.tables import format_series
+from repro.datagen.sequences import homologous_pair
+from repro.machine.cluster import SimCluster
+from repro.machine.cost_model import calibrate_cell_cost
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.wavefront.scheduler import simulate_wavefront, wavefront_time
+from repro.wavefront.tiling import TileGrid
+
+from conftest import SHARED_MEMORY_PROC_GRID
+
+WIDTHS = [16, 32, 64, 128]
+SEQ_LENGTH = 6000
+DIVERGENCE = 0.05
+#: Paper §6.4: the tiled baseline is slower per cell than the
+#: straight-line kernel ("the sequential performance of the baseline
+#: with tiling is slower than the baseline without tiling").
+TILE_OVERHEAD = 1.2
+TILE_ROWS = 64
+TILE_COLS = 16  # fixed tile size: wider bands ⇒ more tiles per wave ⇒
+                # more wavefront parallelism (the paper's width axis)
+
+
+def wavefront_speedup(problem, width, num_procs, cost_model):
+    """Speedup of the tiled wavefront execution over the untiled
+    sequential baseline, on the banded (rows × band) table."""
+    band_cols = 2 * width + 1
+    grid = TileGrid(
+        rows=SEQ_LENGTH,
+        cols=band_cols,
+        tile_rows=TILE_ROWS,
+        tile_cols=TILE_COLS,
+    )
+    schedule = simulate_wavefront(grid, num_procs, tile_overhead=TILE_OVERHEAD)
+    t = wavefront_time(schedule, cost_model)
+    t_seq = cost_model.sequential_time(problem.total_cells())
+    return t_seq / t
+
+
+@pytest.fixture(scope="module")
+def fig11_data():
+    rng = np.random.default_rng(11)
+    a, b = homologous_pair(SEQ_LENGTH, rng, divergence=DIVERGENCE)
+    data = {}
+    for label, factory in [
+        ("NW", lambda w: NeedlemanWunschProblem(a, b, width=w)),
+        ("LCS", lambda w: LCSProblem(a, b, width=w)),
+    ]:
+        per_width = {}
+        cell_cost = None
+        for width in WIDTHS:
+            problem = factory(width)
+            if cell_cost is None:
+                mid = problem.num_stages // 2
+                v = np.zeros(problem.stage_width(mid - 1))
+                cell_cost = calibrate_cell_cost(
+                    lambda: problem.apply_stage_with_pred(mid, v),
+                    problem.stage_cost(mid),
+                    min_seconds=0.05,
+                )
+            cluster = SimCluster.shared_memory(1, cell_cost=cell_cost)
+            ltdp_curve = scaling_sweep(
+                problem,
+                cluster,
+                SHARED_MEMORY_PROC_GRID,
+                label=f"{label} w={width}",
+                seed=11,
+                use_delta=True,
+            )
+            wf_speedups = [
+                wavefront_speedup(problem, width, p, cluster.cost_model)
+                for p in SHARED_MEMORY_PROC_GRID
+            ]
+            per_width[width] = (ltdp_curve, wf_speedups)
+        data[label] = per_width
+    return data
+
+
+def test_fig11_report(fig11_data, report, benchmark):
+    sections = []
+    for label, per_width in fig11_data.items():
+        series = {}
+        for width, (ltdp_curve, wf_speedups) in per_width.items():
+            ltdp = [round(pt.speedup, 2) for pt in ltdp_curve.points]
+            wf = [round(s, 2) for s in wf_speedups]
+            ratio = [
+                round(l / w, 2) if w > 0 else float("inf")
+                for l, w in zip(ltdp_curve.speedups(), wf_speedups)
+            ]
+            series[f"LTDP[w{width}]"] = ltdp
+            series[f"wave[w{width}]"] = wf
+            series[f"LTDP/wave[w{width}]"] = ratio
+        sections.append(
+            format_series(
+                "P",
+                SHARED_MEMORY_PROC_GRID,
+                series,
+                title=f"Fig 11 — {label}: LTDP vs wavefront speedups "
+                "(shared-memory preset)",
+            )
+        )
+    report("fig11_wavefront_vs_ltdp", "\n\n".join(sections))
+
+    # Benchmark the wavefront scheduling computation itself.
+    grid = TileGrid(rows=SEQ_LENGTH, cols=257, tile_rows=64, tile_cols=64)
+    benchmark(lambda: simulate_wavefront(grid, 40, tile_overhead=TILE_OVERHEAD))
+
+    # ---- shape assertions vs the paper ----
+    for label, per_width in fig11_data.items():
+        w_small, w_big = WIDTHS[0], WIDTHS[-1]
+        def ratio_at(width, procs):
+            ltdp_curve, wf = per_width[width]
+            idx = SHARED_MEMORY_PROC_GRID.index(procs)
+            return ltdp_curve.points[idx].speedup / wf[idx]
+
+        # LTDP wins at scale on small widths (paper: ~9x NW / ~6x LCS).
+        assert ratio_at(w_small, 40) > 2.0, label
+        # The advantage grows with processor count.
+        assert ratio_at(w_small, 40) > ratio_at(w_small, 5), label
+        # Small widths favour LTDP more than large widths do.
+        assert ratio_at(w_small, 40) > ratio_at(w_big, 40), label

@@ -1,0 +1,105 @@
+"""Figure 8 — Smith–Waterman GCUPS / speedup / efficiency (§6.3.2).
+
+Queries of several lengths against a long synthetic DNA database
+(the hg19-chromosome stand-in, DESIGN.md §3), processor sweep over the
+real parallel algorithm, priced with a cell cost calibrated from the
+actual affine-gap column kernel.
+
+Paper shape to reproduce: efficiency ≈ 1 at every processor count
+(near-linear speedup), essentially independent of the query/database
+pair — local alignments restart constantly, so rank convergence needs
+only a handful of stages compared to any realistic per-processor range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import scaling_sweep, throughput_gcups
+from repro.analysis.tables import format_series
+from repro.datagen.sequences import random_dna
+from repro.machine.cluster import SimCluster
+from repro.machine.cost_model import calibrate_cell_cost
+from repro.problems.alignment.smith_waterman import SmithWatermanProblem
+
+from conftest import PROC_GRID
+
+QUERY_LENGTHS = [32, 64, 128, 256]
+DB_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    rng = np.random.default_rng(8)
+    db = random_dna(DB_LENGTH, rng)
+    data = {}
+    for qlen in QUERY_LENGTHS:
+        query = random_dna(qlen, rng)
+        problem = SmithWatermanProblem(query, db)
+        mid = problem.num_stages // 2
+        v = problem.initial_vector()
+        v[~np.isfinite(v)] = 0.0
+        cell_cost = calibrate_cell_cost(
+            lambda: problem.apply_stage_with_pred(mid, v),
+            problem.stage_cost(mid),
+            min_seconds=0.05,
+        )
+        cluster = SimCluster.stampede(1, cell_cost=cell_cost)
+        curve = scaling_sweep(
+            problem, cluster, PROC_GRID, label=f"SW q={qlen}", seed=8
+        )
+        data[qlen] = (problem, cell_cost, curve)
+    return data
+
+
+def test_fig8_report(fig8_data, report, benchmark):
+    series = {}
+    for qlen, (problem, cell_cost, curve) in fig8_data.items():
+        cells = qlen * DB_LENGTH  # GCUPS counts DP-table cells
+        series[f"GCUPS[q{qlen}]"] = [
+            round(throughput_gcups(cells, pt.time_seconds), 4)
+            for pt in curve.points
+        ]
+        series[f"spd[q{qlen}]"] = [round(pt.speedup, 2) for pt in curve.points]
+        series[f"eff[q{qlen}]"] = [round(pt.efficiency, 3) for pt in curve.points]
+    text = format_series(
+        "P",
+        PROC_GRID,
+        series,
+        title="Fig 8 — Smith-Waterman (synthetic DNA database, affine gaps)",
+    )
+    report("fig8_smith_waterman", text)
+
+    # Benchmark the calibrated kernel (one SW column update).
+    qlen = 128
+    problem, _, _ = fig8_data[qlen]
+    v = problem.initial_vector()
+    v[~np.isfinite(v)] = 0.0
+    benchmark(lambda: problem.apply_stage_with_pred(50, v))
+
+    # ---- shape assertions vs the paper ----
+    # Paper: "efficiency ~1 for any number of processors" on a >100M
+    # database.  Our database is 20k stages, so efficiency ~1 holds
+    # while the per-processor range (20k/P) dwarfs the convergence
+    # steps (~ query length); at P=128 with long queries the ranges
+    # shrink to ~150 stages and efficiency must start to dip — the
+    # same regime Fig 7's small packets exhibit.
+    for qlen, (_problem, _cc, curve) in fig8_data.items():
+        for pt in curve.points:
+            if pt.num_procs <= 32:
+                assert pt.efficiency > 0.6, (qlen, pt)
+        p128 = curve.points[-1]
+        assert p128.speedup > 30.0
+        # One fix-up iteration while ranges dwarf the convergence steps
+        # (P <= 32 ⇒ ranges >= 625 stages vs <= ~180 convergence steps).
+        # Beyond that the longest queries enter the range-too-small
+        # regime and may need extra iterations — the speedup floor above
+        # already guards that corner.
+        for pt in curve.points:
+            if pt.num_procs <= 32:
+                assert pt.fixup_iterations <= 1, (qlen, pt)
+    # Shorter queries converge in fewer steps ⇒ scale better at P=128.
+    eff_at_128 = {
+        qlen: curve.points[-1].efficiency
+        for qlen, (_p, _c, curve) in fig8_data.items()
+    }
+    assert eff_at_128[QUERY_LENGTHS[0]] > eff_at_128[QUERY_LENGTHS[-1]]

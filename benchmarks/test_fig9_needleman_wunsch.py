@@ -1,0 +1,118 @@
+"""Figure 9 — Needleman–Wunsch GCUPS / speedup / efficiency (§6.3.3).
+
+Banded global alignment over synthetic chromosome pairs: a *similar*
+pair (the (X, Y)-like best case) and a *divergent* pair (the
+(21, 22)-like worst case), four band widths, processor sweep with the
+§4.7 delta-computation accounting enabled (the paper's NW/LCS runs use
+it).
+
+Paper shapes to reproduce:
+- large input-pair variability: the similar pair scales much better;
+- larger widths perform worse (convergence steps grow with width while
+  the stage count is fixed);
+- non-filled points (fix-up > 1 iteration) appear at high P / wide bands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import scaling_sweep, throughput_gcups
+from repro.analysis.tables import format_series
+from repro.datagen.sequences import homologous_pair
+from repro.machine.cluster import SimCluster
+from repro.machine.cost_model import calibrate_cell_cost
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+
+from conftest import PROC_GRID
+
+WIDTHS = [16, 32, 64, 128]
+SEQ_LENGTH = 6000
+PAIRS = {
+    "similar(X,Y)": 0.03,
+    "divergent(21,22)": 0.35,
+}
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    data = {}
+    for pair_name, divergence in PAIRS.items():
+        rng = np.random.default_rng(9)
+        a, b = homologous_pair(SEQ_LENGTH, rng, divergence=divergence)
+        per_width = {}
+        cell_cost = None
+        for width in WIDTHS:
+            problem = NeedlemanWunschProblem(a, b, width=width)
+            if cell_cost is None:
+                mid = problem.num_stages // 2
+                v = np.zeros(problem.stage_width(mid - 1))
+                cell_cost = calibrate_cell_cost(
+                    lambda: problem.apply_stage_with_pred(mid, v),
+                    problem.stage_cost(mid),
+                    min_seconds=0.05,
+                )
+            cluster = SimCluster.stampede(1, cell_cost=cell_cost)
+            curve = scaling_sweep(
+                problem,
+                cluster,
+                PROC_GRID,
+                label=f"NW {pair_name} w={width}",
+                seed=9,
+                use_delta=True,
+            )
+            per_width[width] = (problem, curve)
+        data[pair_name] = (cell_cost, per_width)
+    return data
+
+
+def test_fig9_report(fig9_data, report, benchmark):
+    sections = []
+    for pair_name, (cell_cost, per_width) in fig9_data.items():
+        series = {}
+        for width, (problem, curve) in per_width.items():
+            cells = problem.total_cells()
+            series[f"GCUPS[w{width}]"] = [
+                round(throughput_gcups(cells, pt.time_seconds), 4)
+                for pt in curve.points
+            ]
+            series[f"spd[w{width}]"] = [
+                round(pt.speedup, 2) for pt in curve.points
+            ]
+            series[f"fix[w{width}]"] = [
+                "*" if pt.filled else "o" for pt in curve.points
+            ]
+        sections.append(
+            format_series(
+                "P",
+                PROC_GRID,
+                series,
+                title=(
+                    f"Fig 9 — Needleman-Wunsch, {pair_name} pair "
+                    f"(len {SEQ_LENGTH}, delta fix-up, cell cost "
+                    f"{cell_cost * 1e9:.2f} ns)"
+                ),
+            )
+        )
+    report("fig9_needleman_wunsch", "\n\n".join(sections))
+
+    # Benchmark one banded NW stage kernel.
+    rng = np.random.default_rng(1)
+    a, b = homologous_pair(2000, rng, divergence=0.1)
+    problem = NeedlemanWunschProblem(a, b, width=64)
+    v = np.zeros(problem.stage_width(999))
+    benchmark(lambda: problem.apply_stage_with_pred(1000, v))
+
+    # ---- shape assertions vs the paper ----
+    sim = fig9_data["similar(X,Y)"][1]
+    div = fig9_data["divergent(21,22)"][1]
+    # The similar pair beats the divergent pair at scale (input effect).
+    for width in WIDTHS:
+        s64 = next(p for p in sim[width][1].points if p.num_procs == 64)
+        d64 = next(p for p in div[width][1].points if p.num_procs == 64)
+        assert s64.speedup >= d64.speedup * 0.9
+    # Wider bands scale worse on the same pair (width effect).
+    s_small = next(p for p in sim[WIDTHS[0]][1].points if p.num_procs == 64)
+    s_big = next(p for p in sim[WIDTHS[-1]][1].points if p.num_procs == 64)
+    assert s_big.speedup <= s_small.speedup + 1e-9
+    # Parallelism is productive on the best case.
+    assert s_small.speedup > 4.0

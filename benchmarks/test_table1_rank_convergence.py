@@ -1,0 +1,135 @@
+"""Table 1 — steps to converge to rank 1 (paper §6.1).
+
+For each (algorithm, input) pair: start from a random all-non-zero
+vector at many stages, count steps until the vector becomes parallel
+to the true solution vector, report min / median / max and the number
+of converging trials.  Scaled-down inputs (DESIGN.md §3): trellis
+widths are real except MARS (K=11 stand-in, 1024 states); alignment
+widths are 16-256 instead of 1024-65536.
+
+Paper shape to reproduce: Viterbi converges in tens of steps (MARS the
+slowest), Smith-Waterman in few steps relative to width, NW in many
+steps growing with width, LCS often not at all at large widths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.datagen.packets import make_received_packet
+from repro.datagen.sequences import homologous_pair, random_dna
+from repro.ltdp.convergence import measure_convergence_steps
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.smith_waterman import SmithWatermanProblem
+from repro.problems.convolutional import CDMA_IS95, LTE, MARS, VOYAGER
+
+TRIALS = 20
+
+
+def viterbi_rows(rng):
+    rows = []
+    for code, stages in [
+        (VOYAGER, 400),
+        (LTE, 400),
+        (CDMA_IS95, 400),
+        (MARS, 300),  # real K=15 code: 16384 trellis states
+    ]:
+        _, problem = make_received_packet(
+            code, stages - code.constraint_length + 1, rng, error_rate=0.03
+        )
+        study = measure_convergence_steps(
+            problem, num_trials=TRIALS, seed=1, name=f"Viterbi {code.name}"
+        )
+        rows.append(study.row())
+    return rows
+
+
+def smith_waterman_rows(rng):
+    rows = []
+    db = random_dna(1500, rng)
+    for qlen in (32, 64, 96, 128):
+        query = random_dna(qlen, rng)
+        problem = SmithWatermanProblem(query, db)
+        study = measure_convergence_steps(
+            problem, num_trials=TRIALS, seed=2, name=f"SW query={qlen}"
+        )
+        rows.append(study.row())
+    return rows
+
+
+def needleman_wunsch_rows(rng):
+    rows = []
+    a, b = homologous_pair(1500, rng, divergence=0.2)
+    for width in (16, 32, 64, 128):
+        problem = NeedlemanWunschProblem(a, b, width=width)
+        study = measure_convergence_steps(
+            problem, num_trials=10, seed=3, name=f"NW width={width}"
+        )
+        rows.append(study.row())
+    return rows
+
+
+def lcs_rows(rng):
+    rows = []
+    a, b = homologous_pair(1500, rng, divergence=0.2)
+    for width in (32, 64, 128, 256):
+        problem = LCSProblem(a, b, width=width)
+        study = measure_convergence_steps(
+            problem, num_trials=10, seed=4, name=f"LCS width={width}"
+        )
+        rows.append(study.row())
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    rng = np.random.default_rng(1)
+    rows = []
+    rows += viterbi_rows(rng)
+    rows += smith_waterman_rows(rng)
+    rows += needleman_wunsch_rows(rng)
+    rows += lcs_rows(rng)
+    return rows
+
+
+def test_table1_report(table_rows, report, benchmark):
+    text = format_table(
+        ["problem / input", "width", "min", "median", "max", "converged"],
+        table_rows,
+        title="Table 1: steps to converge to rank 1 (scaled inputs)",
+    )
+    report("table1_rank_convergence", text)
+
+    # Benchmark the measured quantity's kernel: one steps-to-parallel probe.
+    rng = np.random.default_rng(9)
+    _, problem = make_received_packet(VOYAGER, 200, rng, error_rate=0.03)
+    from repro.ltdp.convergence import steps_to_parallel
+    from repro.ltdp.sequential import forward_sequential
+
+    _, _, reference, _ = forward_sequential(problem, keep_stage_vectors=True)
+    benchmark(
+        lambda: steps_to_parallel(problem, reference, 0, np.random.default_rng(3))
+    )
+
+    # Shape assertions vs the paper (§6.1):
+    by_name = {r[0]: r for r in table_rows}
+    # Viterbi always converges, in a number of steps far below the
+    # packet length.  (Deviation from the paper, see EXPERIMENTS.md:
+    # under equal-BER hard-decision inputs MARS's rate-1/6 redundancy
+    # makes it converge *fast* relative to its width, unlike the
+    # paper's Table 1 where MARS was the slowest.)
+    for name in ("Viterbi Voyager", "Viterbi LTE", "Viterbi CDMA", "Viterbi MARS"):
+        assert by_name[name][5].split("/")[0] == str(TRIALS)
+        assert by_name[name][4] < 200  # max steps << packet length
+    # SW converges in every trial.
+    for qlen in (32, 64, 96, 128):
+        assert by_name[f"SW query={qlen}"][5].split("/")[0] == str(TRIALS)
+    # NW/LCS: wider widths need more steps (or stop converging at all),
+    # monotone on medians where defined.
+    def median(name):
+        v = by_name[name][3]
+        return np.inf if v == "-" else v
+
+    assert median("NW width=128") >= median("NW width=16")
+    assert median("LCS width=256") >= median("LCS width=32")

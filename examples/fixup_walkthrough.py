@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Paper Figure 3, live: watch stage vectors converge to the truth.
+
+Runs the parallel algorithm on a small banded NW instance with stored
+stage vectors kept, then renders the paper's three-shade picture per
+stage:
+
+    ``=``  stored vector is exactly the true solution vector
+    ``~``  stored vector is parallel to the truth (offset shown)
+    ``#``  stored vector is wrong (never happens after fix-up!)
+
+Processor boundaries are drawn with ``|``.  You can see processor 1's
+exact prefix, the parallel-with-offset regions of later processors,
+and — by rerunning with an adversarial instance — what devolution
+looks like.
+
+Run:  python examples/fixup_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import NeedlemanWunschProblem, solve_parallel, solve_sequential
+from repro.datagen import homologous_pair
+from repro.ltdp.partition import partition_stages
+from repro.semiring.vector import are_parallel, parallel_offset
+
+rng = np.random.default_rng(2)
+
+
+def shade(stored: np.ndarray, true: np.ndarray) -> tuple[str, float | None]:
+    if np.array_equal(stored, true):
+        return "=", 0.0
+    if are_parallel(stored, true):
+        return "~", parallel_offset(stored, true)
+    return "#", None
+
+
+def main() -> None:
+    a, b = homologous_pair(240, rng, divergence=0.1)
+    problem = NeedlemanWunschProblem(a, b, width=12)
+    num_procs = 6
+
+    seq = solve_sequential(problem, keep_stage_vectors=True)
+    par = solve_parallel(
+        problem, num_procs=num_procs, seed=1, keep_stage_vectors=True
+    )
+    assert np.array_equal(seq.path, par.path)
+
+    ranges = partition_stages(problem.num_stages, num_procs)
+    boundaries = {rg.lo for rg in ranges}
+
+    shades = []
+    offsets = []
+    for i in range(problem.num_stages + 1):
+        s, off = shade(par.stage_vectors[i], seq.stage_vectors[i])
+        shades.append(s)
+        offsets.append(off)
+
+    print(
+        f"NW instance: {problem.num_stages} stages on {num_procs} processors, "
+        f"fix-up iterations = {par.metrics.forward_fixup_iterations}"
+    )
+    print("legend: '=' exact, '~' parallel (offset), '#' wrong, '|' proc boundary\n")
+    line = []
+    for i, s in enumerate(shades):
+        if i in boundaries and i > 0:
+            line.append("|")
+        line.append(s)
+    text = "".join(line)
+    for start in range(0, len(text), 80):
+        print(text[start : start + 80])
+
+    assert "#" not in shades, "fix-up left a non-parallel stage!"
+
+    print("\nper-processor offsets of the stored vectors (vs. truth):")
+    for rg in ranges:
+        offs = sorted(
+            {
+                round(offsets[i], 6)
+                for i in rg.stages()
+                if offsets[i] is not None
+            }
+        )
+        print(f"  processor {rg.proc}: stage offsets {offs}")
+
+    print(
+        "\nProcessor 1 is exact (offset 0); later processors carry constant "
+        "offsets\nper converged region — invisible to the traceback "
+        "(Lemma 3), which is why\nthe paths above matched exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Viterbi decoding of noisy convolutional packets — the paper's §6.3.1 scenario.
+
+Encodes random payloads with the real Voyager / LTE / CDMA codes,
+corrupts them on a binary symmetric channel, decodes each packet with
+the parallel LTDP Viterbi decoder, and reports bit-error rates and the
+simulated decoding throughput (Mb/s) over a processor sweep.
+
+Run:  python examples/viterbi_decoding.py
+"""
+
+import numpy as np
+
+from repro import SimCluster, solve_parallel, solve_sequential
+from repro.analysis import throughput_mbps
+from repro.datagen import make_received_packet
+from repro.problems import CDMA_IS95, LTE, VOYAGER
+
+rng = np.random.default_rng(7)
+
+PAYLOAD_BITS = 1024
+ERROR_RATE = 0.03
+
+
+def main() -> None:
+    print(
+        f"Decoding {PAYLOAD_BITS}-bit packets over a BSC with "
+        f"{ERROR_RATE:.0%} bit-flip probability\n"
+    )
+    for code in (VOYAGER, LTE, CDMA_IS95):
+        payload, problem = make_received_packet(
+            code, PAYLOAD_BITS, rng, error_rate=ERROR_RATE
+        )
+        seq = solve_sequential(problem)
+        decoded = problem.extract(seq)
+        raw_ber = ERROR_RATE
+        post_ber = float((decoded != payload).mean())
+        print(
+            f"{code.name:8s} (K={code.constraint_length:2d}, rate 1/"
+            f"{code.rate_denominator}, {code.num_states} states): "
+            f"channel BER {raw_ber:.3f} -> decoded BER {post_ber:.4f}"
+        )
+
+        # Parallel decode: identical output, speedup from rank convergence.
+        par = solve_parallel(problem, num_procs=16, seed=1)
+        assert np.array_equal(problem.extract(par), decoded)
+        cluster = SimCluster.stampede(16, cell_cost=5e-9)
+        t_seq = cluster.sequential_time(
+            problem.total_cells(), traceback_steps=problem.num_stages
+        )
+        t_par = cluster.time_of(par.metrics)
+        print(
+            f"{'':8s} P=16: fix-up iterations = "
+            f"{par.metrics.forward_fixup_iterations}, "
+            f"throughput {throughput_mbps(PAYLOAD_BITS, t_seq):7.1f} -> "
+            f"{throughput_mbps(PAYLOAD_BITS, t_par):7.1f} Mb/s "
+            f"({t_seq / t_par:.1f}x)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

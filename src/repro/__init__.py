@@ -1,0 +1,102 @@
+"""repro — Parallelizing Dynamic Programming Through Rank Convergence.
+
+A from-scratch Python reproduction of Maleki, Musuvathi & Mytkowicz,
+PPoPP 2014.  Quick start::
+
+    import numpy as np
+    from repro import LCSProblem, solve_sequential, solve_parallel
+
+    rng = np.random.default_rng(0)
+    a, b = rng.integers(0, 4, 400), rng.integers(0, 4, 400)
+    problem = LCSProblem(a, b, width=32)
+    seq = solve_sequential(problem)
+    par = solve_parallel(problem, num_procs=8)
+    assert (seq.path == par.path).all() and seq.score == par.score
+
+Subpackages: :mod:`repro.semiring` (tropical algebra),
+:mod:`repro.ltdp` (the core algorithms), :mod:`repro.machine` (the
+parallel-machine substrate), :mod:`repro.problems` (Viterbi,
+LCS/NW/SW, DTW, seam carving), :mod:`repro.wavefront` (the Fig 11
+baseline), :mod:`repro.datagen` and :mod:`repro.analysis`.
+"""
+
+from repro.exceptions import (
+    ReproError,
+    DimensionError,
+    ZeroVectorError,
+    TrivialMatrixError,
+    ConvergenceError,
+    ProblemDefinitionError,
+    ExecutorError,
+)
+from repro.semiring import TropicalMatrix, are_parallel, is_rank_one
+from repro.ltdp import (
+    LTDPProblem,
+    LTDPSolution,
+    MatrixLTDPProblem,
+    solve_sequential,
+    solve_parallel,
+    ParallelOptions,
+    measure_convergence_steps,
+    validate_problem,
+)
+from repro.machine import SimCluster, CostModel, calibrate_cell_cost
+from repro.problems import (
+    ConvolutionalCode,
+    ViterbiDecoderProblem,
+    DiscreteHMM,
+    HMMViterbiProblem,
+    LCSProblem,
+    NeedlemanWunschProblem,
+    SmithWatermanProblem,
+    ScoringScheme,
+    DTWProblem,
+    SeamCarvingProblem,
+    VOYAGER,
+    CDMA_IS95,
+    LTE,
+    MARS,
+)
+from repro.analysis import scaling_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "ZeroVectorError",
+    "TrivialMatrixError",
+    "ConvergenceError",
+    "ProblemDefinitionError",
+    "ExecutorError",
+    "TropicalMatrix",
+    "are_parallel",
+    "is_rank_one",
+    "LTDPProblem",
+    "LTDPSolution",
+    "MatrixLTDPProblem",
+    "solve_sequential",
+    "solve_parallel",
+    "ParallelOptions",
+    "measure_convergence_steps",
+    "validate_problem",
+    "SimCluster",
+    "CostModel",
+    "calibrate_cell_cost",
+    "ConvolutionalCode",
+    "ViterbiDecoderProblem",
+    "DiscreteHMM",
+    "HMMViterbiProblem",
+    "LCSProblem",
+    "NeedlemanWunschProblem",
+    "SmithWatermanProblem",
+    "ScoringScheme",
+    "DTWProblem",
+    "SeamCarvingProblem",
+    "VOYAGER",
+    "CDMA_IS95",
+    "LTE",
+    "MARS",
+    "scaling_sweep",
+    "__version__",
+]

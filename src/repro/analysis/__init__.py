@@ -1,0 +1,27 @@
+"""Analysis utilities: speedup/efficiency series and table rendering.
+
+- :mod:`repro.analysis.speedup` — run processor-count sweeps of the
+  parallel algorithm and derive the time/speedup/efficiency series of
+  paper Figs 7-11 from the recorded metrics + cost model;
+- :mod:`repro.analysis.tables` — plain-text tables and series
+  rendering used by the benchmark harness output.
+"""
+
+from repro.analysis.speedup import (
+    ScalingPoint,
+    ScalingCurve,
+    scaling_sweep,
+    throughput_mbps,
+    throughput_gcups,
+)
+from repro.analysis.tables import format_table, format_series
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingCurve",
+    "scaling_sweep",
+    "throughput_mbps",
+    "throughput_gcups",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``
+    List the shipped problems, convolutional codes and machine presets.
+``solve``
+    Build a synthetic instance of a chosen problem family, solve it
+    sequentially and in parallel, verify they agree, report metrics.
+``convergence``
+    Run the Table-1 protocol (steps to rank-1 convergence) on a chosen
+    instance.
+``sweep``
+    Processor sweep: speedup/efficiency series under the calibrated
+    cost model (the Fig 7-10 machinery, one instance at a time).
+``trace``
+    ASCII Gantt chart of one parallel run's BSP schedule.
+
+All instances are generated from seeded synthetic workloads, so every
+invocation is reproducible via ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.speedup import scaling_sweep
+from repro.analysis.tables import format_series, format_table
+from repro.datagen.hmms import make_hmm_workload
+from repro.datagen.packets import make_received_packet
+from repro.datagen.sequences import homologous_pair, random_dna, random_series
+from repro.ltdp.convergence import measure_convergence_steps
+from repro.ltdp.parallel import solve_parallel
+from repro.ltdp.sequential import solve_sequential
+from repro.machine.cluster import SimCluster
+from repro.machine.cost_model import CostModel, calibrate_cell_cost
+from repro.machine.trace import render_gantt
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.smith_waterman import SmithWatermanProblem
+from repro.problems.convolutional import STANDARD_CODES
+from repro.problems.dtw import DTWProblem
+from repro.problems.seam import SeamCarvingProblem
+
+__all__ = ["main", "build_problem"]
+
+PROBLEM_CHOICES = ("lcs", "nw", "sw", "viterbi", "hmm", "dtw", "seam")
+
+
+def build_problem(args: argparse.Namespace):
+    """Instantiate the synthetic problem described by CLI arguments."""
+    rng = np.random.default_rng(args.seed)
+    kind = args.problem
+    if kind in ("lcs", "nw"):
+        a, b = homologous_pair(args.size, rng, divergence=args.divergence)
+        cls = LCSProblem if kind == "lcs" else NeedlemanWunschProblem
+        return cls(a, b, width=args.width)
+    if kind == "sw":
+        query = random_dna(max(4, args.width), rng)
+        db = random_dna(args.size, rng)
+        return SmithWatermanProblem(query, db)
+    if kind == "viterbi":
+        code = STANDARD_CODES[args.code]
+        _, problem = make_received_packet(
+            code, args.size, rng, error_rate=args.error_rate
+        )
+        return problem
+    if kind == "hmm":
+        _, _, problem = make_hmm_workload(
+            max(2, args.width), 6, args.size, rng, peakedness=4.0
+        )
+        return problem
+    if kind == "dtw":
+        x = random_series(args.size, rng)
+        y = random_series(args.size, rng)
+        return DTWProblem(x, y, width=args.width)
+    if kind == "seam":
+        return SeamCarvingProblem(rng.random((args.size, max(4, args.width))))
+    raise ValueError(f"unknown problem {kind!r}")
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--problem", choices=PROBLEM_CHOICES, default="lcs")
+    p.add_argument("--size", type=int, default=1000, help="stages / sequence length")
+    p.add_argument("--width", type=int, default=32, help="band width / state count")
+    p.add_argument("--divergence", type=float, default=0.1)
+    p.add_argument("--code", choices=sorted(STANDARD_CODES), default="Voyager")
+    p.add_argument("--error-rate", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    rows = [
+        ["lcs", "banded longest common subsequence (row stages)"],
+        ["nw", "banded Needleman-Wunsch global alignment (row stages)"],
+        ["sw", "affine-gap Smith-Waterman local alignment (column stages)"],
+        ["viterbi", "convolutional-code ML decoding (trellis stages)"],
+        ["hmm", "hidden-Markov-model Viterbi inference"],
+        ["dtw", "banded dynamic time warping"],
+        ["seam", "minimum-energy seam carving"],
+    ]
+    print(format_table(["problem", "description"], rows, title="LTDP problems"))
+    code_rows = [
+        [c.name, c.constraint_length, f"1/{c.rate_denominator}", c.num_states]
+        for c in STANDARD_CODES.values()
+    ]
+    print()
+    print(
+        format_table(
+            ["code", "K", "rate", "states"], code_rows, title="Convolutional codes"
+        )
+    )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    problem = build_problem(args)
+    seq = solve_sequential(problem)
+    par = solve_parallel(problem, num_procs=args.procs, seed=args.seed)
+    ok = bool(np.array_equal(seq.path, par.path)) and abs(seq.score - par.score) < 1e-9
+    m = par.metrics
+    print(f"problem          : {args.problem} ({problem.num_stages} stages)")
+    print(f"score            : {seq.score}")
+    print(f"parallel == seq  : {ok}")
+    print(f"processors       : {m.num_procs}")
+    print(f"fix-up iterations: {m.forward_fixup_iterations}")
+    print(f"critical work    : {m.critical_path_work:.0f} cells")
+    print(f"total work       : {m.total_work:.0f} cells")
+    print(f"sequential work  : {problem.total_cells():.0f} cells")
+    return 0 if ok else 1
+
+
+def cmd_convergence(args: argparse.Namespace) -> int:
+    problem = build_problem(args)
+    study = measure_convergence_steps(
+        problem, num_trials=args.trials, seed=args.seed, name=args.problem
+    )
+    print(
+        format_table(
+            ["problem", "width", "min", "median", "max", "converged"],
+            [study.row()],
+            title="Steps to converge to rank 1",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    problem = build_problem(args)
+    mid = max(1, problem.num_stages // 2)
+    v = np.asarray(problem.initial_vector(), dtype=float).copy()
+    v[~np.isfinite(v)] = 0.0
+    if v.size != problem.stage_width(mid - 1):
+        v = np.zeros(problem.stage_width(mid - 1))
+    cell_cost = calibrate_cell_cost(
+        lambda: problem.apply_stage(mid, v), problem.stage_cost(mid), min_seconds=0.02
+    )
+    cluster = SimCluster.stampede(1, cell_cost=cell_cost)
+    procs = [int(x) for x in args.procs_list.split(",")]
+    curve = scaling_sweep(problem, cluster, procs, seed=args.seed)
+    print(
+        format_series(
+            "P",
+            procs,
+            {
+                "time[s]": [f"{p.time_seconds:.3e}" for p in curve.points],
+                "speedup": [round(p.speedup, 2) for p in curve.points],
+                "efficiency": [round(p.efficiency, 3) for p in curve.points],
+                "fixup": [p.fixup_iterations for p in curve.points],
+            },
+            title=f"{args.problem}: scaling sweep (cell cost {cell_cost:.2e} s)",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    problem = build_problem(args)
+    par = solve_parallel(problem, num_procs=args.procs, seed=args.seed)
+    print(render_gantt(par.metrics, CostModel(cell_cost=1e-7), columns=args.columns))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rank-convergence LTDP parallelization (PPoPP 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list problems, codes and presets")
+
+    p_solve = sub.add_parser("solve", help="solve one synthetic instance")
+    _add_problem_args(p_solve)
+    p_solve.add_argument("--procs", type=int, default=8)
+
+    p_conv = sub.add_parser("convergence", help="Table-1 convergence protocol")
+    _add_problem_args(p_conv)
+    p_conv.add_argument("--trials", type=int, default=20)
+
+    p_sweep = sub.add_parser("sweep", help="processor scaling sweep")
+    _add_problem_args(p_sweep)
+    p_sweep.add_argument("--procs-list", default="1,2,4,8,16,32,64")
+
+    p_trace = sub.add_parser("trace", help="ASCII Gantt of one parallel run")
+    _add_problem_args(p_trace)
+    p_trace.add_argument("--procs", type=int, default=8)
+    p_trace.add_argument("--columns", type=int, default=100)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "solve": cmd_solve,
+        "convergence": cmd_convergence,
+        "sweep": cmd_sweep,
+        "trace": cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

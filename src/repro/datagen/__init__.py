@@ -1,0 +1,29 @@
+"""Synthetic workload generators — DESIGN.md §3 data substitutions.
+
+- :mod:`repro.datagen.sequences` — synthetic DNA with controlled
+  divergence (the hg19 chromosome-pair stand-in);
+- :mod:`repro.datagen.packets` — convolution-encoded packets with
+  channel noise (the Spiral input-generator stand-in);
+- :mod:`repro.datagen.hmms` — HMM workloads with controlled path
+  dominance.
+"""
+
+from repro.datagen.sequences import (
+    random_dna,
+    mutate_sequence,
+    homologous_pair,
+    random_series,
+)
+from repro.datagen.packets import random_packet, transmit_bsc, make_received_packet
+from repro.datagen.hmms import make_hmm_workload
+
+__all__ = [
+    "random_dna",
+    "mutate_sequence",
+    "homologous_pair",
+    "random_series",
+    "random_packet",
+    "transmit_bsc",
+    "make_received_packet",
+    "make_hmm_workload",
+]

@@ -1,0 +1,51 @@
+"""Convolution-encoded packets over noisy channels.
+
+Plays the role of Spiral's packet generator (paper §6.3.1 "Data"):
+random payloads, convolutional encoding with register flush, and a
+binary symmetric channel flipping each transmitted bit independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.convolutional import ConvolutionalCode, ViterbiDecoderProblem
+
+__all__ = ["random_packet", "transmit_bsc", "make_received_packet"]
+
+
+def random_packet(num_bits: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniform random payload of ``num_bits`` bits."""
+    if num_bits < 1:
+        raise ValueError("num_bits must be >= 1")
+    return rng.integers(0, 2, size=num_bits).astype(np.uint8)
+
+
+def transmit_bsc(
+    bits: np.ndarray, rng: np.random.Generator, *, error_rate: float
+) -> np.ndarray:
+    """Pass bits through a binary symmetric channel (iid flips)."""
+    if not 0.0 <= error_rate < 0.5:
+        raise ValueError("BSC error rate must be in [0, 0.5) for ML decoding")
+    bits = np.asarray(bits, dtype=np.uint8)
+    flips = rng.random(bits.shape) < error_rate
+    return (bits ^ flips.astype(np.uint8)).astype(np.uint8)
+
+
+def make_received_packet(
+    code: ConvolutionalCode,
+    payload_bits: int,
+    rng: np.random.Generator,
+    *,
+    error_rate: float = 0.02,
+) -> tuple[np.ndarray, ViterbiDecoderProblem]:
+    """Generate ``(payload, decoder_problem)`` for one noisy packet.
+
+    The problem's stage count is ``payload_bits + K - 1`` (the flush
+    bits), matching the paper's "network packet size determines the
+    number of stages".
+    """
+    payload = random_packet(payload_bits, rng)
+    encoded = code.encode(payload, terminate=True)
+    received = transmit_bsc(encoded, rng, error_rate=error_rate)
+    return payload, ViterbiDecoderProblem(code, received, terminated=True)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library errors without also
+swallowing programming mistakes (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionError(ReproError):
+    """Operands have incompatible shapes for a tropical operation."""
+
+
+class ZeroVectorError(ReproError):
+    """A stage vector collapsed to all tropical zeros (all ``-inf``).
+
+    The parallel LTDP algorithm requires the all-non-zero invariant of
+    paper §4.5; violating it means a stage kernel has a trivial row
+    (a subproblem with no finite dependence on the previous stage).
+    """
+
+
+class TrivialMatrixError(ReproError):
+    """A transformation matrix has a row with no finite entries.
+
+    Paper §4.5 calls such matrices *trivial*; they would force a
+    subproblem to ``-inf`` regardless of the previous stage, breaking
+    Lemma 4. LTDP instances must be preprocessed to remove them.
+    """
+
+
+class ConvergenceError(ReproError):
+    """The fix-up loop failed to converge within the allowed iterations."""
+
+
+class ProblemDefinitionError(ReproError):
+    """An LTDP problem definition is malformed or internally inconsistent."""
+
+
+class ExecutorError(ReproError):
+    """A parallel executor failed (worker crash, bad configuration...)."""

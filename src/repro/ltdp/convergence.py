@@ -1,0 +1,200 @@
+"""Rank-convergence measurement — the §6.1 / Table 1 methodology.
+
+"For a LTDP instance … we first compute the actual solution vectors at
+each stage.  Then, starting from a random all-non-zero vector at 200
+different stages, we measured the number of steps required to generate
+a vector parallel to the actual solution vector."
+
+:func:`measure_convergence_steps` reproduces that protocol.
+:func:`partial_product_rank_profile` additionally tracks upper bounds
+on the rank of the partial products themselves (feasible for the small
+widths used in tests and demos), illustrating the §4.7 observation that
+rank collapses to *small* values much faster than to exactly 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ltdp.problem import LTDPProblem
+from repro.ltdp.sequential import forward_sequential
+from repro.semiring.rank import factor_rank_upper_bound
+from repro.semiring.tropical import tropical_matmat
+from repro.semiring.vector import are_parallel, random_nonzero_vector
+
+__all__ = [
+    "ConvergenceStudy",
+    "steps_to_parallel",
+    "measure_convergence_steps",
+    "partial_product_rank_profile",
+]
+
+
+@dataclass
+class ConvergenceStudy:
+    """Statistics of steps-to-convergence over many random restarts.
+
+    ``steps`` holds one entry per trial: the number of stages after
+    which the perturbed computation became parallel to the truth, or
+    ``None`` when it never did before running out of stages (the
+    paper's blank LCS entries).
+    """
+
+    problem_name: str
+    width: int
+    steps: list[int | None]
+
+    @property
+    def converged_steps(self) -> list[int]:
+        return [s for s in self.steps if s is not None]
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_converged(self) -> int:
+        return len(self.converged_steps)
+
+    @property
+    def convergence_fraction(self) -> float:
+        return self.num_converged / self.num_trials if self.steps else 0.0
+
+    def _stat(self, fn) -> int | None:
+        xs = self.converged_steps
+        return int(fn(xs)) if xs else None
+
+    @property
+    def min_steps(self) -> int | None:
+        return self._stat(min)
+
+    @property
+    def median_steps(self) -> int | None:
+        xs = sorted(self.converged_steps)
+        if not xs:
+            return None
+        return int(xs[len(xs) // 2])
+
+    @property
+    def max_steps(self) -> int | None:
+        return self._stat(max)
+
+    def row(self) -> tuple:
+        """(name, width, min, median, max, converged/total) — a Table 1 row."""
+        fmt = lambda v: "-" if v is None else v  # noqa: E731
+        return (
+            self.problem_name,
+            self.width,
+            fmt(self.min_steps),
+            fmt(self.median_steps),
+            fmt(self.max_steps),
+            f"{self.num_converged}/{self.num_trials}",
+        )
+
+
+def steps_to_parallel(
+    problem: LTDPProblem,
+    reference: list[np.ndarray],
+    start_stage: int,
+    rng: np.random.Generator,
+    *,
+    max_steps: int | None = None,
+    nz_low: float = -10.0,
+    nz_high: float = 10.0,
+    nz_integer: bool = True,
+) -> int | None:
+    """Steps from a random all-non-zero vector at ``start_stage`` until parallel.
+
+    ``reference[i]`` must hold the true solution vector ``s_i``.
+    Returns the smallest ``k ≥ 1`` with the perturbed vector at stage
+    ``start_stage + k`` parallel to ``reference[start_stage + k]``, or
+    ``None`` if that never happens within the available stages (or
+    ``max_steps``).
+    """
+    n = problem.num_stages
+    if not 0 <= start_stage < n:
+        raise ValueError(f"start_stage must be in 0..{n - 1}")
+    v = random_nonzero_vector(
+        problem.stage_width(start_stage),
+        rng,
+        low=nz_low,
+        high=nz_high,
+        integer=nz_integer,
+    )
+    limit = n - start_stage if max_steps is None else min(max_steps, n - start_stage)
+    tol = problem.parallel_tol
+    for k in range(1, limit + 1):
+        i = start_stage + k
+        v = problem.apply_stage(i, v)
+        if are_parallel(v, reference[i], tol=tol):
+            return k
+    return None
+
+
+def measure_convergence_steps(
+    problem: LTDPProblem,
+    *,
+    num_trials: int = 200,
+    seed: int = 0,
+    name: str | None = None,
+    max_steps: int | None = None,
+    start_stages: list[int] | None = None,
+) -> ConvergenceStudy:
+    """Run the Table 1 protocol on one LTDP instance.
+
+    Start stages default to ``num_trials`` distinct positions spread
+    uniformly over the first 2/3 of the stage sequence (leaving room to
+    converge before the final stage, as a perturbation started near the
+    end cannot converge and would bias the no-convergence count).
+    """
+    rng = np.random.default_rng(seed)
+    n = problem.num_stages
+    _, _, reference, _ = forward_sequential(problem, keep_stage_vectors=True)
+    assert reference is not None
+    if start_stages is None:
+        hi = max(1, (2 * n) // 3)
+        count = min(num_trials, hi)
+        start_stages = sorted(
+            int(s) for s in np.linspace(0, hi - 1, num=count).round()
+        )
+    steps = [
+        steps_to_parallel(problem, reference, s, rng, max_steps=max_steps)
+        for s in start_stages
+    ]
+    # Report the computation width (the Table 1 "Width" column) as the
+    # widest stage — selector stages would otherwise misreport it as 1.
+    width = max(problem.stage_width(i) for i in range(0, n + 1))
+    return ConvergenceStudy(
+        problem_name=name or type(problem).__name__,
+        width=width,
+        steps=steps,
+    )
+
+
+def partial_product_rank_profile(
+    problem: LTDPProblem,
+    start_stage: int,
+    length: int,
+    *,
+    tol: float = 0.0,
+) -> list[int]:
+    """Upper bounds on ``rank(M_{start→start+k})`` for ``k = 1..length``.
+
+    Materializes the partial products explicitly (O(width³) per step) —
+    use on small-width instances.  The sequence is non-increasing up to
+    bound slack, demonstrating paper Equation (3), and reaching 1 is
+    *exact* (the bound is tight at rank 1).
+    """
+    n = problem.num_stages
+    if not 0 <= start_stage < n:
+        raise ValueError(f"start_stage must be in 0..{n - 1}")
+    length = min(length, n - start_stage)
+    profile: list[int] = []
+    product: np.ndarray | None = None
+    for k in range(1, length + 1):
+        a = problem.stage_matrix(start_stage + k)
+        product = a if product is None else tropical_matmat(a, product)
+        profile.append(factor_rank_upper_bound(product, tol=tol))
+    return profile

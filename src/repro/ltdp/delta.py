@@ -1,0 +1,96 @@
+"""Delta computation — the §4.7 fix-up optimization.
+
+Represent a stage vector by its first entry plus adjacent differences:
+``[1, 2, 3, 4] → (1, [1, 1, 1])``.  Tropically parallel vectors then
+agree *exactly* except in the anchor entry, and "almost parallel"
+vectors (the low-rank-but-not-rank-1 regime the paper observes long
+before full convergence) agree in most delta positions.  A fix-up
+sweep over deltas therefore only needs to propagate the differing
+positions, which is what makes the optimization "crucial for instances,
+such as LCS and Needleman-Wunsch, for which the number of solutions in
+a stage is large and the convergence to low-rank is much faster than
+the convergence to rank 1".
+
+Our parallel solver recomputes stage vectors with the full vectorized
+kernel (NumPy makes the dense sweep the fast path) but, in delta mode,
+*accounts* fix-up work as ``changed-delta count + 1`` per stage — the
+cell count a sparse delta implementation would touch.  The recorded
+work drives the simulated clock; results are unchanged either way.
+DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "delta_encode",
+    "delta_decode",
+    "changed_delta_count",
+    "delta_fixup_work",
+]
+
+
+def delta_encode(v: np.ndarray) -> tuple[float, np.ndarray]:
+    """``v → (v[0], diff(v))``.
+
+    ``-inf`` entries are legal in stage vectors (band edges); a
+    difference touching ``-inf`` is encoded as ``nan`` so that the
+    position participates in change counting (any recomputation there
+    must be inspected) while staying distinguishable from finite deltas.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise DimensionError(f"expected non-empty 1-D vector, got shape {v.shape}")
+    with np.errstate(invalid="ignore"):
+        deltas = np.diff(v)
+    # -inf - -inf = nan already; finite - -inf = +inf; -inf - finite = -inf.
+    # Collapse every non-finite difference to nan for a canonical encoding.
+    deltas[~np.isfinite(deltas)] = np.nan
+    return float(v[0]), deltas
+
+
+def delta_decode(anchor: float, deltas: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`delta_encode` for all-finite vectors.
+
+    Vectors containing ``-inf`` do not round-trip (the encoding loses
+    which side of a ``nan`` delta was ``-inf``); callers needing exact
+    reconstruction must keep the mask separately.  Raises when any
+    delta is ``nan``.
+    """
+    deltas = np.asarray(deltas, dtype=np.float64)
+    if np.isnan(deltas).any():
+        raise ValueError("cannot decode deltas containing -inf markers")
+    out = np.empty(deltas.size + 1, dtype=np.float64)
+    out[0] = anchor
+    np.cumsum(deltas, out=out[1:])
+    out[1:] += anchor
+    return out
+
+
+def changed_delta_count(old: np.ndarray, new: np.ndarray) -> int:
+    """Number of delta positions that differ between two stage vectors.
+
+    Tropically parallel vectors give 0.  ``nan`` markers (band-edge
+    ``-inf`` adjacencies) compare equal to each other — a masked-out
+    position that stays masked is not a change.
+    """
+    old = np.asarray(old, dtype=np.float64)
+    new = np.asarray(new, dtype=np.float64)
+    if old.shape != new.shape:
+        raise DimensionError(f"incompatible shapes {old.shape} and {new.shape}")
+    if old.size < 2:
+        return 0
+    _, d_old = delta_encode(old)
+    _, d_new = delta_encode(new)
+    both_nan = np.isnan(d_old) & np.isnan(d_new)
+    with np.errstate(invalid="ignore"):
+        differ = d_old != d_new
+    return int(np.count_nonzero(differ & ~both_nan))
+
+
+def delta_fixup_work(old: np.ndarray, new: np.ndarray) -> float:
+    """Work charged to a delta-mode fix-up stage: changed deltas + the anchor."""
+    return float(changed_delta_count(old, new) + 1)

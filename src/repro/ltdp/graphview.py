@@ -1,0 +1,141 @@
+"""The §4.8 graph view: an LTDP instance as a longest-path problem.
+
+"One can view solving a LTDP problem as computing shortest/longest
+paths in a graph.  In this graph, each subproblem is a node and
+directed edges represent the dependences between subproblems … Entries
+in the partial product ``M_{l→r}`` represent the cost of the shortest
+(or longest) path from a node in stage l to a node in stage r.  The
+rank of this product is 1 if these shortest paths go through a single
+node in some stage between l and r."
+
+This module materializes that view with :mod:`networkx`:
+
+- :func:`build_stage_graph` — the layered DAG of an LTDP instance;
+- :func:`longest_path_solution` — independent solve via DAG longest
+  path (a correctness oracle for the tropical solvers);
+- :func:`articulation_stages` — stages whose single node carries every
+  optimal l→r path (the paper's I-90 "choke point" intuition): a
+  choke point between l and r certifies ``rank(M_{l→r}) = 1``.
+
+Intended for analysis, tests and teaching; it materializes O(stages ×
+width²) edges, so keep instances moderate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ltdp.problem import LTDPProblem
+from repro.ltdp.sequential import forward_sequential
+from repro.semiring.tropical import NEG_INF
+
+__all__ = [
+    "build_stage_graph",
+    "longest_path_solution",
+    "articulation_stages",
+    "optimal_node_sets",
+]
+
+
+def _node(stage: int, cell: int) -> tuple[int, int]:
+    return (stage, cell)
+
+
+def build_stage_graph(problem: LTDPProblem):
+    """The layered dependence DAG with edge weights ``A_i[j, k]``.
+
+    Nodes are ``(stage, cell)``; an edge ``(i-1, k) → (i, j)`` carries
+    weight ``A_i[j, k]`` when finite.  A virtual ``source`` node feeds
+    stage 0 with the initial-vector values and a virtual ``sink``
+    collects subproblem 0 of the last stage (the Fig 2 convention).
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    n = problem.num_stages
+    init = problem.initial_vector()
+    g.add_node("source")
+    for cell, value in enumerate(init):
+        if value != NEG_INF:
+            g.add_edge("source", _node(0, cell), weight=float(value))
+    for i in range(1, n + 1):
+        A = problem.stage_matrix(i)
+        rows, cols = A.shape
+        for j in range(rows):
+            for k in range(cols):
+                w = A[j, k]
+                if w != NEG_INF:
+                    g.add_edge(_node(i - 1, k), _node(i, j), weight=float(w))
+    g.add_node("sink")
+    g.add_edge(_node(n, 0), "sink", weight=0.0)
+    return g
+
+
+def longest_path_solution(problem: LTDPProblem) -> tuple[float, np.ndarray]:
+    """Solve by DAG longest path; returns ``(score, path)``.
+
+    ``path`` follows the library convention (``path[i]`` = cell at
+    stage ``i``).  An independent oracle: no tropical code involved
+    beyond the probed matrices.
+    """
+    import networkx as nx
+
+    g = build_stage_graph(problem)
+    # networkx dag_longest_path maximizes total weight over all paths,
+    # but we need source→sink specifically; negate and use shortest.
+    for _u, _v, d in g.edges(data=True):
+        d["negw"] = -d["weight"]
+    length, nx_path = nx.single_source_bellman_ford(g, "source", "sink", weight="negw")
+    n = problem.num_stages
+    path = np.zeros(n + 1, dtype=np.int64)
+    for node in nx_path:
+        if isinstance(node, tuple):
+            stage, cell = node
+            path[stage] = cell
+    return -float(length), path
+
+
+def optimal_node_sets(
+    problem: LTDPProblem, *, tol: float = 0.0
+) -> list[set[int]]:
+    """Per stage, the set of cells lying on *some* optimal source→sink path.
+
+    Computed from forward values + backward-to-go values (standard
+    DP criticality): cell ``c`` of stage ``i`` is optimal iff
+    ``forward[i][c] + togo[i][c] == optimum``.
+    """
+    n = problem.num_stages
+    _, _, fwd, _ = forward_sequential(problem, keep_stage_vectors=True)
+    assert fwd is not None
+    # Backward "to-go" values: togo[n] = unit on cell 0.
+    togo: list[np.ndarray] = [None] * (n + 1)  # type: ignore[list-item]
+    last = np.full(problem.stage_width(n), NEG_INF)
+    last[0] = 0.0
+    togo[n] = last
+    for i in range(n, 0, -1):
+        A = problem.stage_matrix(i)
+        with np.errstate(invalid="ignore"):
+            togo[i - 1] = np.max(A + togo[i][:, np.newaxis], axis=0)
+    optimum = float(fwd[n][0])
+    out: list[set[int]] = []
+    for i in range(n + 1):
+        with np.errstate(invalid="ignore"):
+            total = fwd[i] + togo[i]
+        cells = {
+            int(c)
+            for c in np.where(np.isfinite(total) & (np.abs(total - optimum) <= tol))[0]
+        }
+        out.append(cells)
+    return out
+
+
+def articulation_stages(problem: LTDPProblem, *, tol: float = 0.0) -> list[int]:
+    """Stages whose optimal-node set is a single cell (§4.8 choke points).
+
+    If every optimal path from stage ``l`` to stage ``r`` threads one
+    node at some stage in between, the partial product ``M_{l→r}``
+    approaches rank 1 — this function finds those single-node stages
+    for the *global* optimum, which is the practical signal rank
+    convergence feeds on.
+    """
+    return [i for i, cells in enumerate(optimal_node_sets(problem, tol=tol)) if len(cells) == 1]

@@ -1,0 +1,145 @@
+"""LTDP instances given by explicit transformation matrices.
+
+This is the literal Equation (2) form ``s_i = A_i ⨂ s_{i-1}``.  It is
+the workhorse of the test-suite (random instances, adversarial
+instances) and of rank studies; the production problems in
+:mod:`repro.problems` use implicit kernels instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError, TrivialMatrixError
+from repro.ltdp.problem import LTDPProblem
+from repro.semiring.tropical import (
+    NEG_INF,
+    as_tropical_matrix,
+    as_tropical_vector,
+    matvec_with_pred,
+    tropical_matvec,
+)
+
+__all__ = ["MatrixLTDPProblem", "random_matrix_problem"]
+
+
+class MatrixLTDPProblem(LTDPProblem):
+    """An LTDP problem defined by an initial vector and explicit matrices.
+
+    Parameters
+    ----------
+    initial:
+        The base-case vector ``s_0``.
+    matrices:
+        ``A_1 .. A_n``; ``A_i`` must have ``width(i)`` rows and
+        ``width(i-1)`` columns.  Every matrix must be *non-trivial*
+        (each row has a finite entry, §4.5) unless
+        ``allow_trivial=True`` (used by tests that exercise the
+        failure path).
+    """
+
+    def __init__(
+        self,
+        initial: np.ndarray,
+        matrices: Sequence[np.ndarray],
+        *,
+        allow_trivial: bool = False,
+    ) -> None:
+        if len(matrices) == 0:
+            raise ProblemDefinitionError("at least one transformation matrix required")
+        self._initial = as_tropical_vector(initial, copy=True)
+        self._matrices: list[np.ndarray] = []
+        width = self._initial.shape[0]
+        for idx, m in enumerate(matrices, start=1):
+            a = as_tropical_matrix(m, copy=True)
+            if a.shape[1] != width:
+                raise ProblemDefinitionError(
+                    f"matrix A_{idx} has {a.shape[1]} columns but stage "
+                    f"{idx - 1} has width {width}"
+                )
+            if not allow_trivial and not np.isfinite(a).any(axis=1).all():
+                raise TrivialMatrixError(
+                    f"matrix A_{idx} has a row with no finite entries; remove "
+                    "trivial subproblems first (paper §4.5)"
+                )
+            a.setflags(write=False)
+            self._matrices.append(a)
+            width = a.shape[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self._matrices)
+
+    def stage_width(self, i: int) -> int:
+        if i == 0:
+            return self._initial.shape[0]
+        self.check_stage_index(i)
+        return self._matrices[i - 1].shape[0]
+
+    def initial_vector(self) -> np.ndarray:
+        return self._initial.copy()
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        return tropical_matvec(self._matrices[i - 1], v)
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        return matvec_with_pred(self._matrices[i - 1], v)
+
+    def stage_matrix(self, i: int) -> np.ndarray:
+        self.check_stage_index(i)
+        return self._matrices[i - 1]
+
+    def stage_cost(self, i: int) -> float:
+        # Dense mat-vec touches width_out × width_in additions.
+        self.check_stage_index(i)
+        rows, cols = self._matrices[i - 1].shape
+        return float(rows * cols)
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        """O(1) matrix entry lookup for the exact-score epilogue."""
+        self.check_stage_index(i)
+        return float(self._matrices[i - 1][j, k])
+
+
+def random_matrix_problem(
+    num_stages: int,
+    width: int,
+    rng: np.random.Generator,
+    *,
+    density: float = 1.0,
+    low: float = -5.0,
+    high: float = 5.0,
+    integer: bool = False,
+) -> MatrixLTDPProblem:
+    """A random LTDP instance for tests and rank-convergence studies.
+
+    ``density`` < 1 zeroes out (to ``-inf``) a fraction of entries while
+    guaranteeing non-triviality (the diagonal is kept finite).  With
+    ``integer=True`` all weights are integers, making tropical
+    parallelism checks exact in float64.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    matrices = []
+    for _ in range(num_stages):
+        if integer:
+            a = rng.integers(int(low), int(high) + 1, size=(width, width)).astype(
+                np.float64
+            )
+        else:
+            a = rng.uniform(low, high, size=(width, width))
+        if density < 1.0:
+            mask = rng.random((width, width)) >= density
+            a[mask] = NEG_INF
+            np.fill_diagonal(a, np.where(np.isfinite(np.diag(a)), np.diag(a), 0.0))
+        matrices.append(a)
+    if integer:
+        initial = rng.integers(int(low), int(high) + 1, size=width).astype(np.float64)
+    else:
+        initial = rng.uniform(low, high, size=width)
+    return MatrixLTDPProblem(initial, matrices)

@@ -1,0 +1,59 @@
+"""Stage partitioning: which processor owns which stages.
+
+Paper Fig 4 line 5: processor ``p`` owns stages ``(l_p .. r_p]`` with
+``l_p = n/P·(p-1)`` and ``r_p = n/P·p``.  We generalize to arbitrary
+``n`` by distributing the remainder over the leading processors, and
+clamp the processor count when ``P > n`` (extra processors would own
+empty ranges and contribute nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StageRange", "partition_stages"]
+
+
+@dataclass(frozen=True)
+class StageRange:
+    """Half-open-from-the-left stage range ``(lo .. hi]`` owned by one processor."""
+
+    proc: int  # 1-based processor id, matching the paper
+    lo: int  # exclusive
+    hi: int  # inclusive
+
+    @property
+    def num_stages(self) -> int:
+        return self.hi - self.lo
+
+    def stages(self) -> range:
+        """The stage indices this processor computes: ``lo+1 .. hi``."""
+        return range(self.lo + 1, self.hi + 1)
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise ValueError(f"empty stage range ({self.lo}..{self.hi}]")
+
+
+def partition_stages(num_stages: int, num_procs: int) -> list[StageRange]:
+    """Split ``1..num_stages`` into contiguous per-processor ranges.
+
+    Returns at most ``min(num_procs, num_stages)`` non-empty ranges; the
+    first ``num_stages % P`` processors get one extra stage.  Ranges
+    tile the stage sequence: ``ranges[0].lo == 0`` and
+    ``ranges[-1].hi == num_stages``.
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if num_procs < 1:
+        raise ValueError(f"num_procs must be >= 1, got {num_procs}")
+    p = min(num_procs, num_stages)
+    base, extra = divmod(num_stages, p)
+    ranges: list[StageRange] = []
+    lo = 0
+    for proc in range(1, p + 1):
+        size = base + (1 if proc <= extra else 0)
+        ranges.append(StageRange(proc=proc, lo=lo, hi=lo + size))
+        lo += size
+    assert lo == num_stages
+    return ranges

@@ -1,0 +1,152 @@
+"""LTDP well-formedness checks.
+
+A problem plugged into the parallel solver must satisfy:
+
+1. **Tropical linearity** of every stage kernel (Equation (1)):
+   ``f(u ⊕ v) = f(u) ⊕ f(v)`` and ``f(v ⊗ c) = f(v) ⊗ c`` — otherwise
+   the rank-convergence argument (and hence fix-up early exit) is
+   unsound.  Smith-Waterman's ``max(…, 0)`` restart, for instance, must
+   be linearized with a zero-anchor subproblem before it qualifies.
+2. **Non-triviality** (§4.5): every stage maps all-non-zero vectors to
+   all-non-zero vectors (Lemma 4's precondition, checked empirically).
+3. **Kernel/matrix agreement**: the fast kernel equals the explicit
+   probed matrix applied densely.
+4. **Predecessor consistency**: ``apply_stage_with_pred`` returns
+   arg-max indices that actually achieve the reported maxima.
+
+`validate_problem` samples stages and random vectors; it is O(width²)
+per sampled stage and meant for tests, CI and user onboarding, not hot
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ltdp.problem import LTDPProblem
+from repro.semiring.tropical import tropical_matvec
+from repro.semiring.vector import is_all_nonzero, random_nonzero_vector
+
+__all__ = ["ValidationReport", "validate_problem"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_problem`; falsy when any check failed."""
+
+    failures: list[str] = field(default_factory=list)
+    stages_checked: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            from repro.exceptions import ProblemDefinitionError
+
+            raise ProblemDefinitionError(
+                "LTDP validation failed:\n  " + "\n  ".join(self.failures)
+            )
+
+
+def _close(u: np.ndarray, v: np.ndarray, tol: float) -> bool:
+    if u.shape != v.shape:
+        return False
+    finite_u = np.isfinite(u)
+    finite_v = np.isfinite(v)
+    if not np.array_equal(finite_u, finite_v):
+        return False
+    if not finite_u.any():
+        return True
+    return bool(np.max(np.abs(u[finite_u] - v[finite_v])) <= tol)
+
+
+def validate_problem(
+    problem: LTDPProblem,
+    *,
+    num_stage_samples: int = 5,
+    vectors_per_stage: int = 3,
+    seed: int = 0,
+    tol: float = 1e-9,
+) -> ValidationReport:
+    """Sample-check that ``problem`` is a legal LTDP instance.
+
+    Checks linearity, non-triviality, kernel/matrix agreement and
+    predecessor consistency on ``num_stage_samples`` stages spread over
+    the stage sequence.  Deterministic given ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    report = ValidationReport()
+    n = problem.num_stages
+    stages = sorted(
+        {int(s) for s in np.linspace(1, n, num=min(num_stage_samples, n)).round()}
+    )
+    report.stages_checked = stages
+
+    for i in stages:
+        w_in = problem.stage_width(i - 1)
+        try:
+            A = problem.stage_matrix(i)
+        except Exception as exc:  # noqa: BLE001 - collect, don't crash
+            report.failures.append(f"stage {i}: stage_matrix probe raised {exc!r}")
+            continue
+        if not np.isfinite(A).any(axis=1).all():
+            report.failures.append(
+                f"stage {i}: transformation matrix has an all--inf row "
+                "(trivial subproblem, §4.5)"
+            )
+        for t in range(vectors_per_stage):
+            u = random_nonzero_vector(w_in, rng)
+            v = random_nonzero_vector(w_in, rng)
+            fu = problem.apply_stage(i, u)
+            fv = problem.apply_stage(i, v)
+            # Kernel agrees with the probed matrix.
+            ref = tropical_matvec(A, u)
+            if not _close(fu, ref, tol):
+                report.failures.append(
+                    f"stage {i} trial {t}: kernel disagrees with probed matrix"
+                )
+            # Additivity: f(max(u, v)) == max(f(u), f(v)).
+            f_join = problem.apply_stage(i, np.maximum(u, v))
+            if not _close(f_join, np.maximum(fu, fv), tol):
+                report.failures.append(
+                    f"stage {i} trial {t}: kernel is not ⊕-additive "
+                    "(not tropically linear)"
+                )
+            # Homogeneity: f(v + c) == f(v) + c.
+            c = float(rng.uniform(-3.0, 3.0))
+            f_scaled = problem.apply_stage(i, v + c)
+            expected = fv.copy()
+            expected[np.isfinite(expected)] += c
+            if not _close(f_scaled, expected, tol):
+                report.failures.append(
+                    f"stage {i} trial {t}: kernel is not ⊗-homogeneous "
+                    "(not tropically linear)"
+                )
+            # Lemma 4 precondition: all-non-zero in ⇒ all-non-zero out.
+            if not is_all_nonzero(fu):
+                report.failures.append(
+                    f"stage {i} trial {t}: all-non-zero vector mapped to a "
+                    "vector with -inf entries — non-trivial-matrix "
+                    "assumption violated for the parallel algorithm"
+                )
+            # Predecessor consistency.
+            vals, pred = problem.apply_stage_with_pred(i, v)
+            if not _close(vals, fv, tol):
+                report.failures.append(
+                    f"stage {i} trial {t}: apply_stage_with_pred values "
+                    "disagree with apply_stage"
+                )
+            achieved = A[np.arange(A.shape[0]), pred] + v[pred]
+            if not _close(achieved, fv, tol):
+                report.failures.append(
+                    f"stage {i} trial {t}: predecessor indices do not achieve "
+                    "the stage maxima"
+                )
+    return report

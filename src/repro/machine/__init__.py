@@ -1,0 +1,49 @@
+"""Parallel machine substrate.
+
+The paper evaluates on Stampede (MPI, up to 128 ranks) and a 40-core
+shared-memory Xeon.  This host has a single core, so this subpackage
+provides:
+
+- :mod:`repro.machine.metrics` — exact per-processor work/communication
+  accounting collected while the *real* parallel algorithm runs;
+- :mod:`repro.machine.cost_model` — a calibrated cost model converting
+  work counts into seconds / throughput (the simulator's clock);
+- :mod:`repro.machine.executor` — executors that run one task per
+  virtual processor: serially (deterministic simulation), on threads,
+  or on forked processes (real parallelism on multi-core hosts);
+- :mod:`repro.machine.cluster` — :class:`SimCluster`, the machine
+  description (processor count + cost parameters) benchmarks sweep over.
+
+Crucially the *algorithm* is always executed faithfully — every virtual
+processor runs the true fix-up loop with real data — only the mapping
+from work to wall-clock time is modeled.  See DESIGN.md §3.
+"""
+
+from repro.machine.metrics import (
+    CommEvent,
+    SuperstepRecord,
+    RunMetrics,
+)
+from repro.machine.cost_model import CostModel, calibrate_cell_cost
+from repro.machine.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+    get_executor,
+)
+from repro.machine.cluster import SimCluster
+
+__all__ = [
+    "CommEvent",
+    "SuperstepRecord",
+    "RunMetrics",
+    "CostModel",
+    "calibrate_cell_cost",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "SimCluster",
+]

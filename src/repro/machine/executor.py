@@ -1,0 +1,145 @@
+"""Executors: run one task per virtual processor within a superstep.
+
+The parallel LTDP algorithm expresses each superstep as a list of
+closures, one per participating processor, with all cross-processor
+inputs snapshotted *before* the superstep (BSP semantics — this is what
+the barriers in paper Figs 4/5 guarantee).  Executors therefore never
+need locks; they only differ in where the closures run:
+
+- :class:`SerialExecutor` — runs them in-line, in processor order.
+  Deterministic; the default for the simulated cluster.
+- :class:`ThreadExecutor` — a thread pool.  Real concurrency for
+  NumPy-heavy kernels (NumPy releases the GIL inside ufuncs), real
+  barrier behaviour; bounded by the GIL for Python-level work.
+- :class:`ProcessExecutor` — forked worker processes, one per task.
+  True parallelism on multi-core hosts.  Uses ``fork`` so closures and
+  NumPy arrays are inherited, with results returned over pipes.
+
+All three produce bit-identical results (the test-suite checks this);
+on this single-core host only the simulated clock shows speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ExecutorError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+]
+
+Task = Callable[[], Any]
+
+
+class Executor(ABC):
+    """Runs one closure per virtual processor and returns their results in order."""
+
+    @abstractmethod
+    def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        """Execute all ``tasks`` and return ``[task() for task in tasks]``."""
+
+    def close(self) -> None:
+        """Release any worker resources.  Idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Deterministic in-line execution (the simulated cluster's engine)."""
+
+    def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution; real concurrency for GIL-releasing kernels."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        futures = [self._pool.submit(task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _child_main(conn, task: Task) -> None:  # pragma: no cover - runs in fork
+    try:
+        result = task()
+        conn.send_bytes(pickle.dumps((True, result), protocol=pickle.HIGHEST_PROTOCOL))
+    except BaseException as exc:  # noqa: BLE001 - must report any failure
+        try:
+            conn.send_bytes(pickle.dumps((False, repr(exc))))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessExecutor(Executor):
+    """Fork-per-task execution: true multi-core parallelism.
+
+    Closures are inherited through ``fork`` (no pickling of the task),
+    results come back pickled over a pipe.  Not available on platforms
+    without ``fork`` (Windows); raises :class:`ExecutorError` there.
+    """
+
+    def __init__(self) -> None:
+        if not hasattr(os, "fork"):
+            raise ExecutorError("ProcessExecutor requires a fork-capable platform")
+        self._ctx = mp.get_context("fork")
+
+    def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        procs = []
+        conns = []
+        for task in tasks:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(target=_child_main, args=(child_conn, task))
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        results: list[Any] = []
+        errors: list[str] = []
+        for proc, conn in zip(procs, conns):
+            try:
+                ok, payload = pickle.loads(conn.recv_bytes())
+            except EOFError:
+                ok, payload = False, f"worker pid={proc.pid} died without a result"
+            finally:
+                conn.close()
+            proc.join()
+            if ok:
+                results.append(payload)
+            else:
+                errors.append(str(payload))
+        if errors:
+            raise ExecutorError("; ".join(errors))
+        return results
+
+
+def get_executor(kind: str = "serial", **kwargs: Any) -> Executor:
+    """Factory: ``"serial"`` | ``"thread"`` | ``"process"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(**kwargs)
+    if kind == "process":
+        return ProcessExecutor(**kwargs)
+    raise ValueError(f"unknown executor kind {kind!r}")

@@ -1,0 +1,141 @@
+"""Per-processor work and communication accounting.
+
+The parallel LTDP algorithm (paper Figs 4 and 5) is bulk-synchronous:
+an initial pass, then fix-up iterations, each separated by barriers.
+While it runs, it records a :class:`SuperstepRecord` per superstep with
+exact per-processor work (cells computed) and the communication events
+(boundary-vector sends).  A :class:`RunMetrics` aggregates records and
+derives the quantities the evaluation plots: critical-path work, total
+work, fix-up iteration count, per-processor convergence stages.
+
+These are *measurements of the real execution*, not estimates — the
+cost model only converts them to seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["CommEvent", "SuperstepRecord", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One point-to-point message (magenta arrows in paper Figs 4/5)."""
+
+    src: int
+    dst: int
+    num_bytes: int
+
+
+@dataclass
+class SuperstepRecord:
+    """Work and messages of one barrier-delimited superstep.
+
+    Attributes
+    ----------
+    label:
+        ``"forward"``, ``"fixup[k]"``, ``"backward"``, ``"bwd-fixup[k]"``.
+    work:
+        ``work[p]`` = cells (or traceback steps) processor ``p`` computed
+        in this superstep.  Length = number of processors.
+    comm:
+        Messages sent during (logically: at the start of) the superstep.
+    """
+
+    label: str
+    work: list[float]
+    comm: list[CommEvent] = field(default_factory=list)
+
+    @property
+    def critical_work(self) -> float:
+        """The slowest processor's work — the superstep's makespan driver."""
+        return max(self.work) if self.work else 0.0
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.work))
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated accounting for one parallel (or sequential) LTDP run."""
+
+    num_procs: int
+    supersteps: list[SuperstepRecord] = field(default_factory=list)
+    #: Number of iterations the forward fix-up loop executed (0 when P == 1).
+    forward_fixup_iterations: int = 0
+    #: Number of iterations the backward fix-up loop executed.
+    backward_fixup_iterations: int = 0
+    #: For each processor, the count of stages it recomputed in fix-up
+    #: before hitting tropical parallelism (summed over iterations).
+    fixup_stages: dict[int, int] = field(default_factory=dict)
+    #: True when every processor converged in the first fix-up iteration
+    #: (the paper's "filled data point" condition in Figs 7, 9, 10).
+    converged_first_iteration: bool = True
+    #: Problem-size information for throughput computation.
+    num_stages: int = 0
+    stage_width: int = 0
+
+    # ------------------------------------------------------------------
+    def record(self, record: SuperstepRecord) -> None:
+        if len(record.work) != self.num_procs:
+            raise ValueError(
+                f"superstep has {len(record.work)} work entries for "
+                f"{self.num_procs} processors"
+            )
+        self.supersteps.append(record)
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def critical_path_work(self) -> float:
+        """Σ over supersteps of the max per-processor work (BSP makespan)."""
+        return float(sum(s.critical_work for s in self.supersteps))
+
+    @property
+    def total_work(self) -> float:
+        """Σ of all work over all processors — the recomputation overhead shows here."""
+        return float(sum(s.total_work for s in self.supersteps))
+
+    @property
+    def num_barriers(self) -> int:
+        """One barrier terminates each superstep."""
+        return len(self.supersteps)
+
+    @property
+    def comm_events(self) -> list[CommEvent]:
+        return [e for s in self.supersteps for e in s.comm]
+
+    @property
+    def bytes_communicated(self) -> int:
+        return sum(e.num_bytes for e in self.comm_events)
+
+    def work_by_processor(self) -> list[float]:
+        """Total per-processor work across all supersteps."""
+        totals = [0.0] * self.num_procs
+        for s in self.supersteps:
+            for p, w in enumerate(s.work):
+                totals[p] += w
+        return totals
+
+    def merged_with(self, others: Iterable["RunMetrics"]) -> "RunMetrics":
+        """Concatenate this run's supersteps with subsequent phases' (e.g. backward)."""
+        merged = RunMetrics(
+            num_procs=self.num_procs,
+            supersteps=list(self.supersteps),
+            forward_fixup_iterations=self.forward_fixup_iterations,
+            backward_fixup_iterations=self.backward_fixup_iterations,
+            fixup_stages=dict(self.fixup_stages),
+            converged_first_iteration=self.converged_first_iteration,
+            num_stages=self.num_stages,
+            stage_width=self.stage_width,
+        )
+        for other in others:
+            if other.num_procs != merged.num_procs:
+                raise ValueError("cannot merge metrics with different processor counts")
+            merged.supersteps.extend(other.supersteps)
+            merged.forward_fixup_iterations += other.forward_fixup_iterations
+            merged.backward_fixup_iterations += other.backward_fixup_iterations
+            merged.converged_first_iteration &= other.converged_first_iteration
+        return merged

@@ -1,0 +1,131 @@
+"""Execution timelines: turn recorded metrics into a per-processor trace.
+
+Converts a :class:`~repro.machine.metrics.RunMetrics` plus a
+:class:`~repro.machine.cost_model.CostModel` into explicit
+``(processor, start, end, label)`` intervals — the BSP schedule the
+simulated clock implies — and renders them as an ASCII Gantt chart.
+Useful for understanding *where* fix-up recomputation and barrier idle
+time go (e.g. why small packets stop scaling in Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cost_model import CostModel
+from repro.machine.metrics import RunMetrics
+
+__all__ = ["TraceInterval", "build_trace", "render_gantt", "utilization"]
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One busy interval of one processor."""
+
+    proc: int  # 1-based, matching the paper
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def build_trace(
+    metrics: RunMetrics, cost_model: CostModel
+) -> tuple[list[TraceInterval], float]:
+    """``(intervals, makespan)`` of the BSP schedule implied by a run.
+
+    Within each superstep every processor starts at the superstep's
+    begin time and works for ``work_p · cell_cost``; the superstep ends
+    when the slowest processor plus communication/barrier costs are
+    done (all processors then resynchronize — idle time is the gap to
+    the superstep end).
+    """
+    intervals: list[TraceInterval] = []
+    clock = 0.0
+    for step in metrics.supersteps:
+        backward = step.label.startswith(("backward", "bwd"))
+        cell = cost_model.traceback_cell_cost if backward else cost_model.cell_cost
+        for p, work in enumerate(step.work, start=1):
+            if work > 0:
+                intervals.append(
+                    TraceInterval(
+                        proc=p,
+                        start=clock,
+                        end=clock + work * cell,
+                        label=step.label,
+                    )
+                )
+        clock += cost_model.superstep_time(
+            step.critical_work, step.comm, backward=backward
+        )
+    return intervals, clock
+
+
+def utilization(metrics: RunMetrics, cost_model: CostModel) -> list[float]:
+    """Per-processor busy fraction of the total makespan."""
+    intervals, makespan = build_trace(metrics, cost_model)
+    busy = [0.0] * metrics.num_procs
+    for iv in intervals:
+        busy[iv.proc - 1] += iv.duration
+    if makespan <= 0:
+        return [0.0] * metrics.num_procs
+    return [b / makespan for b in busy]
+
+
+def render_gantt(
+    metrics: RunMetrics,
+    cost_model: CostModel,
+    *,
+    columns: int = 80,
+) -> str:
+    """ASCII Gantt chart: one row per processor, time left to right.
+
+    Busy time is drawn with a character per superstep kind
+    (``F`` forward, ``x`` fix-up, ``o`` objective, ``B`` backward,
+    ``b`` backward fix-up); idle time with ``.``.
+    """
+    if columns < 10:
+        raise ValueError("need at least 10 columns")
+    intervals, makespan = build_trace(metrics, cost_model)
+    if makespan <= 0:
+        return "(empty trace)"
+    glyphs = {
+        "forward": "F",
+        "fixup": "x",
+        "objective": "o",
+        "backward": "B",
+        "bwd-fixup": "b",
+        "partial-products": "M",
+        "prefix-scan": "s",
+        "re-sweep": "r",
+    }
+
+    def glyph(label: str) -> str:
+        for key, g in glyphs.items():
+            if label.startswith(key):
+                return g
+        return "#"
+
+    rows = []
+    scale = columns / makespan
+    for p in range(1, metrics.num_procs + 1):
+        row = ["."] * columns
+        for iv in intervals:
+            if iv.proc != p:
+                continue
+            lo = int(iv.start * scale)
+            hi = max(lo + 1, int(iv.end * scale))
+            g = glyph(iv.label)
+            for c in range(lo, min(hi, columns)):
+                row[c] = g
+        rows.append(f"P{p:<3d} |" + "".join(row) + "|")
+    util = utilization(metrics, cost_model)
+    rows.append(
+        "util  "
+        + " ".join(f"P{p + 1}={u:.0%}" for p, u in enumerate(util))
+    )
+    rows.append(f"makespan = {makespan:.3e} s")
+    return "\n".join(rows)

@@ -1,0 +1,52 @@
+"""The LTDP problem zoo.
+
+Paper §5 instances:
+
+- :mod:`repro.problems.convolutional` — convolutional codes and the
+  Viterbi decoder (the paper's headline benchmark);
+- :mod:`repro.problems.hmm` — discrete HMMs and Viterbi inference;
+- :mod:`repro.problems.alignment` — LCS, Needleman–Wunsch and
+  Smith–Waterman with their SIMD-style baselines;
+
+plus the problems §5 names but does not evaluate:
+
+- :mod:`repro.problems.dtw` — dynamic time warping;
+- :mod:`repro.problems.seam` — seam carving.
+"""
+
+from repro.problems.convolutional import (
+    ConvolutionalCode,
+    ViterbiDecoderProblem,
+    VOYAGER,
+    CDMA_IS95,
+    LTE,
+    MARS,
+    STANDARD_CODES,
+)
+from repro.problems.hmm import DiscreteHMM, HMMViterbiProblem
+from repro.problems.alignment import (
+    LCSProblem,
+    NeedlemanWunschProblem,
+    SmithWatermanProblem,
+    ScoringScheme,
+)
+from repro.problems.dtw import DTWProblem
+from repro.problems.seam import SeamCarvingProblem
+
+__all__ = [
+    "ConvolutionalCode",
+    "ViterbiDecoderProblem",
+    "VOYAGER",
+    "CDMA_IS95",
+    "LTE",
+    "MARS",
+    "STANDARD_CODES",
+    "DiscreteHMM",
+    "HMMViterbiProblem",
+    "LCSProblem",
+    "NeedlemanWunschProblem",
+    "SmithWatermanProblem",
+    "ScoringScheme",
+    "DTWProblem",
+    "SeamCarvingProblem",
+]

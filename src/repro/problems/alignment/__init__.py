@@ -1,0 +1,49 @@
+"""Sequence alignment as LTDP: LCS, Needleman–Wunsch, Smith–Waterman.
+
+Two stage formulations from paper §5 / Figure 6 are implemented:
+
+- LCS and Needleman–Wunsch use **row stages** (Fig 6(b)) over a fixed
+  band around the diagonal, with the within-row dependence unrolled
+  into the stage transform (a tropical prefix scan);
+- Smith–Waterman uses **column stages** over the full query, with
+  affine gap penalties, a *zero-anchor* subproblem linearizing the
+  ``max(…, 0)`` restart, and a *running-maximum* subproblem carrying
+  the answer (both §5 tricks).
+
+Baselines: :mod:`repro.problems.alignment.bitparallel` (Hyyrö
+bit-vector LCS) and :mod:`repro.problems.alignment.striped`
+(Farrar-style vectorized SW scorer).  Reference O(nm) DPs for tests
+live in :mod:`repro.problems.alignment.reference`.
+"""
+
+from repro.problems.alignment.scoring import ScoringScheme
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.smith_waterman import SmithWatermanProblem
+from repro.problems.alignment.edit_distance import EditDistanceProblem
+from repro.problems.alignment.bitparallel import lcs_length_bitparallel
+from repro.problems.alignment.striped import sw_score_striped
+from repro.problems.alignment.hirschberg import hirschberg_alignment
+from repro.problems.alignment.blosum import BLOSUM62, blosum62_scoring, encode_protein
+from repro.problems.alignment.reference import (
+    lcs_length_reference,
+    nw_score_reference,
+    sw_score_reference,
+)
+
+__all__ = [
+    "ScoringScheme",
+    "LCSProblem",
+    "NeedlemanWunschProblem",
+    "SmithWatermanProblem",
+    "EditDistanceProblem",
+    "lcs_length_bitparallel",
+    "sw_score_striped",
+    "hirschberg_alignment",
+    "BLOSUM62",
+    "blosum62_scoring",
+    "encode_protein",
+    "lcs_length_reference",
+    "nw_score_reference",
+    "sw_score_reference",
+]

@@ -1,0 +1,233 @@
+"""Shared banded row-stage kernel for LCS and Needleman–Wunsch.
+
+Stage formulation (paper Fig 6(b)): stage ``i`` is row ``i`` of the DP
+table restricted to the band ``|i - j| <= width``.  The within-row
+dependence ``C[i, j-1] → C[i, j]`` is *unrolled into the stage
+transform* — tropically, the stage matrix composes one previous-row
+step (diagonal / up move) with the within-row left-move closure, which
+the kernel evaluates as a tropical prefix scan:
+
+``C[i, j] = max_{e <= j} ( entry(e) - gap·(j - e) )``,
+``entry(e) = max( C[i-1, e-1] + m(a_i, b_e),  C[i-1, e] - gap_up )``.
+
+The scan is evaluated with the decayed-cummax identity
+``max_e (entry(e) + g·e) - g·j`` in O(width) NumPy ops, and the
+predecessor product (the previous-row cell the optimum entered from)
+is tracked with a first-maximum running arg-max, keeping tie-breaking
+deterministic and shift-invariant (Lemma 3's requirement).
+
+Band cells are *real subproblems only*: band bounds are clipped to the
+table, so every vector entry has at least one finite dependence and
+the transformation matrices are non-trivial (§4.5) by construction.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.semiring.tropical import NEG_INF
+
+__all__ = ["band_bounds", "BandedAlignmentProblem"]
+
+
+def band_bounds(i: int, m: int, width: int) -> tuple[int, int]:
+    """Column range ``[lo, hi]`` of the band at row ``i`` (table has m+1 columns)."""
+    return max(0, i - width), min(m, i + width)
+
+
+class BandedAlignmentProblem(LTDPProblem):
+    """Base class: banded edit-style DP with linear penalties as LTDP.
+
+    Subclasses provide the substitution scores and the two linear
+    penalties (``gap_up`` for a vertical move consuming a row symbol,
+    ``gap_left`` for a horizontal move consuming a column symbol) plus
+    the row-0 base case.  Stage ``num_rows + 1`` is a width-1 selector
+    moving the answer cell ``C[n, m]`` into the Fig-2 convention slot
+    (subproblem 0 of the last stage).
+    """
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, *, width: int) -> None:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+            raise ProblemDefinitionError("sequences must be non-empty 1-D arrays")
+        if width < 1:
+            raise ProblemDefinitionError("band width must be >= 1")
+        if abs(len(a) - len(b)) > width:
+            raise ProblemDefinitionError(
+                f"band width {width} excludes the endpoint "
+                f"(|{len(a)} - {len(b)}| > width); widen the band"
+            )
+        self.a = a
+        self.b = b
+        self.width = width
+        self._n = len(a)
+        self._m = len(b)
+
+    # -- to be provided by concrete problems ------------------------------
+    @property
+    @abstractmethod
+    def gap_up(self) -> float:
+        """Penalty magnitude of a vertical move (consume a row symbol)."""
+
+    @property
+    @abstractmethod
+    def gap_left(self) -> float:
+        """Penalty magnitude of a horizontal move (consume a column symbol)."""
+
+    @abstractmethod
+    def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
+        """Substitution scores of row symbol ``a[i-1]`` against columns ``col``.
+
+        ``col`` holds 1-based column indices (aligning ``b[col-1]``).
+        """
+
+    @abstractmethod
+    def row0_value(self, j: np.ndarray) -> np.ndarray:
+        """Base-case values ``C[0, j]`` for column indices ``j``."""
+
+    # -- LTDP interface ----------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return self._n + 1  # rows 1..n plus the selector stage
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        if i == self.num_stages:
+            return 1
+        lo, hi = band_bounds(i, self._m, self.width)
+        return hi - lo + 1
+
+    def initial_vector(self) -> np.ndarray:
+        lo, hi = band_bounds(0, self._m, self.width)
+        return self.row0_value(np.arange(lo, hi + 1)).astype(np.float64)
+
+    def _selector_source(self) -> int:
+        lo, _ = band_bounds(self._n, self._m, self.width)
+        return self._m - lo
+
+    def _entry_values(
+        self, i: int, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Per-cell best value entering row ``i`` directly from row ``i-1``.
+
+        Returns ``(entry, entry_pred, lo)`` where ``entry_pred`` indexes
+        the previous stage vector.  Tie between diagonal and up breaks
+        to the diagonal (the lower previous-stage index).
+        """
+        lo_p, hi_p = band_bounds(i - 1, self._m, self.width)
+        lo, hi = band_bounds(i, self._m, self.width)
+        W = hi - lo + 1
+        if v.shape != (hi_p - lo_p + 1,):
+            raise ProblemDefinitionError(
+                f"stage {i} input has shape {v.shape}, expected ({hi_p - lo_p + 1},)"
+            )
+        entry = np.full(W, NEG_INF)
+        epred = np.zeros(W, dtype=np.int64)
+        # Up moves: previous-row cell in the same column.
+        s = max(lo, lo_p)
+        e = min(hi, hi_p)
+        if s <= e:
+            sl = slice(s - lo, e - lo + 1)
+            entry[sl] = v[s - lo_p : e - lo_p + 1] - self.gap_up
+            epred[sl] = np.arange(s - lo_p, e - lo_p + 1)
+        # Diagonal moves: previous-row cell one column to the left.
+        ds = max(lo, lo_p + 1, 1)
+        de = min(hi, hi_p + 1)
+        if ds <= de:
+            cols = np.arange(ds, de + 1)
+            diag = v[ds - 1 - lo_p : de - lo_p] + self.match_score(i, cols)
+            sl = slice(ds - lo, de - lo + 1)
+            better = diag >= entry[sl]
+            entry[sl] = np.where(better, diag, entry[sl])
+            epred[sl] = np.where(better, cols - 1 - lo_p, epred[sl])
+        return entry, epred, lo
+
+    def _scan(
+        self, entry: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Within-row left-move closure: values and winning entry positions."""
+        W = entry.shape[0]
+        g = self.gap_left
+        idx = np.arange(W, dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            t = entry + g * idx
+            cm = np.maximum.accumulate(t)
+            newmax = np.empty(W, dtype=bool)
+            newmax[0] = True
+            newmax[1:] = t[1:] > cm[:-1]
+            estar = np.maximum.accumulate(
+                np.where(newmax, np.arange(W), -1)
+            )
+            vals = cm - g * idx
+        return vals, estar
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([v[self._selector_source()]])
+        entry, _, _ = self._entry_values(i, v)
+        vals, _ = self._scan(entry)
+        return vals
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            k = self._selector_source()
+            return np.array([v[k]]), np.array([k], dtype=np.int64)
+        entry, epred, _ = self._entry_values(i, v)
+        vals, estar = self._scan(entry)
+        return vals, epred[estar]
+
+    def stage_cost(self, i: int) -> float:
+        return float(self.stage_width(i))
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        """Best within-row path weight from prev cell ``k`` into cell ``j``.
+
+        Enter the row at column ``c_in + 1`` (diagonal) or ``c_in``
+        (up), then take left moves to column ``c_out``.
+        """
+        self.check_stage_index(i)
+        if i == self.num_stages:
+            return 0.0 if k == self._selector_source() else NEG_INF
+        lo_p, hi_p = band_bounds(i - 1, self._m, self.width)
+        lo, hi = band_bounds(i, self._m, self.width)
+        c_in = lo_p + k
+        c_out = lo + j
+        if not (0 <= k <= hi_p - lo_p and 0 <= j <= hi - lo):
+            return NEG_INF
+        best = NEG_INF
+        g = self.gap_left
+        if c_out >= c_in and c_out >= lo:  # up then (c_out - c_in) lefts
+            lefts = c_out - c_in
+            # All intermediate columns must be in the current band.
+            if c_in >= lo:
+                best = -self.gap_up - g * lefts
+        if c_out >= c_in + 1 and c_in + 1 >= lo and c_in + 1 >= 1:
+            m = float(self.match_score(i, np.array([c_in + 1]))[0])
+            cand = m - g * (c_out - c_in - 1)
+            best = max(best, cand)
+        return best
+
+    # ------------------------------------------------------------------
+    def cell_value_path(self, solution: LTDPSolution) -> list[tuple[int, int]]:
+        """The traced path as ``(row, column)`` table coordinates.
+
+        Entry ``r`` of the result is the band cell the optimum passed
+        through in row ``r`` (the cell from which the path moved to the
+        next row; within-row left-move runs are collapsed, see
+        :mod:`repro.problems.alignment.traceback` for full expansion).
+        """
+        coords = []
+        for i in range(0, self._n + 1):
+            lo, _ = band_bounds(i, self._m, self.width)
+            coords.append((i, lo + int(solution.path[i])))
+        return coords

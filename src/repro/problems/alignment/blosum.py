@@ -1,0 +1,66 @@
+"""BLOSUM62 protein substitution scoring.
+
+The paper's Smith–Waterman benchmark aligns DNA, but the algorithm and
+Farrar's kernel are routinely used for proteins; shipping the standard
+BLOSUM62 matrix makes :class:`SmithWatermanProblem` directly usable
+for protein search.  Values are the canonical Henikoff & Henikoff
+half-bit scores as distributed with BLAST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.alignment.scoring import ScoringScheme
+
+__all__ = ["AMINO_ACIDS", "BLOSUM62", "blosum62_scoring", "encode_protein"]
+
+#: Canonical 20-letter amino-acid alphabet (BLAST column order).
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+
+# fmt: off
+_BLOSUM62_ROWS = [
+    #  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0],  # A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3],  # R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3],  # N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3],  # D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],  # C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2],  # Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2],  # E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3],  # G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3],  # H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3],  # I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1],  # L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2],  # K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1],  # M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1],  # F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2],  # P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2],  # S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0],  # T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3],  # W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1],  # Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4],  # V
+]
+# fmt: on
+
+#: The BLOSUM62 matrix as a (20, 20) float array in ``AMINO_ACIDS`` order.
+BLOSUM62 = np.array(_BLOSUM62_ROWS, dtype=np.float64)
+
+
+def encode_protein(seq: str) -> np.ndarray:
+    """Encode an amino-acid string to int codes in ``AMINO_ACIDS`` order."""
+    lookup = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+    try:
+        return np.array([lookup[aa] for aa in seq.upper()], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(f"unknown amino acid {exc.args[0]!r}") from exc
+
+
+def blosum62_scoring(
+    *, gap_open: float = 11.0, gap_extend: float = 1.0
+) -> ScoringScheme:
+    """BLOSUM62 with BLAST's default affine gap penalties (11/1)."""
+    return ScoringScheme(
+        gap_open=gap_open, gap_extend=gap_extend, substitution=BLOSUM62
+    )

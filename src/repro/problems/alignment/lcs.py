@@ -1,0 +1,51 @@
+"""Longest Common Subsequence as banded LTDP (paper §5, §6.3.4).
+
+``C[i, j] = max( C[i-1, j-1] + δ_ij, C[i-1, j], C[i, j-1] )`` with
+``δ_ij = 1`` when ``a[i] == b[j]`` — a :class:`BandedAlignmentProblem`
+with zero gap penalties and a 0/1 substitution score.
+
+The paper's diff-style usage restricts solutions to a fixed-width band
+around the diagonal ("ensuring that the LCS is still reasonably
+similar to the input strings", §5); ``width >= len(a) + len(b)``
+degenerates to the exact unbanded LCS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ltdp.problem import LTDPSolution
+from repro.problems.alignment.banded import BandedAlignmentProblem
+from repro.problems.alignment.traceback import expand_banded_path
+
+__all__ = ["LCSProblem"]
+
+
+class LCSProblem(BandedAlignmentProblem):
+    """LCS length (and one witness subsequence) of two symbol arrays.
+
+    The optimal objective (``solution.score``) is the LCS length
+    restricted to the band; :meth:`extract` returns one longest common
+    subsequence as a symbol array.
+    """
+
+    gap_up = 0.0
+    gap_left = 0.0
+
+    def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
+        return (self.b[col - 1] == self.a[i - 1]).astype(np.float64)
+
+    def row0_value(self, j: np.ndarray) -> np.ndarray:
+        return np.zeros(j.shape[0], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> np.ndarray:
+        """One longest common subsequence (symbols where the path took
+        a matching diagonal)."""
+        moves = expand_banded_path(self, solution)
+        out = [
+            self.a[i - 1]
+            for op, i, j in moves
+            if op == "D" and self.a[i - 1] == self.b[j - 1]
+        ]
+        return np.asarray(out, dtype=self.a.dtype)

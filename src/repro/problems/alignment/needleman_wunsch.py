@@ -1,0 +1,65 @@
+"""Needleman–Wunsch global alignment as banded LTDP (paper §5, §6.3.3).
+
+``s[i, j] = max( s[i-1, j-1] + m[i, j], s[i-1, j] - d, s[i, j-1] - d )``
+with base cases ``s[i, 0] = -i·d`` and ``s[0, j] = -j·d`` — a
+:class:`BandedAlignmentProblem` with a linear gap penalty ``d`` and an
+arbitrary substitution score.  (The base cases are linear too:
+``s[i, 0] = s[i-1, 0] - d``, so they need no special treatment in the
+stage transform.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPSolution
+from repro.problems.alignment.banded import BandedAlignmentProblem
+from repro.problems.alignment.scoring import ScoringScheme
+from repro.problems.alignment.traceback import Alignment, expand_banded_path
+
+__all__ = ["NeedlemanWunschProblem"]
+
+
+class NeedlemanWunschProblem(BandedAlignmentProblem):
+    """Banded global alignment with a linear gap penalty.
+
+    ``solution.score`` is the best global alignment score within the
+    band; :meth:`extract` reconstructs the alignment itself.
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        width: int,
+        scoring: ScoringScheme | None = None,
+    ) -> None:
+        super().__init__(a, b, width=width)
+        self.scoring = scoring if scoring is not None else ScoringScheme.unit_linear()
+        if not self.scoring.is_linear:
+            raise ProblemDefinitionError(
+                "the paper's NW recurrence uses a single linear penalty d; "
+                "use SmithWatermanProblem for affine gaps"
+            )
+
+    @property
+    def gap_up(self) -> float:
+        return self.scoring.gap_open
+
+    @property
+    def gap_left(self) -> float:
+        return self.scoring.gap_open
+
+    def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
+        return self.scoring.score_row(self.a[i - 1], self.b[col - 1])
+
+    def row0_value(self, j: np.ndarray) -> np.ndarray:
+        return -self.scoring.gap_open * j.astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> Alignment:
+        """The optimal global alignment as aligned index pairs + gap ops."""
+        moves = expand_banded_path(self, solution)
+        return Alignment.from_moves(self.a, self.b, moves, score=solution.score)

@@ -1,0 +1,160 @@
+"""Reference O(nm) alignment DPs — slow, obviously-correct oracles.
+
+These are the ground truth the LTDP formulations, the bit-parallel LCS
+and the striped Smith–Waterman are all tested against.  Plain loops +
+full tables; use only on test-sized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.alignment.scoring import ScoringScheme
+
+__all__ = [
+    "lcs_table",
+    "lcs_length_reference",
+    "lcs_backtrack",
+    "nw_table",
+    "nw_score_reference",
+    "sw_table",
+    "sw_score_reference",
+    "banded_nw_score_reference",
+    "banded_lcs_length_reference",
+]
+
+NEG_INF = float("-inf")
+
+
+def lcs_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full LCS DP table ``C[i, j]`` = LCS length of ``a[:i]`` and ``b[:j]``."""
+    n, m = len(a), len(b)
+    C = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                C[i, j] = C[i - 1, j - 1] + 1
+            else:
+                C[i, j] = max(C[i - 1, j], C[i, j - 1])
+    return C
+
+def lcs_length_reference(a: np.ndarray, b: np.ndarray) -> int:
+    return int(lcs_table(a, b)[len(a), len(b)])
+
+
+def lcs_backtrack(a: np.ndarray, b: np.ndarray) -> list:
+    """One longest common subsequence (as a list of symbols)."""
+    C = lcs_table(a, b)
+    out = []
+    i, j = len(a), len(b)
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1] and C[i, j] == C[i - 1, j - 1] + 1:
+            out.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif C[i - 1, j] >= C[i, j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return out[::-1]
+
+
+def nw_table(a: np.ndarray, b: np.ndarray, scoring: ScoringScheme) -> np.ndarray:
+    """Global-alignment score table with a linear gap penalty.
+
+    Requires ``scoring.is_linear`` (the paper's NW recurrence uses a
+    single penalty ``d``).
+    """
+    if not scoring.is_linear:
+        raise ValueError("reference NW implements linear gaps only")
+    d = scoring.gap_open
+    n, m = len(a), len(b)
+    S = np.empty((n + 1, m + 1), dtype=np.float64)
+    S[0, :] = -d * np.arange(m + 1)
+    S[:, 0] = -d * np.arange(n + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            S[i, j] = max(
+                S[i - 1, j - 1] + scoring.score_pair(a[i - 1], b[j - 1]),
+                S[i - 1, j] - d,
+                S[i, j - 1] - d,
+            )
+    return S
+
+
+def nw_score_reference(a: np.ndarray, b: np.ndarray, scoring: ScoringScheme) -> float:
+    return float(nw_table(a, b, scoring)[len(a), len(b)])
+
+
+def sw_table(a: np.ndarray, b: np.ndarray, scoring: ScoringScheme) -> np.ndarray:
+    """Local-alignment H table with affine gaps (Gotoh's algorithm).
+
+    ``a`` indexes rows (the query), ``b`` columns (the database).
+    """
+    go, ge = scoring.gap_open, scoring.gap_extend
+    n, m = len(a), len(b)
+    H = np.zeros((n + 1, m + 1), dtype=np.float64)
+    E = np.full((n + 1, m + 1), NEG_INF)  # gap in b-direction (left moves)
+    F = np.full((n + 1, m + 1), NEG_INF)  # gap in a-direction (up moves)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            E[i, j] = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            H[i, j] = max(
+                0.0,
+                H[i - 1, j - 1] + scoring.score_pair(a[i - 1], b[j - 1]),
+                E[i, j],
+                F[i, j],
+            )
+    return H
+
+
+def sw_score_reference(a: np.ndarray, b: np.ndarray, scoring: ScoringScheme) -> float:
+    return float(sw_table(a, b, scoring).max())
+
+
+def banded_nw_score_reference(
+    a: np.ndarray, b: np.ndarray, scoring: ScoringScheme, width: int
+) -> float:
+    """NW restricted to the band ``|i - j| <= width`` (paper §5 LCS note)."""
+    if not scoring.is_linear:
+        raise ValueError("reference banded NW implements linear gaps only")
+    if abs(len(a) - len(b)) > width:
+        raise ValueError("band excludes the endpoint; increase width")
+    d = scoring.gap_open
+    n, m = len(a), len(b)
+    S = np.full((n + 1, m + 1), NEG_INF)
+    for j in range(0, min(m, width) + 1):
+        S[0, j] = -d * j
+    for i in range(1, n + 1):
+        for j in range(max(0, i - width), min(m, i + width) + 1):
+            if j == 0:
+                S[i, 0] = -d * i
+                continue
+            best = S[i - 1, j - 1] + scoring.score_pair(a[i - 1], b[j - 1])
+            if abs(i - 1 - j) <= width:
+                best = max(best, S[i - 1, j] - d)
+            best = max(best, S[i, j - 1] - d)
+            S[i, j] = best
+    return float(S[n, m])
+
+
+def banded_lcs_length_reference(a: np.ndarray, b: np.ndarray, width: int) -> float:
+    """LCS length restricted to the band ``|i - j| <= width``."""
+    if abs(len(a) - len(b)) > width:
+        raise ValueError("band excludes the endpoint; increase width")
+    n, m = len(a), len(b)
+    C = np.full((n + 1, m + 1), NEG_INF)
+    for j in range(0, min(m, width) + 1):
+        C[0, j] = 0.0
+    for i in range(1, n + 1):
+        for j in range(max(0, i - width), min(m, i + width) + 1):
+            if j == 0:
+                C[i, 0] = 0.0
+                continue
+            best = C[i - 1, j - 1] + (1.0 if a[i - 1] == b[j - 1] else 0.0)
+            if abs(i - 1 - j) <= width:
+                best = max(best, C[i - 1, j])
+            best = max(best, C[i, j - 1])
+            C[i, j] = best
+    return float(C[n, m])

@@ -1,0 +1,105 @@
+"""Scoring schemes for sequence alignment.
+
+A :class:`ScoringScheme` bundles a substitution score and gap
+penalties.  Penalties are stored as non-negative magnitudes (the
+recurrences subtract them).  ``gap_open == gap_extend`` gives linear
+gaps; Needleman–Wunsch in the paper uses a linear penalty ``d``,
+Smith–Waterman uses affine gaps (paper §5, reference [8]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScoringScheme", "encode_sequence", "DNA_ALPHABET"]
+
+#: Canonical nucleotide alphabet used by the synthetic-genome generator.
+DNA_ALPHABET = "ACGT"
+
+
+def encode_sequence(seq, alphabet: str = DNA_ALPHABET) -> np.ndarray:
+    """Map a string (or iterable of symbols) to int64 codes.
+
+    Integer arrays pass through unchanged (already encoded).
+    """
+    if isinstance(seq, np.ndarray) and np.issubdtype(seq.dtype, np.integer):
+        return seq.astype(np.int64)
+    lookup = {ch: i for i, ch in enumerate(alphabet)}
+    try:
+        return np.array([lookup[ch] for ch in seq], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(f"symbol {exc.args[0]!r} not in alphabet {alphabet!r}") from exc
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Match/mismatch substitution scores plus affine gap penalties.
+
+    Attributes
+    ----------
+    match:
+        Score for aligning identical symbols.
+    mismatch:
+        Score for aligning different symbols (usually negative).
+    gap_open:
+        Penalty magnitude for opening a gap (subtracted).
+    gap_extend:
+        Penalty magnitude for each further gap position.  Equal to
+        ``gap_open`` for linear gaps.
+    substitution:
+        Optional full substitution matrix ``(alphabet, alphabet)``;
+        overrides match/mismatch when given.
+    """
+
+    match: float = 2.0
+    mismatch: float = -1.0
+    gap_open: float = 2.0
+    gap_extend: float = 2.0
+    substitution: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.gap_open < 0 or self.gap_extend < 0:
+            raise ValueError("gap penalties are magnitudes and must be >= 0")
+        if self.gap_open < self.gap_extend:
+            raise ValueError(
+                "affine gaps require gap_open >= gap_extend (otherwise "
+                "splitting a gap would beat extending it and the closed-form "
+                "stage scan is invalid)"
+            )
+        if self.substitution is not None:
+            sub = np.asarray(self.substitution, dtype=np.float64)
+            if sub.ndim != 2 or sub.shape[0] != sub.shape[1]:
+                raise ValueError("substitution matrix must be square")
+            object.__setattr__(self, "substitution", sub)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.gap_open == self.gap_extend
+
+    # ------------------------------------------------------------------
+    def score_pair(self, a: int, b: int) -> float:
+        """Substitution score for aligned symbol codes ``a`` and ``b``."""
+        if self.substitution is not None:
+            return float(self.substitution[a, b])
+        return self.match if a == b else self.mismatch
+
+    def score_row(self, a: int, b_row: np.ndarray) -> np.ndarray:
+        """Vector of substitution scores of symbol ``a`` against ``b_row``."""
+        if self.substitution is not None:
+            return self.substitution[a, b_row]
+        return np.where(b_row == a, self.match, self.mismatch)
+
+    def gap_cost(self, length: int) -> float:
+        """Total penalty magnitude of a gap of the given length (0 → 0)."""
+        if length < 0:
+            raise ValueError("gap length must be >= 0")
+        if length == 0:
+            return 0.0
+        return self.gap_open + self.gap_extend * (length - 1)
+
+    @classmethod
+    def unit_linear(cls, gap: float = 1.0) -> "ScoringScheme":
+        """match=+1/mismatch=-1 with a linear gap — a common NW default."""
+        return cls(match=1.0, mismatch=-1.0, gap_open=gap, gap_extend=gap)

@@ -1,0 +1,248 @@
+"""Smith–Waterman local alignment with affine gaps as LTDP (paper §5, §6.3.2).
+
+Column-stage formulation: stage ``j`` is database position ``j``; the
+stage vector stacks, over the whole query (length ``q``):
+
+========  =======  ====================================================
+index     cell     meaning
+========  =======  ====================================================
+0         ``Z``    zero anchor: a subproblem pinned to the constant 0
+                   line (``Z_j = Z_{j-1} + 0``), linearizing the
+                   ``max(…, 0)`` restart — "the constants in the A_i
+                   matrices need to be set accordingly" (§5)
+1..q      ``H_i``  best local-alignment score ending at (i, j)
+q+1..2q   ``E_i``  best score ending at (i, j) inside a database-side
+                   gap (Gotoh's horizontal state)
+========  =======  ====================================================
+
+The query-side (vertical, within-stage) affine gap state ``F`` is
+folded into the stage transform with the closed form
+``H[i] = max(entry[i], max_{i'<i} entry[i'] - open - ext·(i-i'-1))``
+(valid because ``open >= ext``), evaluated as a decayed cummax — the
+same lazy-F elimination Farrar's striped SIMD kernel performs.
+
+**The answer is a reduction, not a vector cell.**  The paper's §5
+formulation adds a running-maximum subproblem per stage, but a maximum
+accumulated *across* stages can never become tropically parallel once
+the global optimum lies in an earlier processor's range (the stale
+accumulator never refreshes), which would defeat rank convergence.
+An implementation reusing Farrar's kernel as a black box — the paper's
+actual setup — keeps the max outside the stage vector and reduces it
+at the end.  We do the same through the framework's *stage objective*
+protocol: the objective ``max_i H[i] - Z`` is shift-invariant, so it
+is exact even on the offset vectors a parallel run produces, and the
+traceback starts from the reduced argmax cell.
+
+Convergence is extremely fast because a local alignment restarts
+whenever the score hits the zero line, decoupling distant stages (the
+paper's near-perfect SW efficiency in Fig 8 comes from exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.problems.alignment.scoring import ScoringScheme
+
+__all__ = ["SmithWatermanProblem", "LocalAlignmentSummary"]
+
+
+@dataclass(frozen=True)
+class LocalAlignmentSummary:
+    """Where the optimal local alignment lives (1-based, inclusive windows)."""
+
+    score: float
+    db_window: tuple[int, int]
+    query_window: tuple[int, int]
+
+
+class SmithWatermanProblem(LTDPProblem):
+    """Local alignment of ``query`` against ``database`` with affine gaps.
+
+    ``solution.score`` is the maximal local alignment score (equals the
+    max over the full Gotoh H table); :meth:`extract` summarizes where
+    the optimum lies.
+    """
+
+    tracks_stage_objective = True
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        database: np.ndarray,
+        *,
+        scoring: ScoringScheme | None = None,
+    ) -> None:
+        query = np.asarray(query, dtype=np.int64)
+        database = np.asarray(database, dtype=np.int64)
+        if query.ndim != 1 or database.ndim != 1 or not query.size or not database.size:
+            raise ProblemDefinitionError("query and database must be non-empty 1-D")
+        self.query = query
+        self.database = database
+        self.scoring = scoring if scoring is not None else ScoringScheme()
+        self._q = len(query)
+        self._idx = np.arange(self._q, dtype=np.float64)
+
+    # -- layout helpers ---------------------------------------------------
+    @property
+    def _h_slice(self) -> slice:
+        return slice(1, 1 + self._q)
+
+    @property
+    def _e_slice(self) -> slice:
+        return slice(1 + self._q, 1 + 2 * self._q)
+
+    # -- LTDP interface -----------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.database)
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        return 2 * self._q + 1
+
+    def initial_vector(self) -> np.ndarray:
+        v = np.full(2 * self._q + 1, float("-inf"))
+        v[0] = 0.0  # Z: the zero line
+        v[self._h_slice] = 0.0  # H[i, 0] = 0 (local alignments restart freely)
+        return v  # E[i, 0] = -inf: no database-side gap before the start
+
+    def _stage_arrays(
+        self, i: int, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Compute (entry, entry_pred, e_new, e_pred) for stage ``i``."""
+        q = self._q
+        go, ge = self.scoring.gap_open, self.scoring.gap_extend
+        z_p = v[0]
+        h_p = v[self._h_slice]
+        e_p = v[self._e_slice]
+        scores = self.scoring.score_row(int(self.database[i - 1]), self.query)
+        with np.errstate(invalid="ignore"):
+            # E (database-side gap): from H or E of the previous stage.
+            from_h = h_p - go
+            from_e = e_p - ge
+            take_h = from_h >= from_e  # tie -> H (the lower index)
+            e_new = np.where(take_h, from_h, from_e)
+            e_pred = np.where(take_h, 1 + np.arange(q), 1 + q + np.arange(q))
+            # Entry: diagonal vs zero-restart vs E, preferring
+            # diag > restart > E on ties (deterministic + shift-invariant).
+            diag_src = np.concatenate(([z_p], h_p[:-1]))
+            diag = diag_src + scores
+            diag_pred = np.concatenate(([0], 1 + np.arange(q - 1)))
+            entry = diag.copy()
+            entry_pred = diag_pred.copy()
+            restart_better = z_p > entry
+            entry = np.where(restart_better, z_p, entry)
+            entry_pred = np.where(restart_better, 0, entry_pred)
+            e_better = e_new > entry
+            entry = np.where(e_better, e_new, entry)
+            entry_pred = np.where(e_better, e_pred, entry_pred)
+        return entry, entry_pred.astype(np.int64), e_new, e_pred.astype(np.int64)
+
+    def _vertical_closure(
+        self, entry: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold the query-side affine gap state F into H (lazy-F closed form).
+
+        Returns ``(h, winner)`` where ``winner[i]`` is the entry row the
+        optimum entered the column at (``i`` itself when no vertical gap).
+        """
+        q = self._q
+        go, ge = self.scoring.gap_open, self.scoring.gap_extend
+        with np.errstate(invalid="ignore"):
+            t = entry + ge * self._idx
+            cm = np.maximum.accumulate(t)
+            newmax = np.empty(q, dtype=bool)
+            newmax[0] = True
+            newmax[1:] = t[1:] > cm[:-1]
+            run_arg = np.maximum.accumulate(np.where(newmax, np.arange(q), -1))
+            gap_val = np.full(q, float("-inf"))
+            if q > 1:
+                gap_val[1:] = cm[:-1] + (ge - go) - ge * self._idx[1:]
+            take_gap = gap_val > entry  # tie -> no gap (enter at own row)
+            h = np.where(take_gap, gap_val, entry)
+            winner = np.where(take_gap, np.concatenate(([0], run_arg[:-1])), np.arange(q))
+        return h, winner.astype(np.int64)
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        entry, _, e_new, _ = self._stage_arrays(i, v)
+        h, _ = self._vertical_closure(entry)
+        out = np.empty_like(v)
+        out[0] = v[0]
+        out[self._h_slice] = h
+        out[self._e_slice] = e_new
+        return out
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        entry, entry_pred, e_new, e_pred = self._stage_arrays(i, v)
+        h, winner = self._vertical_closure(entry)
+        out = np.empty_like(v)
+        pred = np.empty(v.shape[0], dtype=np.int64)
+        out[0] = v[0]
+        pred[0] = 0
+        out[self._h_slice] = h
+        pred[self._h_slice] = entry_pred[winner]
+        out[self._e_slice] = e_new
+        pred[self._e_slice] = e_pred
+        return out, pred
+
+    def stage_cost(self, i: int) -> float:
+        # Four lanes over the query: entry, E, vertical closure, and the
+        # fused column-max reduction (Farrar's kernel tracks the running
+        # maximum inside the sweep, so it is part of the stage cost...).
+        return float(4 * self._q + 1)
+
+    def stage_objective_cost(self, i: int) -> float:
+        # ...and therefore costs nothing extra at reduction time.
+        return 0.0
+
+    # -- stage objective ----------------------------------------------------
+    def stage_objective(self, i: int, vector: np.ndarray) -> tuple[float, int]:
+        """``max_i H[i] - Z``: the true local score, offset-free.
+
+        Subtracting the anchor makes the value invariant under the
+        tropical scalar a parallel run's stored vectors carry.
+        """
+        h = vector[self._h_slice]
+        cell = int(np.argmax(h))  # first maximum: deterministic tie-break
+        return float(h[cell] - vector[0]), cell + 1
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> LocalAlignmentSummary:
+        """Locate the optimal local alignment from the stage-level path.
+
+        The traceback starts at the reduced objective cell; stages whose
+        path cell is an H/E subproblem are the database window of the
+        alignment, and the H rows visited bound the query window.  (The
+        per-cell trace within a column is collapsed by the stage
+        transform; tests validate the score against the reference
+        Gotoh DP.)
+        """
+        q = self._q
+        end_stage = solution.objective_stage or 0
+        path = solution.path
+        body = [
+            (j, int(path[j]))
+            for j in range(0, end_stage + 1)
+            if path[j] >= 1
+        ]
+        if not body:
+            return LocalAlignmentSummary(
+                score=solution.score, db_window=(0, 0), query_window=(0, 0)
+            )
+        stages = [j for j, _ in body]
+        rows = [c if c <= q else c - q for _, c in body]
+        return LocalAlignmentSummary(
+            score=solution.score,
+            db_window=(min(stages), end_stage),
+            query_window=(min(rows), max(rows)),
+        )

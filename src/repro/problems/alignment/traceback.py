@@ -1,0 +1,133 @@
+"""Alignment reconstruction from LTDP stage-level paths.
+
+The framework's backward phase yields one table cell per stage — the
+cell the optimum occupied when it left each row.  Within-row left-move
+runs are collapsed into the stage transform, so this module re-expands
+them: between consecutive path cells ``(i-1, c_in) → (i, c_out)`` the
+row was entered either diagonally at column ``c_in + 1`` or vertically
+at column ``c_in``; whichever prices higher is the move the kernel's
+maximum took (ties cannot change the total score).  The remaining
+columns up to ``c_out`` are horizontal gap moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.semiring.tropical import NEG_INF
+
+__all__ = ["Move", "expand_banded_path", "Alignment"]
+
+#: A move is ``(op, row, col)`` with 1-based indices of the consumed
+#: symbols: ``("D", i, j)`` aligns a[i-1]/b[j-1], ``("U", i, j)`` is a
+#: vertical gap consuming a[i-1] at column j, ``("L", i, j)`` a
+#: horizontal gap consuming b[j-1] in row i.
+Move = tuple[str, int, int]
+
+
+def expand_banded_path(problem, solution) -> list[Move]:
+    """Expand a banded problem's stage path into elementary edit moves."""
+    from repro.problems.alignment.banded import band_bounds
+
+    path = solution.path
+    n, m, w = problem._n, problem._m, problem.width
+    moves: list[Move] = []
+    lo0, _ = band_bounds(0, m, w)
+    c_prev = lo0 + int(path[0])
+    for j in range(1, c_prev + 1):
+        moves.append(("L", 0, j))
+    for i in range(1, n + 1):
+        lo, _ = band_bounds(i, m, w)
+        c_out = lo + int(path[i])
+        c_in = c_prev
+        g_left = problem.gap_left
+        diag_w = NEG_INF
+        if c_out >= c_in + 1 and c_in + 1 >= max(lo, 1):
+            match = float(problem.match_score(i, np.array([c_in + 1]))[0])
+            diag_w = match - g_left * (c_out - c_in - 1)
+        up_w = NEG_INF
+        if c_out >= c_in and c_in >= lo:
+            up_w = -problem.gap_up - g_left * (c_out - c_in)
+        if diag_w == NEG_INF and up_w == NEG_INF:
+            raise AssertionError(
+                f"no valid move between path cells ({i - 1},{c_in}) → ({i},{c_out})"
+            )
+        if diag_w >= up_w:
+            moves.append(("D", i, c_in + 1))
+            e = c_in + 1
+        else:
+            moves.append(("U", i, c_in))
+            e = c_in
+        for col in range(e + 1, c_out + 1):
+            moves.append(("L", i, col))
+        c_prev = c_out
+    return moves
+
+
+@dataclass
+class Alignment:
+    """A pairwise alignment: two gapped symbol rows plus the score.
+
+    ``top`` / ``bottom`` hold symbol codes with ``-1`` marking gaps.
+    """
+
+    top: np.ndarray
+    bottom: np.ndarray
+    score: float
+    moves: list[Move]
+
+    GAP = -1
+
+    @classmethod
+    def from_moves(
+        cls, a: np.ndarray, b: np.ndarray, moves: list[Move], *, score: float
+    ) -> "Alignment":
+        top: list[int] = []
+        bottom: list[int] = []
+        for op, i, j in moves:
+            if op == "D":
+                top.append(int(a[i - 1]))
+                bottom.append(int(b[j - 1]))
+            elif op == "U":
+                top.append(int(a[i - 1]))
+                bottom.append(cls.GAP)
+            elif op == "L":
+                top.append(cls.GAP)
+                bottom.append(int(b[j - 1]))
+            else:  # pragma: no cover - moves are produced internally
+                raise ValueError(f"unknown move op {op!r}")
+        return cls(
+            top=np.asarray(top, dtype=np.int64),
+            bottom=np.asarray(bottom, dtype=np.int64),
+            score=score,
+            moves=moves,
+        )
+
+    # ------------------------------------------------------------------
+    def priced_score(self, scoring) -> float:
+        """Re-price the alignment under ``scoring`` (linear gaps).
+
+        Used by tests to confirm the reconstructed alignment achieves
+        the solver's reported score.
+        """
+        total = 0.0
+        for top, bot in zip(self.top, self.bottom):
+            if top == self.GAP or bot == self.GAP:
+                total -= scoring.gap_open
+            else:
+                total += scoring.score_pair(int(top), int(bot))
+        return total
+
+    def render(self, alphabet: str = "ACGT", gap_char: str = "-") -> str:
+        """Two-line human-readable rendering (examples / debugging)."""
+        def line(row: np.ndarray) -> str:
+            return "".join(
+                gap_char if s == self.GAP else alphabet[s] for s in row
+            )
+
+        return line(self.top) + "\n" + line(self.bottom)
+
+    def __len__(self) -> int:
+        return int(self.top.size)

@@ -1,0 +1,88 @@
+"""Channel models for the Viterbi benchmarks: BPSK over AWGN, LLRs.
+
+The paper decodes packets "transmitted over noisy and unreliable
+channels".  Hard-decision decoding (binary symmetric channel) lives in
+:mod:`repro.datagen.packets`; this module adds the soft-decision path
+real receivers use:
+
+- BPSK modulation (bit ``b`` → symbol ``1 - 2b``),
+- additive white Gaussian noise at a given Eb/N0,
+- quantized log-likelihood ratios (integer LLRs keep the tropical
+  arithmetic exact, mirroring the fixed-point metrics of hardware and
+  SIMD decoders).
+
+Soft metrics plug into
+:class:`repro.problems.convolutional.SoftViterbiDecoderProblem`, whose
+branch metric is the LLR correlation ``Σ_j (1 - 2·out_j) · llr_j`` —
+still an instance of LTDP Equation (1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bpsk_modulate",
+    "awgn_channel",
+    "hard_decision",
+    "quantize_llr",
+    "ebn0_to_noise_sigma",
+]
+
+
+def bpsk_modulate(bits: np.ndarray) -> np.ndarray:
+    """Map bits to antipodal symbols: 0 → +1.0, 1 → -1.0."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if np.any(bits > 1):
+        raise ValueError("bits must be 0/1")
+    return 1.0 - 2.0 * bits.astype(np.float64)
+
+
+def ebn0_to_noise_sigma(ebn0_db: float, code_rate: float) -> float:
+    """Noise standard deviation per BPSK symbol at the given Eb/N0.
+
+    ``Es/N0 = Eb/N0 · rate``; with unit symbol energy,
+    ``sigma² = 1 / (2 · Es/N0)``.
+    """
+    if not 0.0 < code_rate <= 1.0:
+        raise ValueError("code rate must be in (0, 1]")
+    esn0 = 10.0 ** (ebn0_db / 10.0) * code_rate
+    return float(1.0 / np.sqrt(2.0 * esn0))
+
+
+def awgn_channel(
+    symbols: np.ndarray, rng: np.random.Generator, *, sigma: float
+) -> np.ndarray:
+    """Add white Gaussian noise of the given standard deviation."""
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    symbols = np.asarray(symbols, dtype=np.float64)
+    return symbols + rng.normal(0.0, sigma, size=symbols.shape)
+
+
+def hard_decision(received: np.ndarray) -> np.ndarray:
+    """Threshold noisy BPSK symbols back to bits (0 ↔ positive)."""
+    return (np.asarray(received, dtype=np.float64) < 0.0).astype(np.uint8)
+
+
+def quantize_llr(
+    received: np.ndarray, *, sigma: float, num_bits: int = 4
+) -> np.ndarray:
+    """Integer log-likelihood ratios from noisy BPSK symbols.
+
+    ``LLR = 2·y/sigma²`` scaled and clipped to a signed ``num_bits``
+    fixed-point range — the quantization real SIMD/hardware decoders
+    apply.  Integer outputs keep all downstream tropical arithmetic
+    exact in float64.
+    """
+    if num_bits < 2 or num_bits > 16:
+        raise ValueError("num_bits must be in 2..16")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    received = np.asarray(received, dtype=np.float64)
+    llr = 2.0 * received / (sigma * sigma)
+    limit = 2 ** (num_bits - 1) - 1
+    # Scale so that a clean symbol (|y| = 1) lands mid-range.
+    scale = limit / (2.0 / (sigma * sigma)) * 2.0
+    q = np.clip(np.round(llr * scale), -limit, limit)
+    return q.astype(np.int64)

@@ -1,0 +1,477 @@
+"""Convolutional codes and Viterbi decoding as LTDP.
+
+The paper's headline benchmark (§6.3.1): decode convolution-encoded
+packets transmitted over a noisy channel by finding the most likely
+input sequence.  The decoder's trellis recurrence
+
+``p[i, s] = max_{s'} ( p[i-1, s'] + branch_metric(s' → s, r_i) )``
+
+is exactly Equation (1) with the stage width equal to the number of
+encoder states ``2^(K-1)``.
+
+We implement the four real codes the paper evaluates:
+
+=========  ==  =====  ================================  ======
+code       K   rate   generators (octal)                states
+=========  ==  =====  ================================  ======
+Voyager     7  1/2    171, 133                              64
+LTE         7  1/3    133, 171, 165                         64
+CDMA IS-95  9  1/2    561, 753                             256
+MARS        15 1/6    46321,51271,63667,70535,73277,...  16384
+=========  ==  =====  ================================  ======
+
+State convention: the state is the most recent ``K-1`` input bits with
+the **newest bit in the most significant position**.  Feeding bit ``b``
+into state ``s`` forms the register ``r = (b << (K-1)) | s``; output
+bit ``j`` is ``parity(r & g_j)``; the next state is ``r >> 1``.
+
+The per-stage kernel is a vectorized add-compare-select over the two
+predecessors of every state — the role Spiral's generated inner loop
+plays in the paper (used as a black box by the parallel algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.semiring.tropical import NEG_INF
+
+__all__ = [
+    "ConvolutionalCode",
+    "ViterbiDecoderProblem",
+    "SoftViterbiDecoderProblem",
+    "VOYAGER",
+    "CDMA_IS95",
+    "LTE",
+    "MARS",
+    "MARS_SCALED",
+    "STANDARD_CODES",
+]
+
+
+def _parity_table(bits: int) -> np.ndarray:
+    """parity(v) for all v < 2**bits, as uint8 (bits ≤ 16 keeps this small)."""
+    v = np.arange(1 << bits, dtype=np.uint32)
+    p = v.copy()
+    shift = 1
+    while shift < bits:
+        p ^= p >> shift
+        shift <<= 1
+    return (p & 1).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """A rate-1/n binary convolutional code.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in benchmark output.
+    constraint_length:
+        K — the encoder register length; ``2^(K-1)`` trellis states.
+    generators:
+        Octal generator polynomials, each at most K bits.
+    """
+
+    name: str
+    constraint_length: int
+    generators: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        K = self.constraint_length
+        if K < 2 or K > 16:
+            raise ProblemDefinitionError(f"constraint length {K} out of range 2..16")
+        if not self.generators:
+            raise ProblemDefinitionError("at least one generator polynomial required")
+        for g in self.generators:
+            if not 0 < g < (1 << K):
+                raise ProblemDefinitionError(
+                    f"generator {g:o} (octal) does not fit constraint length {K}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    @property
+    def rate_denominator(self) -> int:
+        """Output bits per input bit (the n of rate 1/n)."""
+        return len(self.generators)
+
+    @cached_property
+    def _tables(self) -> dict[str, np.ndarray]:
+        """Trellis tables, all indexed by next-state ``ns``.
+
+        ``pred[ns, b0]`` — the two predecessor states;
+        ``out[ns, b0, g]`` — encoder output bit ``g`` on the transition
+        ``pred[ns, b0] → ns`` (``b0`` is the low bit of the predecessor's
+        register shifted out... concretely the two incoming branches).
+        """
+        K = self.constraint_length
+        ns = np.arange(self.num_states, dtype=np.int64)
+        # ns = register >> 1 with register = (b << (K-1)) | s_prev, so the
+        # registers mapping to ns are r0 = ns << 1 and r1 = (ns << 1) | 1.
+        parity = _parity_table(K)
+        regs = np.stack([ns << 1, (ns << 1) | 1], axis=1)  # (S, 2)
+        pred = regs & (self.num_states - 1)  # s_prev = r & (2^(K-1) - 1)
+        input_bit = (regs >> (K - 1)) & 1  # the bit that was fed in
+        out = np.empty((self.num_states, 2, self.rate_denominator), dtype=np.uint8)
+        for g_idx, g in enumerate(self.generators):
+            out[:, :, g_idx] = parity[regs & g]
+        return {
+            "pred": pred.astype(np.int64),
+            "input_bit": input_bit.astype(np.uint8),
+            "out": out,
+        }
+
+    # ------------------------------------------------------------------
+    def encode(self, bits: np.ndarray, *, terminate: bool = True) -> np.ndarray:
+        """Encode a bit array; with ``terminate`` append K-1 zero flush bits.
+
+        Returns the output bit array of length
+        ``rate_denominator * (len(bits) [+ K-1])``.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("bits must be 1-D")
+        if np.any(bits > 1):
+            raise ValueError("bits must be 0/1")
+        K = self.constraint_length
+        stream = np.concatenate([bits, np.zeros(K - 1, dtype=np.uint8)]) if terminate else bits
+        out = np.empty(stream.size * self.rate_denominator, dtype=np.uint8)
+        state = 0
+        pos = 0
+        for b in stream:
+            reg = (int(b) << (K - 1)) | state
+            for g in self.generators:
+                out[pos] = bin(reg & g).count("1") & 1
+                pos += 1
+            state = reg >> 1
+        return out
+
+    def input_bit_of_state(self, state: int) -> int:
+        """The input bit that produced ``state`` (its most significant bit)."""
+        return (state >> (self.constraint_length - 2)) & 1
+
+
+#: NASA Voyager code: K=7, rate 1/2, generators 171/133 (octal).
+VOYAGER = ConvolutionalCode("Voyager", 7, (0o171, 0o133))
+#: 3GPP LTE convolutional code: K=7, rate 1/3, generators 133/171/165.
+LTE = ConvolutionalCode("LTE", 7, (0o133, 0o171, 0o165))
+#: CDMA IS-95: K=9, rate 1/2, generators 561/753.
+CDMA_IS95 = ConvolutionalCode("CDMA", 9, (0o561, 0o753))
+#: NASA Mars Pathfinder / Cassini code: K=15, rate 1/6.
+MARS = ConvolutionalCode(
+    "MARS", 15, (0o46321, 0o51271, 0o63667, 0o70535, 0o73277, 0o76513)
+)
+#: A scaled stand-in for MARS (K=11, 1024 states) for time-boxed benchmark
+#: sweeps; same qualitative behaviour (big width ⇒ slow convergence).
+MARS_SCALED = ConvolutionalCode(
+    "MARS-scaled", 11, (0o3345, 0o3613, 0o2671, 0o3175, 0o2371, 0o3661)
+)
+
+STANDARD_CODES: dict[str, ConvolutionalCode] = {
+    c.name: c for c in (VOYAGER, LTE, CDMA_IS95, MARS, MARS_SCALED)
+}
+
+
+class ViterbiDecoderProblem(LTDPProblem):
+    """Maximum-likelihood decoding of one received packet as LTDP.
+
+    Parameters
+    ----------
+    code:
+        The convolutional code.
+    received:
+        Hard-decision received bits, length ``rate × num_stages``.
+        (For terminated packets ``num_stages = payload + K - 1``.)
+    terminated:
+        When True (the transmitter flushed the register), the decoder
+        pins both endpoints to state 0: the initial vector is the unit
+        vector at state 0 and the answer is ``p_n[0]`` — already in the
+        Fig 2 solution-convention slot, no extra stage needed.  When
+        False, a final max-selection stage (paper §5 Viterbi note) is
+        appended, making ``num_stages = len(received)/rate + 1``.
+
+    The branch metric is the Hamming *agreement* (matching bit count)
+    between the received symbol and the branch's encoder output —
+    maximizing it maximizes likelihood on a binary symmetric channel
+    with error probability < 1/2.
+    """
+
+    def __init__(
+        self,
+        code: ConvolutionalCode,
+        received: np.ndarray,
+        *,
+        terminated: bool = True,
+    ) -> None:
+        received = np.asarray(received, dtype=np.uint8)
+        if received.ndim != 1:
+            raise ProblemDefinitionError("received bits must be 1-D")
+        rate = code.rate_denominator
+        if received.size == 0 or received.size % rate != 0:
+            raise ProblemDefinitionError(
+                f"received length {received.size} is not a positive multiple "
+                f"of the code rate denominator {rate}"
+            )
+        if np.any(received > 1):
+            raise ProblemDefinitionError("received bits must be 0/1 (hard decision)")
+        self.code = code
+        self.terminated = terminated
+        self._symbols = received.reshape(-1, rate)
+        tables = code._tables
+        self._pred = tables["pred"]  # (S, 2)
+        self._input_bit = tables["input_bit"]  # (S, 2)
+        self._out = tables["out"]  # (S, 2, rate)
+        self._num_symbol_stages = self._symbols.shape[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return self._num_symbol_stages + (0 if self.terminated else 1)
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        if not self.terminated and i == self.num_stages:
+            return 1
+        return self.code.num_states
+
+    def initial_vector(self) -> np.ndarray:
+        v = np.full(self.code.num_states, NEG_INF)
+        v[0] = 0.0  # the encoder starts in the all-zero state
+        return v
+
+    def _branch_metrics(self, i: int) -> np.ndarray:
+        """(S, 2) agreement counts of each branch with received symbol i (1-based)."""
+        symbol = self._symbols[i - 1]  # (rate,)
+        agreements = self._out == symbol[np.newaxis, np.newaxis, :]
+        return agreements.sum(axis=2, dtype=np.float64)
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if not self.terminated and i == self.num_stages:
+            return np.array([np.max(v)])
+        metrics = self._branch_metrics(i)
+        with np.errstate(invalid="ignore"):
+            cand = v[self._pred] + metrics  # (S, 2)
+            return np.max(cand, axis=1)
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if not self.terminated and i == self.num_stages:
+            return np.array([np.max(v)]), np.array([int(np.argmax(v))], dtype=np.int64)
+        metrics = self._branch_metrics(i)
+        with np.errstate(invalid="ignore"):
+            cand = v[self._pred] + metrics  # (S, 2)
+            choice = np.argmax(cand, axis=1)  # ties -> branch 0 (lower pred? see below)
+        rows = np.arange(self.code.num_states)
+        vals = cand[rows, choice]
+        pred = self._pred[rows, choice]
+        # Deterministic tie-break on the *predecessor index*: argmax picked
+        # branch 0 on ties, but branch order is register order, and
+        # pred[ns,0] < pred[ns,1] always (r0 = ns<<1 < r1), so branch 0 is
+        # also the lower predecessor index.  (asserted in tests)
+        return vals, pred.astype(np.int64)
+
+    def stage_cost(self, i: int) -> float:
+        # Two adds + one compare per state: charge 2 "cells" per state,
+        # matching the ACS operation count of a radix-2 trellis stage.
+        if not self.terminated and i == self.num_stages:
+            return float(self.code.num_states)
+        return 2.0 * self.code.num_states
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        """Branch metric of transition state ``k`` → state ``j`` at stage ``i``."""
+        self.check_stage_index(i)
+        if not self.terminated and i == self.num_stages:
+            return 0.0
+        for b in (0, 1):
+            if self._pred[j, b] == k:
+                symbol = self._symbols[i - 1]
+                return float(np.sum(self._out[j, b] == symbol))
+        return NEG_INF
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> np.ndarray:
+        """Decode the state path into the transmitted payload bits.
+
+        The input bit at symbol stage ``i`` is the MSB of the state at
+        stage ``i``; for terminated packets the trailing ``K-1`` flush
+        bits are stripped.
+        """
+        path = solution.path
+        n_sym = self._num_symbol_stages
+        states = path[1 : n_sym + 1]
+        bits = (states >> (self.code.constraint_length - 2)) & 1
+        if self.terminated:
+            bits = bits[: n_sym - (self.code.constraint_length - 1)]
+        return bits.astype(np.uint8)
+
+
+class SoftViterbiDecoderProblem(ViterbiDecoderProblem):
+    """Soft-decision ML decoding from (quantized) log-likelihood ratios.
+
+    The branch metric is the LLR correlation with the branch's expected
+    BPSK symbols, ``Σ_j (1 - 2·out_j) · llr_j`` — maximizing it
+    maximizes likelihood on an AWGN channel.  With integer LLRs
+    (:func:`repro.problems.channel.quantize_llr`) the tropical
+    arithmetic stays exact, so the parallel fix-up's parallelism test
+    remains an exact comparison.
+
+    Parameters
+    ----------
+    code:
+        The convolutional code.
+    llrs:
+        Per-transmitted-bit LLRs, length ``rate × num_symbol_stages``;
+        positive means "bit 0 more likely" (BPSK 0 → +1 convention).
+    terminated:
+        As in :class:`ViterbiDecoderProblem`.
+    """
+
+    def __init__(
+        self,
+        code: ConvolutionalCode,
+        llrs: np.ndarray,
+        *,
+        terminated: bool = True,
+    ) -> None:
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.ndim != 1:
+            raise ProblemDefinitionError("llrs must be 1-D")
+        rate = code.rate_denominator
+        if llrs.size == 0 or llrs.size % rate != 0:
+            raise ProblemDefinitionError(
+                f"llr length {llrs.size} is not a positive multiple of the "
+                f"code rate denominator {rate}"
+            )
+        if not np.isfinite(llrs).all():
+            raise ProblemDefinitionError("llrs must be finite")
+        # Initialize the hard-decision base with thresholded bits so all
+        # shared bookkeeping (tables, shapes, extract) is in place, then
+        # swap in the soft symbols.
+        hard = (llrs < 0.0).astype(np.uint8)
+        super().__init__(code, hard, terminated=terminated)
+        self._llrs = llrs.reshape(-1, rate)
+        # Branch symbols in BPSK convention: out bit 0 → +1, 1 → -1.
+        self._branch_symbols = 1.0 - 2.0 * self._out.astype(np.float64)
+
+    def _branch_metrics(self, i: int) -> np.ndarray:
+        """(S, 2) LLR correlations with received soft symbols of stage ``i``."""
+        llr = self._llrs[i - 1]  # (rate,)
+        return self._branch_symbols @ llr
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        self.check_stage_index(i)
+        if not self.terminated and i == self.num_stages:
+            return 0.0
+        for b in (0, 1):
+            if self._pred[j, b] == k:
+                return float(self._branch_symbols[j, b] @ self._llrs[i - 1])
+        return NEG_INF
+
+
+def puncture(encoded: np.ndarray, pattern: np.ndarray) -> np.ndarray:
+    """Drop encoder output bits according to a periodic puncturing pattern.
+
+    ``pattern`` is a boolean array (True = transmit) tiled over the
+    output stream — the standard rate-matching mechanism (e.g. turning
+    a rate-1/2 mother code into rate-2/3).  Returns only the
+    transmitted bits.
+    """
+    encoded = np.asarray(encoded, dtype=np.uint8)
+    pattern = np.asarray(pattern, dtype=bool)
+    if pattern.ndim != 1 or pattern.size == 0:
+        raise ValueError("pattern must be a non-empty 1-D boolean array")
+    if not pattern.any():
+        raise ValueError("pattern must transmit at least one bit per period")
+    reps = -(-encoded.size // pattern.size)
+    mask = np.tile(pattern, reps)[: encoded.size]
+    return encoded[mask]
+
+
+class PuncturedViterbiDecoderProblem(ViterbiDecoderProblem):
+    """Hard-decision decoding of a punctured (rate-matched) packet.
+
+    Punctured positions are treated as erasures: they contribute zero
+    branch metric for either bit value, so the recurrence stays exactly
+    Equation (1) with per-stage constants.  The decoder reconstructs
+    the full symbol layout internally from the puncturing pattern.
+
+    Parameters
+    ----------
+    code:
+        The mother convolutional code.
+    received:
+        The *transmitted-positions-only* hard-decision bits, in stream
+        order (what :func:`puncture` produced, after the channel).
+    pattern:
+        The same periodic pattern used at the transmitter.
+    terminated:
+        As in :class:`ViterbiDecoderProblem`.
+    """
+
+    def __init__(
+        self,
+        code: ConvolutionalCode,
+        received: np.ndarray,
+        pattern: np.ndarray,
+        *,
+        terminated: bool = True,
+    ) -> None:
+        received = np.asarray(received, dtype=np.uint8)
+        pattern = np.asarray(pattern, dtype=bool)
+        if pattern.ndim != 1 or pattern.size == 0 or not pattern.any():
+            raise ProblemDefinitionError(
+                "pattern must be a non-empty 1-D boolean array with a "
+                "transmitted position"
+            )
+        rate = code.rate_denominator
+        # Find the full stream length whose kept-position count matches.
+        kept_per_period = int(pattern.sum())
+        if received.size == 0 or received.size % kept_per_period != 0:
+            raise ProblemDefinitionError(
+                f"received length {received.size} is not a multiple of the "
+                f"pattern's {kept_per_period} transmitted bits per period"
+            )
+        full_len = (received.size // kept_per_period) * pattern.size
+        if full_len % rate != 0:
+            raise ProblemDefinitionError(
+                "pattern period and code rate are incompatible: the "
+                f"reconstructed stream length {full_len} is not a multiple "
+                f"of {rate}"
+            )
+        mask = np.tile(pattern, full_len // pattern.size)
+        full = np.zeros(full_len, dtype=np.uint8)
+        full[mask] = received
+        super().__init__(code, full, terminated=terminated)
+        self._mask = mask.reshape(-1, rate)
+        self.pattern = pattern
+
+    def _branch_metrics(self, i: int) -> np.ndarray:
+        symbol = self._symbols[i - 1]
+        valid = self._mask[i - 1]
+        agreements = (self._out == symbol[np.newaxis, np.newaxis, :]) & valid
+        return agreements.sum(axis=2, dtype=np.float64)
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        self.check_stage_index(i)
+        if not self.terminated and i == self.num_stages:
+            return 0.0
+        for b in (0, 1):
+            if self._pred[j, b] == k:
+                symbol = self._symbols[i - 1]
+                valid = self._mask[i - 1]
+                return float(np.sum((self._out[j, b] == symbol) & valid))
+        return NEG_INF

@@ -1,0 +1,184 @@
+"""Dynamic time warping as LTDP (named as an instance in paper §5).
+
+DTW aligns two real-valued time series ``x`` (rows) and ``y``
+(columns), minimizing the total per-cell cost ``c[i, j] = |x_i - y_j|``
+over monotone warping paths:
+
+``D[i, j] = c[i, j] + min( D[i-1, j-1], D[i-1, j], D[i, j-1] )``.
+
+Negating turns min-plus into max-plus: ``V = -D`` satisfies
+``V[i, j] = -c[i, j] + max(V[i-1, j-1], V[i-1, j], V[i, j-1])`` — a
+banded row-stage LTDP like Needleman–Wunsch, except the horizontal
+"gap" penalty varies per cell.  The within-row closure is therefore a
+prefix-sum-decayed cummax:
+``V[i, j] = max_{e <= j} ( entry(e) - (S_j - S_e) )`` with
+``S`` the prefix sums of the row's cell costs.
+
+Column 0 is unreachable for every row ``i >= 1`` (``D[i, 0] = ∞``);
+those would be *trivial subproblems* (§4.5), so the band simply
+excludes them — rows ``i >= 1`` cover columns
+``[max(1, i-w), min(m, i+w)]``.
+
+``solution.score`` is ``-DTW distance``; :meth:`extract` returns the
+warping path as (i, j) pairs (with within-row runs collapsed to the
+entry cell, matching the stage-level path granularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.semiring.tropical import NEG_INF
+
+__all__ = ["DTWProblem", "dtw_distance_reference"]
+
+
+def dtw_distance_reference(x: np.ndarray, y: np.ndarray) -> float:
+    """O(nm) reference DTW distance (no band) for tests."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n, m = len(x), len(y)
+    D = np.full((n + 1, m + 1), np.inf)
+    D[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            c = abs(x[i - 1] - y[j - 1])
+            D[i, j] = c + min(D[i - 1, j - 1], D[i - 1, j], D[i, j - 1])
+    return float(D[n, m])
+
+
+class DTWProblem(LTDPProblem):
+    """Banded DTW between two 1-D series; ``width`` is the Sakoe–Chiba radius."""
+
+    # Continuous costs: offsets under recomputation carry ±ulp noise.
+    parallel_tol = 1e-9
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, *, width: int) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 1 or y.ndim != 1 or not x.size or not y.size:
+            raise ProblemDefinitionError("series must be non-empty 1-D arrays")
+        if width < 1:
+            raise ProblemDefinitionError("band width must be >= 1")
+        if abs(len(x) - len(y)) > width:
+            raise ProblemDefinitionError("band excludes the endpoint; widen it")
+        self.x = x
+        self.y = y
+        self.width = width
+        self._n = len(x)
+        self._m = len(y)
+
+    # ------------------------------------------------------------------
+    def _bounds(self, i: int) -> tuple[int, int]:
+        """Band columns of row ``i``; rows >= 1 exclude the dead column 0."""
+        if i == 0:
+            return 0, min(self._m, self.width)
+        return max(1, i - self.width), min(self._m, i + self.width)
+
+    @property
+    def num_stages(self) -> int:
+        return self._n + 1  # rows 1..n + selector
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        if i == self.num_stages:
+            return 1
+        lo, hi = self._bounds(i)
+        return hi - lo + 1
+
+    def initial_vector(self) -> np.ndarray:
+        lo, hi = self._bounds(0)
+        v = np.full(hi - lo + 1, NEG_INF)
+        v[0] = 0.0  # V[0, 0] = 0; warping must start at the origin
+        return v
+
+    def _selector_source(self) -> int:
+        lo, _ = self._bounds(self._n)
+        return self._m - lo
+
+    def _kernel(self, i: int, v: np.ndarray, *, want_pred: bool):
+        lo_p, hi_p = self._bounds(i - 1)
+        lo, hi = self._bounds(i)
+        W = hi - lo + 1
+        if v.shape != (hi_p - lo_p + 1,):
+            raise ProblemDefinitionError(
+                f"stage {i} input has shape {v.shape}, expected ({hi_p - lo_p + 1},)"
+            )
+        entry = np.full(W, NEG_INF)
+        epred = np.zeros(W, dtype=np.int64)
+        # Up moves (same column).
+        s, e = max(lo, lo_p), min(hi, hi_p)
+        if s <= e:
+            sl = slice(s - lo, e - lo + 1)
+            entry[sl] = v[s - lo_p : e - lo_p + 1]
+            epred[sl] = np.arange(s - lo_p, e - lo_p + 1)
+        # Diagonal moves (previous column); tie -> diagonal (lower index).
+        ds, de = max(lo, lo_p + 1), min(hi, hi_p + 1)
+        if ds <= de:
+            sl = slice(ds - lo, de - lo + 1)
+            diag = v[ds - 1 - lo_p : de - lo_p]
+            better = diag >= entry[sl]
+            entry[sl] = np.where(better, diag, entry[sl])
+            epred[sl] = np.where(
+                better, np.arange(ds - 1 - lo_p, de - lo_p), epred[sl]
+            )
+        costs = np.abs(self.x[i - 1] - self.y[lo - 1 : hi])
+        with np.errstate(invalid="ignore"):
+            entry = entry - costs  # entering cell (i, j) always pays c[i, j]
+            S = np.cumsum(costs)
+            t = entry + S
+            cm = np.maximum.accumulate(t)
+            vals = cm - S
+        if not want_pred:
+            return vals
+        newmax = np.empty(W, dtype=bool)
+        newmax[0] = True
+        newmax[1:] = t[1:] > cm[:-1]
+        estar = np.maximum.accumulate(np.where(newmax, np.arange(W), -1))
+        return vals, epred[estar]
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([v[self._selector_source()]])
+        return self._kernel(i, v, want_pred=False)
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            k = self._selector_source()
+            return np.array([v[k]]), np.array([k], dtype=np.int64)
+        return self._kernel(i, v, want_pred=True)
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        self.check_stage_index(i)
+        if i == self.num_stages:
+            return 0.0 if k == self._selector_source() else NEG_INF
+        lo_p, hi_p = self._bounds(i - 1)
+        lo, hi = self._bounds(i)
+        if not (0 <= k <= hi_p - lo_p and 0 <= j <= hi - lo):
+            return NEG_INF
+        c_in, c_out = lo_p + k, lo + j
+        best = NEG_INF
+        for e in (c_in + 1, c_in):  # diagonal entry, then vertical entry
+            if e > c_out or e < lo:
+                continue
+            cost = sum(
+                abs(self.x[i - 1] - self.y[f - 1]) for f in range(e, c_out + 1)
+            )
+            best = max(best, -cost)
+        return best
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> list[tuple[int, int]]:
+        """The warping path as (row, column) pairs, one per row."""
+        out = []
+        for i in range(1, self._n + 1):
+            lo, _ = self._bounds(i)
+            out.append((i, lo + int(solution.path[i])))
+        return out

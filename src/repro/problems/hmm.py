@@ -1,0 +1,217 @@
+"""Discrete hidden Markov models and Viterbi inference as LTDP.
+
+Paper Fig 1(a): ``p[i, j] = max_k p[i-1, k] · t[k, j]`` becomes linear
+in the tropical semiring after taking logarithms (§5).  The stage
+matrix for observation ``o_i`` is
+``A_i[j, k] = log t[k, j] + log e[j, o_i]`` and the final
+max-over-states is realized by an extra all-zeros stage, exactly as
+the paper prescribes ("stage n+1 is obtained from multiplying a matrix
+with 0 in all entries with stage n").
+
+Floating-point note: log-probabilities make tropical-parallelism
+checks inexact under recomputation from an offset vector, so this
+problem sets ``parallel_tol = 1e-9``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.semiring.tropical import matvec_with_pred, tropical_matvec
+
+__all__ = ["DiscreteHMM", "HMMViterbiProblem"]
+
+
+class DiscreteHMM:
+    """A discrete HMM: transition, emission and initial distributions.
+
+    Parameters
+    ----------
+    transition:
+        ``(S, S)``; ``transition[k, j]`` = P(state j at t+1 | state k at t).
+    emission:
+        ``(S, O)``; ``emission[j, o]`` = P(observe o | state j).
+    initial:
+        ``(S,)`` initial state distribution.
+    """
+
+    def __init__(self, transition, emission, initial) -> None:
+        self.transition = np.asarray(transition, dtype=np.float64)
+        self.emission = np.asarray(emission, dtype=np.float64)
+        self.initial = np.asarray(initial, dtype=np.float64)
+        S = self.transition.shape[0]
+        if self.transition.shape != (S, S):
+            raise ProblemDefinitionError("transition matrix must be square")
+        if self.emission.ndim != 2 or self.emission.shape[0] != S:
+            raise ProblemDefinitionError("emission must be (num_states, num_obs)")
+        if self.initial.shape != (S,):
+            raise ProblemDefinitionError("initial must have one entry per state")
+        for name, arr, axis in (
+            ("transition", self.transition, 1),
+            ("emission", self.emission, 1),
+        ):
+            sums = arr.sum(axis=axis)
+            if not np.allclose(sums, 1.0, atol=1e-8):
+                raise ProblemDefinitionError(f"{name} rows must sum to 1")
+        if not np.isclose(self.initial.sum(), 1.0, atol=1e-8):
+            raise ProblemDefinitionError("initial distribution must sum to 1")
+        if np.any(self.transition < 0) or np.any(self.emission < 0) or np.any(
+            self.initial < 0
+        ):
+            raise ProblemDefinitionError("probabilities must be non-negative")
+
+    @property
+    def num_states(self) -> int:
+        return self.transition.shape[0]
+
+    @property
+    def num_observables(self) -> int:
+        return self.emission.shape[1]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        num_observables: int,
+        rng: np.random.Generator,
+        *,
+        peakedness: float = 1.0,
+    ) -> "DiscreteHMM":
+        """A random HMM; higher ``peakedness`` concentrates the rows.
+
+        Peaked (near-deterministic) models have strongly dominant paths
+        and therefore converge in few stages (§4.8's "overwhelmingly
+        better" intuition); flat models converge slowly.  Dirichlet
+        rows with concentration ``1/peakedness``.
+        """
+        if peakedness <= 0:
+            raise ValueError("peakedness must be positive")
+        alpha = 1.0 / peakedness
+        t = rng.dirichlet(np.full(num_states, alpha), size=num_states)
+        e = rng.dirichlet(np.full(num_observables, alpha), size=num_states)
+        pi = rng.dirichlet(np.full(num_states, alpha))
+        return cls(t, e, pi)
+
+    def sample(self, length: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``(states, observations)`` of the given length."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        states = np.empty(length, dtype=np.int64)
+        obs = np.empty(length, dtype=np.int64)
+        s = rng.choice(self.num_states, p=self.initial)
+        for t in range(length):
+            states[t] = s
+            obs[t] = rng.choice(self.num_observables, p=self.emission[s])
+            s = rng.choice(self.num_states, p=self.transition[s])
+        return states, obs
+
+    def viterbi_problem(self, observations: np.ndarray) -> "HMMViterbiProblem":
+        return HMMViterbiProblem(self, observations)
+
+    def log_likelihood(self, observations: np.ndarray) -> float:
+        """Total observation log-likelihood via the forward algorithm.
+
+        This is the same recursion as Viterbi with the tropical ⊕ = max
+        replaced by the log-prob semiring's ⊕ = logsumexp (see
+        :class:`repro.semiring.base.LogProbSemiring`) — summing over
+        state paths instead of maximizing.  Always ≥ the Viterbi
+        (single best path) log-probability.
+        """
+        from scipy.special import logsumexp
+
+        obs = np.asarray(observations, dtype=np.int64)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ProblemDefinitionError("observations must be a non-empty 1-D array")
+        if np.any(obs < 0) or np.any(obs >= self.num_observables):
+            raise ProblemDefinitionError("observation symbol out of range")
+        with np.errstate(divide="ignore"):
+            log_t = np.log(self.transition)
+            log_e = np.log(self.emission)
+            alpha = np.log(self.initial) + log_e[:, obs[0]]
+        for o in obs[1:]:
+            alpha = logsumexp(alpha[:, np.newaxis] + log_t, axis=0) + log_e[:, o]
+        return float(logsumexp(alpha))
+
+
+class HMMViterbiProblem(LTDPProblem):
+    """Most-likely state sequence for one observation sequence, as LTDP."""
+
+    parallel_tol = 1e-9
+
+    def __init__(self, hmm: DiscreteHMM, observations: np.ndarray) -> None:
+        obs = np.asarray(observations, dtype=np.int64)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ProblemDefinitionError("observations must be a non-empty 1-D array")
+        if np.any(obs < 0) or np.any(obs >= hmm.num_observables):
+            raise ProblemDefinitionError("observation symbol out of range")
+        self.hmm = hmm
+        self.observations = obs
+        with np.errstate(divide="ignore"):
+            self._log_t = np.log(hmm.transition)  # [k, j]
+            self._log_e = np.log(hmm.emission)  # [j, o]
+            self._log_pi = np.log(hmm.initial)
+        # A_i[j, k] = log t[k, j] + log e[j, o_i]; precompute the transposed
+        # transition once, add the emission column per stage.
+        self._log_t_T = self._log_t.T.copy()  # [j, k]
+        if not np.isfinite(self._log_t_T).any(axis=1).all():
+            raise ProblemDefinitionError(
+                "some state is unreachable (a transition-matrix column is all "
+                "zero); remove trivial subproblems first (§4.5)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        # One stage per observation after the first (the first observation
+        # is folded into s_0), plus the final max-selection stage.
+        return self.observations.size
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        return 1 if i == self.num_stages else self.hmm.num_states
+
+    def initial_vector(self) -> np.ndarray:
+        return self._log_pi + self._log_e[:, self.observations[0]]
+
+    def _stage_matrix(self, i: int) -> np.ndarray:
+        return self._log_t_T + self._log_e[:, self.observations[i]][:, np.newaxis]
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([np.max(v)])
+        return tropical_matvec(self._stage_matrix(i), v)
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([np.max(v)]), np.array([int(np.argmax(v))], dtype=np.int64)
+        return matvec_with_pred(self._stage_matrix(i), v)
+
+    def stage_matrix(self, i: int) -> np.ndarray:
+        self.check_stage_index(i)
+        if i == self.num_stages:
+            return np.zeros((1, self.hmm.num_states))
+        return self._stage_matrix(i)
+
+    def stage_cost(self, i: int) -> float:
+        S = self.hmm.num_states
+        return float(S) if i == self.num_stages else float(S * S)
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        self.check_stage_index(i)
+        if i == self.num_stages:
+            return 0.0
+        return float(self._log_t[k, j] + self._log_e[j, self.observations[i]])
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> np.ndarray:
+        """The most likely state sequence (length = number of observations)."""
+        # path[0..n-1] are HMM states; path[n] is the selector stage's 0.
+        return solution.path[: self.num_stages].astype(np.int64)

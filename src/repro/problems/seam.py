@@ -1,0 +1,114 @@
+"""Seam carving as LTDP (named as an instance in paper §5).
+
+Content-aware image resizing removes the connected vertical path
+(seam) of minimum total energy.  With ``V = -cumulative energy``:
+
+``V[i, j] = -E[i, j] + max( V[i-1, j-1], V[i-1, j], V[i-1, j+1] )``
+
+— stage ``i`` is image row ``i``, the stage vector is the whole row,
+and the transform is three shifted copies of the previous row (a
+banded tropical matrix of bandwidth 1).  No within-row dependence, so
+the kernel is a plain shifted-max.  A final width-1 max-selection
+stage moves the best seam end into the Fig-2 answer slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.semiring.tropical import NEG_INF
+
+__all__ = ["SeamCarvingProblem", "seam_energy_reference", "gradient_energy"]
+
+
+def gradient_energy(image: np.ndarray) -> np.ndarray:
+    """Simple L1 gradient-magnitude energy of a grayscale image."""
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError("image must be 2-D grayscale")
+    gx = np.abs(np.diff(img, axis=1, prepend=img[:, :1]))
+    gy = np.abs(np.diff(img, axis=0, prepend=img[:1, :]))
+    return gx + gy
+
+
+def seam_energy_reference(energy: np.ndarray) -> float:
+    """Minimum vertical-seam energy by the classic row-sweep DP (for tests)."""
+    E = np.asarray(energy, dtype=np.float64)
+    acc = E[0].copy()
+    for i in range(1, E.shape[0]):
+        left = np.concatenate(([np.inf], acc[:-1]))
+        right = np.concatenate((acc[1:], [np.inf]))
+        acc = E[i] + np.minimum(np.minimum(left, acc), right)
+    return float(acc.min())
+
+
+class SeamCarvingProblem(LTDPProblem):
+    """Minimum-energy vertical seam of an energy map, as LTDP.
+
+    ``solution.score == -(minimum seam energy)``; :meth:`extract`
+    returns the seam's column index per row.
+    """
+
+    # Continuous energies: offsets under recomputation carry ±ulp noise.
+    parallel_tol = 1e-9
+
+    def __init__(self, energy: np.ndarray) -> None:
+        E = np.asarray(energy, dtype=np.float64)
+        if E.ndim != 2 or E.shape[0] < 1 or E.shape[1] < 1:
+            raise ProblemDefinitionError("energy must be a non-empty 2-D array")
+        if not np.isfinite(E).all():
+            raise ProblemDefinitionError("energy values must be finite")
+        self.energy = E
+        self._rows, self._cols = E.shape
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return self._rows  # rows 2..R are stages 1..R-1; stage R = selector
+
+    def stage_width(self, i: int) -> int:
+        if not 0 <= i <= self.num_stages:
+            raise ProblemDefinitionError(f"stage {i} out of range")
+        return 1 if i == self.num_stages else self._cols
+
+    def initial_vector(self) -> np.ndarray:
+        return -self.energy[0]
+
+    def apply_stage(self, i: int, v: np.ndarray) -> np.ndarray:
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([np.max(v)])
+        left = np.concatenate(([NEG_INF], v[:-1]))
+        right = np.concatenate((v[1:], [NEG_INF]))
+        return -self.energy[i] + np.maximum(np.maximum(left, v), right)
+
+    def apply_stage_with_pred(self, i, v):
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            return np.array([np.max(v)]), np.array([int(np.argmax(v))], dtype=np.int64)
+        W = self._cols
+        left = np.concatenate(([NEG_INF], v[:-1]))
+        right = np.concatenate((v[1:], [NEG_INF]))
+        stacked = np.stack([left, v, right])  # candidate order: j-1, j, j+1
+        choice = np.argmax(stacked, axis=0)  # ties -> leftmost (lowest index)
+        vals = stacked[choice, np.arange(W)] - self.energy[i]
+        pred = np.arange(W) + (choice - 1)
+        return vals, pred.astype(np.int64)
+
+    def stage_cost(self, i: int) -> float:
+        return 1.0 if i == self.num_stages else float(3 * self._cols)
+
+    def edge_weight(self, i: int, j: int, k: int) -> float:
+        self.check_stage_index(i)
+        if i == self.num_stages:
+            return 0.0
+        return -float(self.energy[i, j]) if abs(j - k) <= 1 else NEG_INF
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: LTDPSolution) -> np.ndarray:
+        """Column index of the seam in each image row (length = rows)."""
+        return solution.path[: self._rows].astype(np.int64)

@@ -1,0 +1,119 @@
+"""Streaming Viterbi decoding with finite traceback depth.
+
+Hardware decoders cannot buffer a whole packet; they emit the bit
+``D`` stages behind the current front by following survivor pointers,
+relying on all survivors having **merged** within depth ``D`` (the
+classic rule of thumb D ≈ 5K).  Survivor merging is the traceback-side
+twin of rank convergence: when every state's survivor path passes
+through one common state ``D`` stages back, the *backward* partial
+product has rank 1 (paper Lemma 5) and the emitted bit is exact
+regardless of which survivor is followed.
+
+:class:`StreamingViterbiDecoder` implements the technique over the
+same trellis tables as :class:`~repro.problems.convolutional.
+ViterbiDecoderProblem`, so tests can compare the truncated stream
+decode against full (packet) maximum-likelihood decoding and measure
+how the merge depth relates to the Table-1 convergence steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.problems.convolutional import ConvolutionalCode
+
+__all__ = ["StreamingViterbiDecoder"]
+
+
+class StreamingViterbiDecoder:
+    """Fixed-latency Viterbi decoding of a hard-decision bit stream.
+
+    Parameters
+    ----------
+    code:
+        The convolutional code.
+    traceback_depth:
+        Output latency ``D`` in stages.  The folklore choice ``5·K``
+        makes truncation loss negligible; tiny depths visibly degrade
+        BER (tested).
+    """
+
+    def __init__(self, code: ConvolutionalCode, *, traceback_depth: int | None = None) -> None:
+        self.code = code
+        self.depth = (
+            traceback_depth
+            if traceback_depth is not None
+            else 5 * code.constraint_length
+        )
+        if self.depth < 1:
+            raise ProblemDefinitionError("traceback depth must be >= 1")
+        tables = code._tables
+        self._pred = tables["pred"]  # (S, 2)
+        self._out = tables["out"]  # (S, 2, rate)
+
+    # ------------------------------------------------------------------
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Decode a received bit stream; returns one bit per symbol stage.
+
+        The stream is assumed to start in state 0 (like a terminated
+        packet's head); the final ``depth`` stages are flushed from the
+        best end state, so the output has the same length as the input
+        symbol count.
+        """
+        received = np.asarray(received, dtype=np.uint8)
+        rate = self.code.rate_denominator
+        if received.size == 0 or received.size % rate != 0:
+            raise ProblemDefinitionError(
+                f"received length {received.size} is not a positive multiple "
+                f"of the code rate denominator {rate}"
+            )
+        symbols = received.reshape(-1, rate)
+        n = symbols.shape[0]
+        S = self.code.num_states
+        kbits = self.code.constraint_length - 2
+
+        metrics = np.full(S, -np.inf)
+        metrics[0] = 0.0
+        # Ring buffer of survivor choices: survivors[t % depth][s] = the
+        # predecessor state of s at stage t.
+        survivors = np.empty((min(self.depth, n), S), dtype=np.int64)
+        out_bits = np.empty(n, dtype=np.uint8)
+        emitted = 0
+
+        for t in range(n):
+            sym = symbols[t]
+            branch = (self._out == sym[np.newaxis, np.newaxis, :]).sum(
+                axis=2, dtype=np.float64
+            )
+            cand = metrics[self._pred] + branch
+            choice = np.argmax(cand, axis=1)
+            rows = np.arange(S)
+            metrics = cand[rows, choice]
+            survivors[t % survivors.shape[0]] = self._pred[rows, choice]
+            # Metric renormalization (legal: uniform offsets are invisible
+            # to every later comparison — the tropical-scalar invariance).
+            metrics -= metrics.max()
+
+            if t >= self.depth:
+                # Trace depth stages back from the current best state:
+                # walking k steps from state_t yields state_{t-k}, whose
+                # MSB is the input bit consumed at stage t-k.
+                state = int(np.argmax(metrics))
+                for back in range(self.depth):
+                    state = int(survivors[(t - back) % survivors.shape[0]][state])
+                out_bits[emitted] = (state >> kbits) & 1
+                emitted += 1
+
+        # Flush: trace the full remaining tail from the best final state.
+        state = int(np.argmax(metrics))
+        tail = []
+        for back in range(min(self.depth, n)):
+            tail.append((state >> kbits) & 1)
+            state = int(survivors[(n - 1 - back) % survivors.shape[0]][state])
+        for bit in reversed(tail):
+            if emitted < n:
+                out_bits[emitted] = bit
+                emitted += 1
+        assert emitted == n
+        return out_bits

@@ -1,0 +1,99 @@
+"""Tropical-semiring linear algebra.
+
+This subpackage provides the algebraic substrate of the paper:
+
+- :mod:`repro.semiring.base` — abstract :class:`Semiring` plus the
+  concrete max-plus, min-plus, boolean and log-Viterbi instances;
+- :mod:`repro.semiring.tropical` — fast vectorized max-plus kernels
+  (matrix-vector, matrix-matrix, predecessor/arg-max products);
+- :mod:`repro.semiring.vector` — tropical vector predicates
+  (parallelism, all-non-zero, normalization);
+- :mod:`repro.semiring.matrix` — a :class:`TropicalMatrix` convenience
+  wrapper with ``@``-style composition and rank queries;
+- :mod:`repro.semiring.rank` — tropical factor-rank bounds, exact
+  rank-1 / small-rank decision procedures and rank-1 factorization;
+- :mod:`repro.semiring.properties` — executable semiring-law checkers
+  used by the property-based test-suite.
+"""
+
+from repro.semiring.base import (
+    Semiring,
+    MaxPlus,
+    MinPlus,
+    BooleanSemiring,
+    LogProbSemiring,
+    MAX_PLUS,
+    MIN_PLUS,
+    BOOLEAN,
+    LOG_PROB,
+)
+from repro.semiring.tropical import (
+    NEG_INF,
+    tropical_matvec,
+    tropical_matmat,
+    tropical_vecmat,
+    predecessor_product,
+    matvec_with_pred,
+    tropical_closure,
+    tropical_matrix_power,
+)
+from repro.semiring.vector import (
+    is_all_nonzero,
+    is_zero_vector,
+    are_parallel,
+    parallel_offset,
+    normalize,
+    random_nonzero_vector,
+)
+from repro.semiring.matrix import TropicalMatrix, identity_matrix, zero_matrix
+from repro.semiring.rank import (
+    is_rank_one,
+    rank_one_factorization,
+    factor_rank_upper_bound,
+    tropical_rank_exact,
+    column_space_dimension,
+)
+from repro.semiring.spectral import (
+    max_cycle_mean,
+    tropical_eigenvector,
+    critical_nodes,
+    is_irreducible,
+)
+
+__all__ = [
+    "Semiring",
+    "MaxPlus",
+    "MinPlus",
+    "BooleanSemiring",
+    "LogProbSemiring",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "BOOLEAN",
+    "LOG_PROB",
+    "NEG_INF",
+    "tropical_matvec",
+    "tropical_matmat",
+    "tropical_vecmat",
+    "predecessor_product",
+    "matvec_with_pred",
+    "tropical_closure",
+    "tropical_matrix_power",
+    "is_all_nonzero",
+    "is_zero_vector",
+    "are_parallel",
+    "parallel_offset",
+    "normalize",
+    "random_nonzero_vector",
+    "TropicalMatrix",
+    "identity_matrix",
+    "zero_matrix",
+    "is_rank_one",
+    "rank_one_factorization",
+    "factor_rank_upper_bound",
+    "tropical_rank_exact",
+    "column_space_dimension",
+    "max_cycle_mean",
+    "tropical_eigenvector",
+    "critical_nodes",
+    "is_irreducible",
+]

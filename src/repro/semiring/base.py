@@ -1,0 +1,187 @@
+"""Abstract semirings and the concrete instances used by the paper.
+
+A semiring is a five-tuple ``(D, ⊕, ⊗, 0̄, 1̄)`` (paper §2).  The LTDP
+machinery is written against the *tropical* (max, +) semiring, but the
+abstraction is kept explicit so that:
+
+* the property-based tests can check the semiring laws hold for every
+  instance we ship (see :mod:`repro.semiring.properties`);
+* min-plus formulations (shortest path) and the boolean semiring
+  (reachability) are available for the graph view of LTDP (§4.8);
+* the Viterbi probability-space recurrence can be expressed in the
+  log-prob semiring and shown equal to max-plus after the log transform
+  (§5, "applying logarithm on both sides").
+
+The scalar operations here are deliberately simple and boxed; all hot
+paths use the vectorized kernels in :mod:`repro.semiring.tropical`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "MaxPlus",
+    "MinPlus",
+    "BooleanSemiring",
+    "LogProbSemiring",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "BOOLEAN",
+    "LOG_PROB",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(D, ⊕, ⊗, zero, one)`` over Python floats.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    add:
+        The additive operation ⊕ (``max`` for the tropical semiring).
+    mul:
+        The multiplicative operation ⊗ (``+`` for the tropical semiring).
+    zero:
+        Additive identity 0̄, which must annihilate under ⊗.
+    one:
+        Multiplicative identity 1̄.
+    """
+
+    name: str
+    add: Callable[[float, float], float]
+    mul: Callable[[float, float], float]
+    zero: float
+    one: float
+
+    # ------------------------------------------------------------------
+    # Scalar helpers
+    # ------------------------------------------------------------------
+    def add_many(self, values) -> float:
+        """Fold ⊕ over an iterable; returns ``zero`` for an empty one."""
+        acc = self.zero
+        for v in values:
+            acc = self.add(acc, v)
+        return acc
+
+    def mul_many(self, values) -> float:
+        """Fold ⊗ over an iterable; returns ``one`` for an empty one."""
+        acc = self.one
+        for v in values:
+            acc = self.mul(acc, v)
+        return acc
+
+    def is_zero(self, x: float) -> bool:
+        """True when ``x`` equals the additive identity."""
+        return x == self.zero or (math.isnan(self.zero) and math.isnan(x))
+
+    # ------------------------------------------------------------------
+    # Dense (slow, reference) matrix operations.  These exist so tests can
+    # validate the fast tropical kernels against a generic implementation.
+    # ------------------------------------------------------------------
+    def matvec(self, A: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Reference semiring matrix-vector product ``A ⨂ v``."""
+        A = np.asarray(A, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if A.ndim != 2 or v.ndim != 1 or A.shape[1] != v.shape[0]:
+            raise ValueError(f"incompatible shapes {A.shape} and {v.shape}")
+        out = np.empty(A.shape[0], dtype=float)
+        for i in range(A.shape[0]):
+            out[i] = self.add_many(
+                self.mul(A[i, k], v[k]) for k in range(A.shape[1])
+            )
+        return out
+
+    def matmat(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Reference semiring matrix-matrix product ``A ⨂ B``."""
+        A = np.asarray(A, dtype=float)
+        B = np.asarray(B, dtype=float)
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise ValueError(f"incompatible shapes {A.shape} and {B.shape}")
+        out = np.empty((A.shape[0], B.shape[1]), dtype=float)
+        for i in range(A.shape[0]):
+            for j in range(B.shape[1]):
+                out[i, j] = self.add_many(
+                    self.mul(A[i, k], B[k, j]) for k in range(A.shape[1])
+                )
+        return out
+
+
+def _max(a: float, b: float) -> float:
+    return a if a >= b else b
+
+
+def _min(a: float, b: float) -> float:
+    return a if a <= b else b
+
+
+def _plus(a: float, b: float) -> float:
+    # -inf + inf would be nan under IEEE; in the tropical semiring the
+    # annihilator wins.  Neither +inf nor nan is a legal tropical value,
+    # so plain addition suffices for legal inputs.
+    return a + b
+
+
+def _bool_or(a: float, b: float) -> float:
+    return 1.0 if (a != 0.0 or b != 0.0) else 0.0
+
+
+def _bool_and(a: float, b: float) -> float:
+    return 1.0 if (a != 0.0 and b != 0.0) else 0.0
+
+
+def _logsumexp2(a: float, b: float) -> float:
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+class MaxPlus(Semiring):
+    """The tropical (max, +) semiring of the paper: ``(R ∪ {-inf}, max, +, -inf, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__(name="max-plus", add=_max, mul=_plus, zero=-math.inf, one=0.0)
+
+
+class MinPlus(Semiring):
+    """The dual (min, +) semiring: shortest-path formulation of §4.8."""
+
+    def __init__(self) -> None:
+        super().__init__(name="min-plus", add=_min, mul=_plus, zero=math.inf, one=0.0)
+
+
+class BooleanSemiring(Semiring):
+    """``({0,1}, or, and, 0, 1)`` — graph reachability."""
+
+    def __init__(self) -> None:
+        super().__init__(name="boolean", add=_bool_or, mul=_bool_and, zero=0.0, one=1.0)
+
+
+class LogProbSemiring(Semiring):
+    """``(R ∪ {-inf}, logaddexp, +, -inf, 0)`` — the sum-product dual of Viterbi.
+
+    Used by the HMM forward algorithm; Viterbi replaces ⊕ = logaddexp
+    with ⊕ = max, which is exactly :class:`MaxPlus`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="log-prob", add=_logsumexp2, mul=_plus, zero=-math.inf, one=0.0
+        )
+
+
+#: Module-level singletons — semirings are stateless, share them.
+MAX_PLUS = MaxPlus()
+MIN_PLUS = MinPlus()
+BOOLEAN = BooleanSemiring()
+LOG_PROB = LogProbSemiring()

@@ -1,0 +1,133 @@
+"""`TropicalMatrix`: an ergonomic wrapper over the raw max-plus kernels.
+
+The LTDP hot paths operate on bare ``numpy`` arrays for speed; this
+wrapper exists for the public API, the examples, and the tests, where
+``A @ B``, ``A @ v``, ``A.rank_one`` read far better than kernel calls.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.semiring.rank import (
+    factor_rank_upper_bound,
+    is_rank_one,
+    rank_one_factorization,
+)
+from repro.semiring.tropical import (
+    NEG_INF,
+    as_tropical_matrix,
+    as_tropical_vector,
+    predecessor_product,
+    tropical_matmat,
+    tropical_matvec,
+    tropical_matrix_power,
+)
+
+__all__ = ["TropicalMatrix", "identity_matrix", "zero_matrix"]
+
+
+def identity_matrix(n: int) -> "TropicalMatrix":
+    """The tropical identity: 0 on the diagonal, -inf elsewhere."""
+    data = np.full((n, n), NEG_INF)
+    np.fill_diagonal(data, 0.0)
+    return TropicalMatrix(data)
+
+
+def zero_matrix(n: int, m: int | None = None) -> "TropicalMatrix":
+    """The tropical zero (annihilator) matrix: all entries -inf."""
+    return TropicalMatrix(np.full((n, m if m is not None else n), NEG_INF))
+
+
+class TropicalMatrix:
+    """An immutable matrix over the (max, +) semiring.
+
+    Supports ``A @ B`` (tropical matrix product), ``A @ v`` (tropical
+    matrix-vector product), ``A.star(v)`` (predecessor product ``A ⋆ v``),
+    ``A ** k`` (tropical power) and rank queries.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data) -> None:
+        arr = as_tropical_matrix(data, copy=True)
+        arr.setflags(write=False)
+        self._data = arr
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying read-only float64 array."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._data.shape  # type: ignore[return-value]
+
+    @property
+    def T(self) -> "TropicalMatrix":
+        return TropicalMatrix(self._data.T)
+
+    # ------------------------------------------------------------------
+    def __matmul__(
+        self, other: Union["TropicalMatrix", np.ndarray]
+    ) -> Union["TropicalMatrix", np.ndarray]:
+        if isinstance(other, TropicalMatrix):
+            return TropicalMatrix(tropical_matmat(self._data, other._data))
+        arr = np.asarray(other, dtype=np.float64)
+        if arr.ndim == 1:
+            return tropical_matvec(self._data, arr)
+        if arr.ndim == 2:
+            return TropicalMatrix(tropical_matmat(self._data, arr))
+        raise DimensionError(f"cannot multiply by array of shape {arr.shape}")
+
+    def __pow__(self, k: int) -> "TropicalMatrix":
+        return TropicalMatrix(tropical_matrix_power(self._data, k))
+
+    def star(self, v: np.ndarray) -> np.ndarray:
+        """Predecessor product ``A ⋆ v`` (arg-max indices, paper §3)."""
+        return predecessor_product(self._data, as_tropical_vector(v))
+
+    def scale(self, c: float) -> "TropicalMatrix":
+        """Tropical scalar multiple ``A ⊗ c`` — adds ``c`` to every finite entry."""
+        out = self._data.copy()
+        finite = np.isfinite(out)
+        out[finite] += c
+        return TropicalMatrix(out)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx):
+        return self._data[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TropicalMatrix):
+            return NotImplemented
+        return self.shape == other.shape and bool(
+            np.array_equal(self._data, other._data)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self._data.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"TropicalMatrix(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    def is_rank_one(self, *, tol: float = 0.0) -> bool:
+        """Exact factor-rank-≤-1 test (paper §2 "Matrix Rank")."""
+        return is_rank_one(self._data, tol=tol)
+
+    def rank_one_factors(self, *, tol: float = 0.0):
+        """``(c, r)`` with ``A = c ⨂ rᵀ``, or ``None`` if rank > 1."""
+        return rank_one_factorization(self._data, tol=tol)
+
+    def rank_upper_bound(self, *, tol: float = 0.0) -> int:
+        """Cheap upper bound on the factor rank (distinct column directions)."""
+        return factor_rank_upper_bound(self._data, tol=tol)
+
+    def is_non_trivial(self) -> bool:
+        """True when every row has a finite entry (paper §4.5 non-triviality)."""
+        return bool(np.isfinite(self._data).any(axis=1).all())

@@ -1,0 +1,115 @@
+"""Executable semiring-law checkers.
+
+These functions verify, for concrete element triples, the axioms of
+paper §2 ("Semirings").  They are used by the hypothesis-driven tests
+in ``tests/semiring/test_properties.py`` but live in the library so
+that downstream users defining their own semirings can validate them
+(e.g. before plugging a custom scoring scheme into the LTDP machinery).
+
+Each checker returns ``True``/``False`` rather than asserting, so they
+compose into both tests and runtime validation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.semiring.base import Semiring
+
+__all__ = [
+    "check_additive_associativity",
+    "check_additive_commutativity",
+    "check_additive_identity",
+    "check_multiplicative_associativity",
+    "check_multiplicative_identity",
+    "check_left_distributivity",
+    "check_right_distributivity",
+    "check_annihilation",
+    "check_all_laws",
+    "law_violations",
+]
+
+_REL_TOL = 1e-9
+
+
+def _eq(a: float, b: float) -> bool:
+    if a == b:
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=1e-12)
+
+
+def check_additive_associativity(s: Semiring, x: float, y: float, z: float) -> bool:
+    """``(x ⊕ y) ⊕ z == x ⊕ (y ⊕ z)``."""
+    return _eq(s.add(s.add(x, y), z), s.add(x, s.add(y, z)))
+
+
+def check_additive_commutativity(s: Semiring, x: float, y: float) -> bool:
+    """``x ⊕ y == y ⊕ x``."""
+    return _eq(s.add(x, y), s.add(y, x))
+
+
+def check_additive_identity(s: Semiring, x: float) -> bool:
+    """``x ⊕ 0̄ == x``."""
+    return _eq(s.add(x, s.zero), x)
+
+
+def check_multiplicative_associativity(
+    s: Semiring, x: float, y: float, z: float
+) -> bool:
+    """``(x ⊗ y) ⊗ z == x ⊗ (y ⊗ z)``."""
+    return _eq(s.mul(s.mul(x, y), z), s.mul(x, s.mul(y, z)))
+
+
+def check_multiplicative_identity(s: Semiring, x: float) -> bool:
+    """``x ⊗ 1̄ == 1̄ ⊗ x == x``."""
+    return _eq(s.mul(x, s.one), x) and _eq(s.mul(s.one, x), x)
+
+
+def check_left_distributivity(s: Semiring, x: float, y: float, z: float) -> bool:
+    """``x ⊗ (y ⊕ z) == (x ⊗ y) ⊕ (x ⊗ z)``."""
+    return _eq(s.mul(x, s.add(y, z)), s.add(s.mul(x, y), s.mul(x, z)))
+
+
+def check_right_distributivity(s: Semiring, x: float, y: float, z: float) -> bool:
+    """``(y ⊕ z) ⊗ x == (y ⊗ x) ⊕ (z ⊗ x)``."""
+    return _eq(s.mul(s.add(y, z), x), s.add(s.mul(y, x), s.mul(z, x)))
+
+
+def check_annihilation(s: Semiring, x: float) -> bool:
+    """``x ⊗ 0̄ == 0̄ ⊗ x == 0̄``."""
+    return _eq(s.mul(x, s.zero), s.zero) and _eq(s.mul(s.zero, x), s.zero)
+
+
+def law_violations(s: Semiring, elements: Sequence[float]) -> list[str]:
+    """Exhaustively check all laws over triples of ``elements``; list failures."""
+    failures: list[str] = []
+    for x in elements:
+        if not check_additive_identity(s, x):
+            failures.append(f"additive identity fails at {x}")
+        if not check_multiplicative_identity(s, x):
+            failures.append(f"multiplicative identity fails at {x}")
+        if not check_annihilation(s, x):
+            failures.append(f"annihilation fails at {x}")
+        for y in elements:
+            if not check_additive_commutativity(s, x, y):
+                failures.append(f"additive commutativity fails at ({x}, {y})")
+            for z in elements:
+                if not check_additive_associativity(s, x, y, z):
+                    failures.append(f"additive associativity fails at ({x},{y},{z})")
+                if not check_multiplicative_associativity(s, x, y, z):
+                    failures.append(
+                        f"multiplicative associativity fails at ({x},{y},{z})"
+                    )
+                if not check_left_distributivity(s, x, y, z):
+                    failures.append(f"left distributivity fails at ({x},{y},{z})")
+                if not check_right_distributivity(s, x, y, z):
+                    failures.append(f"right distributivity fails at ({x},{y},{z})")
+    return failures
+
+
+def check_all_laws(s: Semiring, elements: Iterable[float]) -> bool:
+    """True iff every semiring law holds over all triples from ``elements``."""
+    return not law_violations(s, list(elements))

@@ -1,0 +1,180 @@
+"""Tropical matrix rank: exact rank-1 decision, bounds, and small exact ranks.
+
+The paper defines rank as *factor rank* (Barvinok rank): the smallest
+``r`` with ``M = C ⨂ R`` for ``C`` of width ``r`` (paper §2).  Deciding
+factor rank is NP-hard in general for r ≥ 3 — but the algorithm only
+ever needs:
+
+* an **exact rank-1 test** (`is_rank_one`, `rank_one_factorization`):
+  a matrix is rank 1 iff it is a tropical outer product ``c ⨂ rᵀ``, and
+  this is decidable in O(nm);
+* **monotonicity** ``rank(A ⨂ B) ≤ min(rank A, rank B)`` (paper Eq. 3),
+  which we validate in tests through upper bounds;
+* an **upper bound** (`factor_rank_upper_bound`) given by the number of
+  distinct tropical column directions — used by the convergence
+  measurement harness to report how fast products collapse toward a
+  line (paper §6.1 / Table 1 and the "converges to small rank much
+  faster than to rank 1" observation of §4.7).
+
+For completeness we also implement the *tropical rank* of
+Develin–Santos–Sturmfels (paper reference [7]) — the size of the
+largest tropically non-singular square minor — exactly, for small
+matrices.  All rank notions coincide at rank 1, which is the only case
+the parallel algorithm's correctness relies on.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.semiring.tropical import NEG_INF, as_tropical_matrix
+from repro.semiring.vector import are_parallel, normalize
+
+__all__ = [
+    "is_rank_one",
+    "rank_one_factorization",
+    "factor_rank_upper_bound",
+    "column_space_dimension",
+    "is_tropically_singular",
+    "tropical_rank_exact",
+]
+
+
+def rank_one_factorization(
+    A: np.ndarray, *, tol: float = 0.0
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Return ``(c, r)`` with ``A = c ⨂ rᵀ`` if ``A`` has factor rank ≤ 1, else None.
+
+    Structure: ``A[i, j] = c[i] + r[j]``, with ``A[i, j] = -inf`` exactly
+    when ``c[i] = -inf`` or ``r[j] = -inf``.  Hence the finite entries of
+    a rank-≤1 matrix form a combinatorial rectangle (rows are all-zero or
+    share one finite column set) whose values decompose additively.
+    """
+    A = as_tropical_matrix(A)
+    n, m = A.shape
+    finite = np.isfinite(A)
+    zero_rows = ~finite.any(axis=1)
+    zero_cols = ~finite.any(axis=0)
+    live_rows = np.where(~zero_rows)[0]
+    live_cols = np.where(~zero_cols)[0]
+    if live_rows.size == 0 or live_cols.size == 0:
+        # The all-zero matrix: conventionally rank ≤ 1 (it is (-inf) ⨂ rᵀ).
+        return (
+            np.full(n, NEG_INF),
+            np.full(m, 0.0),
+        )
+    sub_finite = finite[np.ix_(live_rows, live_cols)]
+    if not sub_finite.all():
+        return None  # finite support is not a rectangle
+    sub = A[np.ix_(live_rows, live_cols)]
+    # Every live row must be parallel to the first live row.
+    base = sub[0]
+    offsets = sub - base[np.newaxis, :]
+    spread = np.max(offsets, axis=1) - np.min(offsets, axis=1)
+    if np.any(spread > tol):
+        return None
+    c = np.full(n, NEG_INF)
+    r = np.full(m, NEG_INF)
+    c[live_rows] = offsets[:, 0]
+    r[live_cols] = base
+    return c, r
+
+
+def is_rank_one(A: np.ndarray, *, tol: float = 0.0) -> bool:
+    """Exact test for factor rank ≤ 1 (see :func:`rank_one_factorization`)."""
+    return rank_one_factorization(A, tol=tol) is not None
+
+
+def column_space_dimension(A: np.ndarray, *, tol: float = 0.0) -> int:
+    """Number of distinct tropical directions among non-zero columns.
+
+    This counts equivalence classes of columns under tropical
+    parallelism.  It upper-bounds factor rank: grouping the columns of
+    each class into one outer product gives an explicit factorization
+    ``A = ⨁_d c_d ⨂ r_dᵀ``.
+    """
+    A = as_tropical_matrix(A)
+    classes: list[np.ndarray] = []
+    for j in range(A.shape[1]):
+        col = A[:, j]
+        if not np.isfinite(col).any():
+            continue  # tropical zero columns don't contribute a direction
+        rep = normalize(col)
+        if not any(are_parallel(rep, seen, tol=tol) for seen in classes):
+            classes.append(rep)
+    return len(classes)
+
+
+def factor_rank_upper_bound(A: np.ndarray, *, tol: float = 0.0) -> int:
+    """Cheap upper bound on the factor (Barvinok) rank of ``A``.
+
+    ``min`` of the distinct-direction counts of the columns and of the
+    rows (the bound is symmetric under transposition).  Exact at 0 and 1.
+    """
+    A = as_tropical_matrix(A)
+    cols = column_space_dimension(A, tol=tol)
+    rows = column_space_dimension(A.T, tol=tol)
+    return min(cols, rows)
+
+
+def is_tropically_singular(A: np.ndarray) -> bool:
+    """Develin–Santos–Sturmfels singularity test for a square matrix.
+
+    A square matrix is *tropically singular* when the maximum in the
+    tropical permanent ``max_σ Σ_i A[i, σ(i)]`` is attained by at least
+    two permutations (or is ``-inf``).  Exponential in ``n`` — intended
+    for the small matrices used in tests and rank studies.
+    """
+    A = as_tropical_matrix(A)
+    n, m = A.shape
+    if n != m:
+        raise DimensionError("singularity is defined for square matrices")
+    if n > 8:
+        raise ValueError("exact singularity test limited to n <= 8")
+    best = NEG_INF
+    count = 0
+    for sigma in permutations(range(n)):
+        total = 0.0
+        ok = True
+        for i, j in enumerate(sigma):
+            a = A[i, j]
+            if a == NEG_INF:
+                ok = False
+                break
+            total += a
+        if not ok:
+            continue
+        if total > best:
+            best, count = total, 1
+        elif total == best:
+            count += 1
+    return best == NEG_INF or count >= 2
+
+
+def tropical_rank_exact(A: np.ndarray, *, max_size: int = 6) -> int:
+    """Exact tropical rank: largest ``k`` with a tropically non-singular k×k minor.
+
+    Tropical rank lower-bounds factor rank (reference [7] of the paper),
+    and all notions agree at ≤ 1.  Cost grows combinatorially; matrices
+    larger than ``max_size`` in either dimension are rejected.
+    """
+    A = as_tropical_matrix(A)
+    n, m = A.shape
+    if max(n, m) > max_size:
+        raise ValueError(
+            f"exact tropical rank limited to {max_size}x{max_size}; "
+            "use factor_rank_upper_bound for larger matrices"
+        )
+    if not np.isfinite(A).any():
+        return 0
+    for k in range(min(n, m), 1, -1):
+        for rows in combinations(range(n), k):
+            sub_rows = A[list(rows), :]
+            for cols in combinations(range(m), k):
+                minor = sub_rows[:, list(cols)]
+                if not is_tropically_singular(minor):
+                    return k
+    return 1

@@ -1,0 +1,162 @@
+"""Tropical spectral theory: max cycle mean and eigenvectors.
+
+The tropical eigenvalue of a square matrix ``A`` is the **maximum
+cycle mean** ``λ(A) = max_C (weight(C) / length(C))`` over cycles of
+the weighted digraph of ``A``.  It governs the asymptotics of matrix
+powers — ``(A^k)[i, j] ≈ k·λ + O(1)`` for nodes on/reaching a critical
+cycle — which is the algebraic backdrop of rank convergence: powers of
+an irreducible matrix with a *unique* critical cycle collapse toward
+the rank-1 outer product of its tropical eigenvectors.
+
+Implemented here:
+
+- :func:`max_cycle_mean` — Karp's O(n·m) dynamic-programming algorithm;
+- :func:`tropical_eigenvector` — a λ-normalized eigenvector via the
+  Kleene star of ``A − λ`` (classic max-plus spectral construction);
+- :func:`critical_nodes` — nodes on some critical (mean-λ) cycle;
+- :func:`is_irreducible` — strong connectivity of the support digraph.
+
+These are used by the rank-convergence analysis tests and make the
+semiring layer a self-contained max-plus linear-algebra library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.semiring.tropical import (
+    NEG_INF,
+    as_tropical_matrix,
+    tropical_matvec,
+)
+
+__all__ = [
+    "max_cycle_mean",
+    "tropical_eigenvector",
+    "critical_nodes",
+    "is_irreducible",
+]
+
+
+def _check_square(A: np.ndarray) -> np.ndarray:
+    A = as_tropical_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise DimensionError("spectral functions require a square matrix")
+    return A
+
+
+def max_cycle_mean(A: np.ndarray) -> float:
+    """Karp's algorithm for the maximum cycle mean of ``A``'s digraph.
+
+    Edge ``k → j`` has weight ``A[j, k]`` (matching the matvec
+    orientation used throughout).  Returns ``-inf`` when the digraph is
+    acyclic.
+
+    Karp: with ``D_k[v]`` = best weight of a length-``k`` walk from any
+    start to ``v``,  ``λ = max_v min_{0≤k<n} (D_n[v] − D_k[v]) / (n−k)``.
+    """
+    A = _check_square(A)
+    n = A.shape[0]
+    # D[k, v]: best length-k walk weight ending at v, uniform 0 start.
+    D = np.full((n + 1, n), NEG_INF)
+    D[0, :] = 0.0
+    for k in range(1, n + 1):
+        D[k] = tropical_matvec(A, D[k - 1])
+    best = NEG_INF
+    with np.errstate(invalid="ignore"):
+        for v in range(n):
+            if D[n, v] == NEG_INF:
+                continue
+            ratios = [
+                (D[n, v] - D[k, v]) / (n - k)
+                for k in range(n)
+                if D[k, v] != NEG_INF
+            ]
+            if ratios:
+                best = max(best, min(ratios))
+    return float(best)
+
+
+def is_irreducible(A: np.ndarray) -> bool:
+    """True when the support digraph of ``A`` is strongly connected."""
+    A = _check_square(A)
+    n = A.shape[0]
+    support = np.isfinite(A)
+
+    def reachable(start: int, adj: np.ndarray) -> np.ndarray:
+        seen = np.zeros(n, dtype=bool)
+        stack = [start]
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            for v in np.where(adj[:, u])[0]:  # edges u -> v are adj[v, u]
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        return seen
+
+    return bool(reachable(0, support).all() and reachable(0, support.T).all())
+
+
+def _lambda_normalized_star(A: np.ndarray, lam: float) -> np.ndarray:
+    """``(A − λ)* = I ⊕ B ⊕ B² ⊕ … ⊕ B^(n-1)`` with ``B = A − λ``.
+
+    Well-defined because B's maximum cycle mean is 0 (no positive
+    cycles), so walks longer than n never improve.
+    """
+    n = A.shape[0]
+    B = A.copy()
+    finite = np.isfinite(B)
+    B[finite] -= lam
+    star = np.full((n, n), NEG_INF)
+    np.fill_diagonal(star, 0.0)
+    power = star.copy()
+    for _ in range(n - 1):
+        # power ← B ⨂ power, star ← star ⊕ power
+        with np.errstate(invalid="ignore"):
+            power = np.max(
+                B[:, :, np.newaxis] + power[np.newaxis, :, :], axis=1
+            )
+        star = np.maximum(star, power)
+    return star
+
+
+def critical_nodes(A: np.ndarray, *, tol: float = 1e-9) -> list[int]:
+    """Nodes lying on a cycle whose mean equals the maximum cycle mean.
+
+    A node ``v`` is critical iff ``(A − λ)*`` admits a zero-weight
+    closed walk through ``v``, i.e. ``((A−λ)* ⨂ (A−λ)*)[v, v] = 0`` —
+    equivalently the star's ``[v, v]`` entry stays 0 while some
+    λ-normalized cycle through ``v`` exists.  We detect it as
+    ``B⁺[v, v] == 0`` with ``B⁺ = B ⨂ B*``.
+    """
+    A = _check_square(A)
+    lam = max_cycle_mean(A)
+    if lam == NEG_INF:
+        return []
+    B = A.copy()
+    finite = np.isfinite(B)
+    B[finite] -= lam
+    star = _lambda_normalized_star(A, lam)
+    with np.errstate(invalid="ignore"):
+        plus = np.max(B[:, :, np.newaxis] + star[np.newaxis, :, :], axis=1)
+    return [int(v) for v in range(A.shape[0]) if abs(plus[v, v]) <= tol]
+
+
+def tropical_eigenvector(A: np.ndarray, *, tol: float = 1e-9) -> np.ndarray:
+    """A tropical eigenvector: ``A ⨂ v = λ ⊗ v`` with λ the max cycle mean.
+
+    Constructed as a column of ``(A − λ)*`` at a critical node — the
+    standard max-plus spectral theory result.  Requires at least one
+    cycle; for irreducible ``A`` the eigenvector is finite everywhere.
+    """
+    A = _check_square(A)
+    lam = max_cycle_mean(A)
+    if lam == NEG_INF:
+        raise ValueError("acyclic matrix has no tropical eigenvalue")
+    crit = critical_nodes(A, tol=tol)
+    if not crit:
+        raise ValueError("no critical node found (numerical tolerance too tight?)")
+    star = _lambda_normalized_star(A, lam)
+    return star[:, crit[0]]

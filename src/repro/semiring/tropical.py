@@ -1,0 +1,234 @@
+"""Vectorized max-plus (tropical) linear-algebra kernels.
+
+These are the hot-path operations of the whole library.  Conventions:
+
+* Vectors and matrices are plain ``numpy.float64`` arrays.
+* The tropical zero 0̄ is ``-numpy.inf`` (:data:`NEG_INF`); the tropical
+  one 1̄ is ``0.0``.
+* ``+inf`` and ``nan`` are not legal tropical values; kernels guard the
+  single dangerous case ``-inf + inf = nan`` by construction (``-inf``
+  annihilates) and validation helpers reject illegal inputs.
+* ``arg max`` ties break to the **lowest index**, matching the paper's
+  assumption that "ties in arg max are broken deterministically".
+
+The dense kernels use broadcasting: ``A[i, k] + v[k]`` is an ``(n, m)``
+intermediate, reduced with ``max``/``argmax`` along axis 1.  This is the
+NumPy-idiomatic replacement for the C inner loops of the paper's
+baselines and is what the cost model (``repro.machine.cost_model``)
+calibrates against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "NEG_INF",
+    "as_tropical_vector",
+    "as_tropical_matrix",
+    "tropical_matvec",
+    "tropical_vecmat",
+    "tropical_matmat",
+    "predecessor_product",
+    "matvec_with_pred",
+    "tropical_matrix_power",
+    "tropical_closure",
+    "tropical_inner",
+    "tropical_outer",
+]
+
+#: The tropical additive identity 0̄.
+NEG_INF: float = float("-inf")
+
+
+def as_tropical_vector(v, *, copy: bool = False) -> np.ndarray:
+    """Validate and coerce ``v`` to a 1-D float64 tropical vector.
+
+    Rejects ``nan`` and ``+inf`` entries, which are not elements of the
+    tropical domain ``R ∪ {-inf}``.
+    """
+    arr = np.array(v, dtype=np.float64, copy=copy) if copy else np.asarray(
+        v, dtype=np.float64
+    )
+    if arr.ndim != 1:
+        raise DimensionError(f"expected 1-D vector, got shape {arr.shape}")
+    if np.isnan(arr).any() or (arr == np.inf).any():
+        raise ValueError("tropical vectors may not contain nan or +inf")
+    return arr
+
+
+def as_tropical_matrix(A, *, copy: bool = False) -> np.ndarray:
+    """Validate and coerce ``A`` to a 2-D float64 tropical matrix."""
+    arr = np.array(A, dtype=np.float64, copy=copy) if copy else np.asarray(
+        A, dtype=np.float64
+    )
+    if arr.ndim != 2:
+        raise DimensionError(f"expected 2-D matrix, got shape {arr.shape}")
+    if np.isnan(arr).any() or (arr == np.inf).any():
+        raise ValueError("tropical matrices may not contain nan or +inf")
+    return arr
+
+
+def _check_matvec_shapes(A: np.ndarray, v: np.ndarray) -> None:
+    if A.ndim != 2:
+        raise DimensionError(f"matrix operand must be 2-D, got shape {A.shape}")
+    if v.ndim != 1:
+        raise DimensionError(f"vector operand must be 1-D, got shape {v.shape}")
+    if A.shape[1] != v.shape[0]:
+        raise DimensionError(
+            f"matrix columns ({A.shape[1]}) != vector length ({v.shape[0]})"
+        )
+
+
+def tropical_matvec(A: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Tropical matrix-vector product ``(A ⨂ v)[i] = max_k A[i,k] + v[k]``.
+
+    This realizes the LTDP stage recurrence, paper Equation (1)/(2).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    _check_matvec_shapes(A, v)
+    # Broadcasting A + v gives -inf + -inf = -inf (fine) and never
+    # -inf + inf because +inf is excluded from the domain.
+    with np.errstate(invalid="ignore"):
+        return np.max(A + v[np.newaxis, :], axis=1)
+
+
+def tropical_vecmat(v: np.ndarray, A: np.ndarray) -> np.ndarray:
+    """Tropical row-vector × matrix product ``(vᵀ ⨂ A)[j] = max_k v[k] + A[k,j]``."""
+    A = np.asarray(A, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if A.ndim != 2 or v.ndim != 1 or A.shape[0] != v.shape[0]:
+        raise DimensionError(
+            f"incompatible shapes for vᵀ⨂A: {v.shape} and {A.shape}"
+        )
+    with np.errstate(invalid="ignore"):
+        return np.max(v[:, np.newaxis] + A, axis=0)
+
+
+def tropical_matmat(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Tropical matrix-matrix product ``(A ⨂ B)[i,j] = max_k A[i,k] + B[k,j]``.
+
+    Used only by rank analysis and tests; the parallel algorithm itself
+    never multiplies matrices (that is its key advantage, §4.1).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise DimensionError(
+            f"incompatible shapes for A⨂B: {A.shape} and {B.shape}"
+        )
+    # (n, m, 1) + (1, m, p) -> reduce over axis 1.  For large operands fall
+    # back to a row-blocked loop to bound the broadcast intermediate.
+    n, m = A.shape
+    p = B.shape[1]
+    out = np.empty((n, p), dtype=np.float64)
+    # Keep the temporary under ~64 MB.
+    block = max(1, int(8e6 // max(1, m * p)))
+    with np.errstate(invalid="ignore"):
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            out[start:stop] = np.max(
+                A[start:stop, :, np.newaxis] + B[np.newaxis, :, :], axis=1
+            )
+    return out
+
+
+def predecessor_product(A: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Predecessor product ``(A ⋆ v)[j] = argmax_k (v[k] + A[j,k])`` (paper §3).
+
+    Ties break to the lowest ``k``.  Rows whose maximum is ``-inf``
+    (possible only for trivial matrices) still return index 0; callers
+    that care must validate non-triviality separately.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    _check_matvec_shapes(A, v)
+    with np.errstate(invalid="ignore"):
+        return np.argmax(A + v[np.newaxis, :], axis=1).astype(np.int64)
+
+
+def matvec_with_pred(A: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fused ``(A ⨂ v, A ⋆ v)`` — one broadcast, two reductions.
+
+    The forward phase needs both the new stage vector and the
+    predecessor indices (paper Fig 2 lines 5-6); fusing avoids
+    materializing the ``(n, m)`` sum twice.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    _check_matvec_shapes(A, v)
+    with np.errstate(invalid="ignore"):
+        sums = A + v[np.newaxis, :]
+        pred = np.argmax(sums, axis=1).astype(np.int64)
+        vals = sums[np.arange(sums.shape[0]), pred]
+    return vals, pred
+
+
+def tropical_matrix_power(A: np.ndarray, k: int) -> np.ndarray:
+    """``A ⨂ A ⨂ … ⨂ A`` (k factors) by binary exponentiation; ``k=0`` gives I."""
+    A = as_tropical_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise DimensionError("matrix power requires a square matrix")
+    if k < 0:
+        raise ValueError("tropical matrices have no multiplicative inverse")
+    n = A.shape[0]
+    result = np.full((n, n), NEG_INF)
+    np.fill_diagonal(result, 0.0)
+    base = A.copy()
+    while k > 0:
+        if k & 1:
+            result = tropical_matmat(result, base)
+        k >>= 1
+        if k:
+            base = tropical_matmat(base, base)
+    return result
+
+
+def tropical_closure(A: np.ndarray, *, max_iter: int | None = None) -> np.ndarray:
+    """Kleene closure ``A* = I ⊕ A ⊕ A² ⊕ …`` for matrices without positive cycles.
+
+    In max-plus terms this is the all-pairs *longest* path matrix; it
+    converges within ``n`` squarings when the underlying graph has no
+    positive-weight cycle, else entries diverge and a ``ValueError`` is
+    raised.  Used by the graph view of LTDP (§4.8) and by tests that
+    cross-check stage products against :mod:`networkx` path lengths.
+    """
+    A = as_tropical_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise DimensionError("closure requires a square matrix")
+    n = A.shape[0]
+    eye = np.full((n, n), NEG_INF)
+    np.fill_diagonal(eye, 0.0)
+    current = np.maximum(eye, A)
+    limit = max_iter if max_iter is not None else max(1, n).bit_length() + 1
+    for _ in range(limit):
+        nxt = np.maximum(eye, tropical_matmat(current, current))
+        if np.array_equal(nxt, current, equal_nan=False):
+            return current
+        current = nxt
+    raise ValueError(
+        "tropical closure did not converge: the graph has a positive-weight cycle"
+    )
+
+
+def tropical_inner(u: np.ndarray, v: np.ndarray) -> float:
+    """Tropical inner product ``uᵀ ⨂ v = max_k u[k] + v[k]``."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if u.shape != v.shape or u.ndim != 1:
+        raise DimensionError(f"incompatible shapes {u.shape} and {v.shape}")
+    with np.errstate(invalid="ignore"):
+        return float(np.max(u + v))
+
+
+def tropical_outer(c: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Tropical outer product ``(c ⨂ rᵀ)[i,j] = c[i] + r[j]`` — always rank ≤ 1."""
+    c = np.asarray(c, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    if c.ndim != 1 or r.ndim != 1:
+        raise DimensionError("outer product requires 1-D operands")
+    with np.errstate(invalid="ignore"):
+        return c[:, np.newaxis] + r[np.newaxis, :]

@@ -1,0 +1,22 @@
+"""Wavefront (anti-diagonal) parallelization — the Fig 11 baseline.
+
+- :mod:`repro.wavefront.tiling` — tile decomposition of a DP table;
+- :mod:`repro.wavefront.scheduler` — the tiled anti-diagonal schedule,
+  its exact work/barrier accounting and the cost-model evaluation used
+  for the head-to-head against across-stage (LTDP) parallelism.
+"""
+
+from repro.wavefront.tiling import TileGrid, Tile
+from repro.wavefront.scheduler import (
+    WavefrontSchedule,
+    simulate_wavefront,
+    wavefront_time,
+)
+
+__all__ = [
+    "TileGrid",
+    "Tile",
+    "WavefrontSchedule",
+    "simulate_wavefront",
+    "wavefront_time",
+]

@@ -1,0 +1,88 @@
+"""Tile decomposition of a DP table for wavefront execution.
+
+The paper's wavefront baselines tile the computation table "to group
+cells … which greatly reduces the number of barriers involved"
+(§6.4, following Martins et al. [19]).  A :class:`TileGrid` splits an
+``(rows × cols)`` table into rectangular tiles; tiles on the same
+anti-diagonal are mutually independent (a tile depends only on its
+left, upper and upper-left neighbours) and execute as one wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Tile", "TileGrid"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular tile: half-open cell ranges of the DP table."""
+
+    row_block: int
+    col_block: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def num_cells(self) -> int:
+        return (self.row_stop - self.row_start) * (self.col_stop - self.col_start)
+
+    @property
+    def wave(self) -> int:
+        """The anti-diagonal index this tile belongs to."""
+        return self.row_block + self.col_block
+
+
+class TileGrid:
+    """A grid of tiles over an ``(rows × cols)`` DP table."""
+
+    def __init__(self, rows: int, cols: int, tile_rows: int, tile_cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("table must be non-empty")
+        if tile_rows < 1 or tile_cols < 1:
+            raise ValueError("tile dimensions must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.num_row_blocks = -(-rows // tile_rows)
+        self.num_col_blocks = -(-cols // tile_cols)
+
+    @property
+    def num_waves(self) -> int:
+        return self.num_row_blocks + self.num_col_blocks - 1
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_row_blocks * self.num_col_blocks
+
+    def tile(self, rb: int, cb: int) -> Tile:
+        if not (0 <= rb < self.num_row_blocks and 0 <= cb < self.num_col_blocks):
+            raise IndexError(f"tile block ({rb}, {cb}) out of range")
+        return Tile(
+            row_block=rb,
+            col_block=cb,
+            row_start=rb * self.tile_rows,
+            row_stop=min(self.rows, (rb + 1) * self.tile_rows),
+            col_start=cb * self.tile_cols,
+            col_stop=min(self.cols, (cb + 1) * self.tile_cols),
+        )
+
+    def wave_tiles(self, wave: int) -> list[Tile]:
+        """All tiles on anti-diagonal ``wave`` (each independent of the others)."""
+        if not 0 <= wave < self.num_waves:
+            raise IndexError(f"wave {wave} out of range 0..{self.num_waves - 1}")
+        tiles = []
+        rb_lo = max(0, wave - self.num_col_blocks + 1)
+        rb_hi = min(wave, self.num_row_blocks - 1)
+        for rb in range(rb_lo, rb_hi + 1):
+            tiles.append(self.tile(rb, wave - rb))
+        return tiles
+
+    def waves(self):
+        """Iterate waves in dependency order."""
+        for w in range(self.num_waves):
+            yield self.wave_tiles(w)

@@ -1,0 +1,42 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_header_separator(self):
+        out = format_table(["ab"], [[1]])
+        assert "--" in out.splitlines()[1]
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        out = format_series(
+            "cores", [1, 2, 4], {"speedup": [1.0, 1.9, 3.5], "eff": [1.0, 0.95, 0.88]}
+        )
+        lines = out.splitlines()
+        assert "cores" in lines[0] and "speedup" in lines[0] and "eff" in lines[0]
+        assert len(lines) == 2 + 3
+
+    def test_values_in_rows(self):
+        out = format_series("p", [8], {"s": [4.2]})
+        assert "8" in out and "4.2" in out

@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ltdp.matrix_problem import random_matrix_problem
+from repro.semiring.tropical import NEG_INF
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests needing other seeds create their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix_problem(rng):
+    """A small dense random LTDP instance with integer weights."""
+    return random_matrix_problem(12, 5, rng, integer=True)
+
+
+def brute_force_ltdp(initial: np.ndarray, matrices: list[np.ndarray]):
+    """Enumerate all stage-paths of a tiny LTDP instance.
+
+    Returns ``(best_value, best_path)`` where ``best_path[i]`` is the
+    subproblem index at stage ``i`` and the objective is the value of
+    subproblem 0 of the last stage:
+    ``initial[p0] + Σ A_i[p_i, p_{i-1}]`` maximized over paths ending
+    at ``p_n = 0``.  Exponential — keep widths/stages tiny.
+    Tie-break matches the library: at each choice the lowest index wins,
+    resolved by a right-to-left DP rather than naive enumeration.
+    """
+    # DP over stages gives both the exact value and deterministic path.
+    n = len(matrices)
+    values = [np.asarray(initial, dtype=float)]
+    for A in matrices:
+        prev = values[-1]
+        vals = np.max(A + prev[np.newaxis, :], axis=1)
+        values.append(vals)
+    # Backward: follow lowest-index argmax predecessors from cell 0.
+    path = [0]
+    for i in range(n, 0, -1):
+        A = matrices[i - 1]
+        prev = values[i - 1]
+        j = path[-1]
+        row = A[j] + prev
+        path.append(int(np.argmax(row)))
+    path.reverse()
+    return float(values[-1][0]), np.asarray(path, dtype=np.int64)
+
+
+def random_tropical_matrix(
+    rng: np.random.Generator,
+    rows: int,
+    cols: int,
+    *,
+    density: float = 1.0,
+    low: int = -6,
+    high: int = 6,
+) -> np.ndarray:
+    """Random integer-valued tropical matrix, optionally sparse (-inf holes)."""
+    a = rng.integers(low, high + 1, size=(rows, cols)).astype(float)
+    if density < 1.0:
+        mask = rng.random((rows, cols)) >= density
+        a[mask] = NEG_INF
+        # Keep every row non-trivial.
+        for r in range(rows):
+            if not np.isfinite(a[r]).any():
+                a[r, rng.integers(0, cols)] = float(rng.integers(low, high + 1))
+    return a

@@ -1,0 +1,103 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.hmms import make_hmm_workload
+from repro.datagen.packets import make_received_packet, random_packet
+from repro.datagen.sequences import (
+    homologous_pair,
+    mutate_sequence,
+    random_dna,
+    random_series,
+)
+from repro.problems.convolutional import VOYAGER
+
+
+class TestSequences:
+    def test_random_dna_alphabet(self, rng):
+        s = random_dna(500, rng)
+        assert s.min() >= 0 and s.max() <= 3
+
+    def test_random_dna_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_dna(0, rng)
+
+    def test_mutation_rate_controls_divergence(self, rng):
+        a = random_dna(2000, rng)
+        mild = mutate_sequence(a, rng, substitution_rate=0.01, indel_rate=0.0)
+        heavy = mutate_sequence(a, rng, substitution_rate=0.4, indel_rate=0.0)
+        mild_diff = (mild != a).mean()
+        heavy_diff = (heavy != a).mean()
+        assert mild_diff < 0.05 < heavy_diff
+
+    def test_substitutions_always_change_base(self, rng):
+        a = random_dna(500, rng)
+        mutated = mutate_sequence(a, rng, substitution_rate=1.0, indel_rate=0.0)
+        assert (mutated != a).all()
+
+    def test_indels_change_length(self, rng):
+        a = random_dna(1000, rng)
+        mutated = mutate_sequence(a, rng, substitution_rate=0.0, indel_rate=0.3)
+        assert len(mutated) != 1000
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            mutate_sequence(random_dna(5, rng), rng, substitution_rate=1.5)
+
+    def test_homologous_pair_equal_length(self, rng):
+        a, b = homologous_pair(300, rng, divergence=0.1)
+        assert len(a) == len(b) == 300
+
+    def test_homologous_pair_similarity_tracks_divergence(self, rng):
+        a1, b1 = homologous_pair(1000, rng, divergence=0.02)
+        a2, b2 = homologous_pair(1000, rng, divergence=0.4)
+        sim1 = (a1 == b1).mean()
+        sim2 = (a2 == b2).mean()
+        assert sim1 > sim2
+
+    def test_unequal_length_mode(self, rng):
+        a, b = homologous_pair(200, rng, divergence=0.2, equal_length=False)
+        assert len(a) == 200  # b may differ
+
+    def test_random_series_smoothness(self, rng):
+        smooth = random_series(2000, rng, smoothness=0.98)
+        rough = random_series(2000, rng, smoothness=0.0)
+        assert np.abs(np.diff(smooth)).mean() < np.abs(np.diff(rough)).mean()
+
+    def test_series_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_series(10, rng, smoothness=1.0)
+
+
+class TestPackets:
+    def test_random_packet_bits(self, rng):
+        p = random_packet(256, rng)
+        assert set(np.unique(p)) <= {0, 1}
+
+    def test_make_received_packet_shapes(self, rng):
+        payload, problem = make_received_packet(VOYAGER, 100, rng)
+        assert payload.size == 100
+        assert problem.num_stages == 100 + 6  # payload + K-1 flush stages
+
+    def test_decodes_at_zero_noise(self, rng):
+        from repro.ltdp.sequential import solve_sequential
+
+        payload, problem = make_received_packet(VOYAGER, 64, rng, error_rate=0.0)
+        decoded = problem.extract(solve_sequential(problem))
+        np.testing.assert_array_equal(decoded, payload)
+
+
+class TestHMMWorkloads:
+    def test_workload_shapes(self, rng):
+        model, obs, problem = make_hmm_workload(6, 4, 50, rng)
+        assert model.num_states == 6
+        assert obs.shape == (50,)
+        assert problem.num_stages == 50
+
+    def test_problem_solves(self, rng):
+        from repro.ltdp.sequential import solve_sequential
+
+        _, _, problem = make_hmm_workload(4, 3, 30, rng)
+        sol = solve_sequential(problem)
+        assert np.isfinite(sol.score)

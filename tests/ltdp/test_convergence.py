@@ -1,0 +1,110 @@
+"""Tests for the rank-convergence measurement harness (§6.1, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.ltdp.convergence import (
+    ConvergenceStudy,
+    measure_convergence_steps,
+    partial_product_rank_profile,
+    steps_to_parallel,
+)
+from repro.ltdp.matrix_problem import MatrixLTDPProblem, random_matrix_problem
+from repro.ltdp.sequential import forward_sequential
+from repro.semiring.tropical import NEG_INF, tropical_outer
+
+from tests.ltdp.test_parallel import permutation_chain_problem
+
+
+def rank_one_chain_problem(num_stages, width, rng):
+    """Every matrix rank 1 ⇒ convergence in exactly one step."""
+    mats = []
+    for _ in range(num_stages):
+        c = rng.integers(-4, 5, size=width).astype(float)
+        r = rng.integers(-4, 5, size=width).astype(float)
+        mats.append(tropical_outer(c, r))
+    init = rng.integers(-4, 5, size=width).astype(float)
+    return MatrixLTDPProblem(init, mats)
+
+
+class TestStepsToParallel:
+    def test_rank_one_converges_in_one_step(self, rng):
+        p = rank_one_chain_problem(10, 4, rng)
+        _, _, ref, _ = forward_sequential(p, keep_stage_vectors=True)
+        for start in (0, 3, 7):
+            assert steps_to_parallel(p, ref, start, rng) == 1
+
+    def test_permutation_chain_never_converges(self, rng):
+        p = permutation_chain_problem(15, 4, rng)
+        _, _, ref, _ = forward_sequential(p, keep_stage_vectors=True)
+        assert steps_to_parallel(p, ref, 0, rng) is None
+
+    def test_dense_random_converges(self, rng):
+        p = random_matrix_problem(40, 5, rng, integer=True)
+        _, _, ref, _ = forward_sequential(p, keep_stage_vectors=True)
+        steps = steps_to_parallel(p, ref, 0, rng)
+        assert steps is not None and 1 <= steps <= 40
+
+    def test_max_steps_cap(self, rng):
+        p = permutation_chain_problem(15, 4, rng)
+        _, _, ref, _ = forward_sequential(p, keep_stage_vectors=True)
+        assert steps_to_parallel(p, ref, 0, rng, max_steps=3) is None
+
+    def test_start_stage_out_of_range(self, rng):
+        p = random_matrix_problem(5, 3, rng)
+        _, _, ref, _ = forward_sequential(p, keep_stage_vectors=True)
+        with pytest.raises(ValueError):
+            steps_to_parallel(p, ref, 5, rng)
+
+
+class TestMeasureConvergence:
+    def test_study_statistics(self, rng):
+        p = random_matrix_problem(60, 5, rng, integer=True)
+        study = measure_convergence_steps(p, num_trials=20, seed=1, name="rand")
+        assert study.problem_name == "rand"
+        assert study.num_trials == 20
+        assert study.num_converged > 0
+        assert study.min_steps <= study.median_steps <= study.max_steps
+
+    def test_non_convergent_study_has_blank_stats(self, rng):
+        p = permutation_chain_problem(20, 4, rng)
+        study = measure_convergence_steps(p, num_trials=5, seed=1)
+        assert study.num_converged == 0
+        assert study.min_steps is None
+        assert study.row()[2] == "-"
+
+    def test_row_format(self):
+        study = ConvergenceStudy("x", 8, [2, 5, None, 3])
+        name, width, mn, med, mx, frac = study.row()
+        assert (name, width) == ("x", 8)
+        assert (mn, med, mx) == (2, 3, 5)
+        assert frac == "3/4"
+
+    def test_custom_start_stages(self, rng):
+        p = random_matrix_problem(30, 4, rng, integer=True)
+        study = measure_convergence_steps(p, start_stages=[0, 5, 10], seed=2)
+        assert study.num_trials == 3
+
+    def test_convergence_fraction(self):
+        study = ConvergenceStudy("x", 4, [1, None])
+        assert study.convergence_fraction == 0.5
+
+
+class TestRankProfile:
+    def test_profile_reaches_one_on_random_chains(self, rng):
+        p = random_matrix_problem(30, 4, rng, integer=True)
+        profile = partial_product_rank_profile(p, 0, 30)
+        assert profile[-1] == 1
+        # Equation (3): once the bound hits 1 it stays there (exact at 1).
+        first_one = profile.index(1)
+        assert all(r == 1 for r in profile[first_one:])
+
+    def test_profile_stays_full_on_permutations(self, rng):
+        p = permutation_chain_problem(10, 4, rng)
+        profile = partial_product_rank_profile(p, 0, 10)
+        assert all(r == 4 for r in profile)
+
+    def test_invalid_start(self, rng):
+        p = random_matrix_problem(5, 3, rng)
+        with pytest.raises(ValueError):
+            partial_product_rank_profile(p, 9, 2)

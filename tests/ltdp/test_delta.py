@@ -1,0 +1,82 @@
+"""Tests for delta encoding (paper §4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.ltdp.delta import (
+    changed_delta_count,
+    delta_decode,
+    delta_encode,
+    delta_fixup_work,
+)
+from repro.semiring.tropical import NEG_INF
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        # "[1, 2, 3, 4] and [3, 4, 5, 6] ... represented as [1,1,1,1] and
+        # [3,1,1,1] are exactly the same except for the first entry."
+        a1, d1 = delta_encode(np.array([1.0, 2, 3, 4]))
+        a2, d2 = delta_encode(np.array([3.0, 4, 5, 6]))
+        assert a1 == 1.0 and a2 == 3.0
+        np.testing.assert_array_equal(d1, [1, 1, 1])
+        np.testing.assert_array_equal(d2, [1, 1, 1])
+
+    def test_roundtrip(self, rng):
+        v = rng.integers(-10, 11, size=20).astype(float)
+        anchor, deltas = delta_encode(v)
+        np.testing.assert_allclose(delta_decode(anchor, deltas), v)
+
+    def test_single_element(self):
+        anchor, deltas = delta_encode(np.array([7.0]))
+        assert anchor == 7.0 and deltas.size == 0
+        np.testing.assert_array_equal(delta_decode(anchor, deltas), [7.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            delta_encode(np.array([]))
+
+    def test_neg_inf_marked_nan(self):
+        _, deltas = delta_encode(np.array([1.0, NEG_INF, 2.0]))
+        assert np.isnan(deltas).all()
+
+    def test_decode_rejects_markers(self):
+        with pytest.raises(ValueError):
+            delta_decode(0.0, np.array([np.nan]))
+
+
+class TestChangeCounting:
+    def test_parallel_vectors_have_zero_changes(self, rng):
+        v = rng.integers(-10, 11, size=15).astype(float)
+        assert changed_delta_count(v, v + 42.0) == 0
+
+    def test_single_local_edit(self, rng):
+        v = rng.integers(-10, 11, size=15).astype(float)
+        w = v.copy()
+        w[7] += 3.0  # perturbs deltas at positions 6 and 7
+        assert changed_delta_count(v, w) == 2
+
+    def test_completely_different(self, rng):
+        v = np.arange(10, dtype=float)
+        w = np.arange(10, dtype=float)[::-1].copy()
+        assert changed_delta_count(v, w) == 9
+
+    def test_matching_neg_inf_positions_not_counted(self):
+        v = np.array([1.0, NEG_INF, 2.0, 3.0])
+        w = v + 0.0
+        w[3] = 9.0
+        assert changed_delta_count(v, w) == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            changed_delta_count(np.zeros(3), np.zeros(4))
+
+    def test_scalar_vectors_cost_anchor_only(self):
+        assert delta_fixup_work(np.array([1.0]), np.array([5.0])) == 1.0
+
+    def test_fixup_work_bounds(self, rng):
+        v = rng.integers(-5, 6, size=30).astype(float)
+        w = rng.integers(-5, 6, size=30).astype(float)
+        work = delta_fixup_work(v, w)
+        assert 1.0 <= work <= 30.0

@@ -1,0 +1,100 @@
+"""Tests for explicit-matrix LTDP instances."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemDefinitionError, TrivialMatrixError
+from repro.ltdp.matrix_problem import MatrixLTDPProblem, random_matrix_problem
+from repro.semiring.tropical import NEG_INF, tropical_matvec
+
+
+class TestConstruction:
+    def test_empty_matrices_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            MatrixLTDPProblem(np.zeros(2), [])
+
+    def test_shape_chain_validated(self):
+        with pytest.raises(ProblemDefinitionError):
+            MatrixLTDPProblem(np.zeros(2), [np.zeros((3, 2)), np.zeros((2, 2))])
+
+    def test_trivial_matrix_rejected(self):
+        bad = np.array([[0.0, 1.0], [NEG_INF, NEG_INF]])
+        with pytest.raises(TrivialMatrixError):
+            MatrixLTDPProblem(np.zeros(2), [bad])
+
+    def test_trivial_matrix_allowed_when_opted_in(self):
+        bad = np.array([[0.0, 1.0], [NEG_INF, NEG_INF]])
+        p = MatrixLTDPProblem(np.zeros(2), [bad], allow_trivial=True)
+        assert p.num_stages == 1
+
+    def test_rectangular_chain(self):
+        p = MatrixLTDPProblem(
+            np.zeros(2), [np.zeros((3, 2)), np.zeros((1, 3))]
+        )
+        assert p.stage_width(0) == 2
+        assert p.stage_width(1) == 3
+        assert p.stage_width(2) == 1
+
+    def test_matrices_defensively_copied(self):
+        m = np.zeros((2, 2))
+        p = MatrixLTDPProblem(np.zeros(2), [m])
+        m[0, 0] = 99.0
+        assert p.stage_matrix(1)[0, 0] == 0.0
+
+
+class TestBehaviour:
+    def test_apply_matches_matvec(self, rng):
+        p = random_matrix_problem(5, 4, rng, integer=True)
+        v = rng.integers(-5, 6, size=4).astype(float)
+        for i in range(1, 6):
+            np.testing.assert_array_equal(
+                p.apply_stage(i, v), tropical_matvec(p.stage_matrix(i), v)
+            )
+
+    def test_stage_index_bounds(self, rng):
+        p = random_matrix_problem(3, 3, rng)
+        with pytest.raises(ProblemDefinitionError):
+            p.apply_stage(0, np.zeros(3))
+        with pytest.raises(ProblemDefinitionError):
+            p.apply_stage(4, np.zeros(3))
+
+    def test_edge_weight_is_matrix_entry(self, rng):
+        p = random_matrix_problem(3, 3, rng, integer=True)
+        assert p.edge_weight(2, 1, 2) == p.stage_matrix(2)[1, 2]
+
+    def test_stage_cost_counts_dense_cells(self, rng):
+        p = random_matrix_problem(2, 4, rng)
+        assert p.stage_cost(1) == 16.0
+        assert p.total_cells() == 32.0
+
+    def test_initial_vector_is_copy(self, rng):
+        p = random_matrix_problem(2, 3, rng)
+        v = p.initial_vector()
+        v[0] = 123.0
+        assert p.initial_vector()[0] != 123.0
+
+    def test_probed_matrix_equals_stored(self, rng):
+        from repro.ltdp.problem import LTDPProblem
+
+        p = random_matrix_problem(3, 4, rng, integer=True)
+        probed = LTDPProblem.stage_matrix(p, 2)  # generic probe path
+        np.testing.assert_array_equal(probed, p.stage_matrix(2))
+
+
+class TestRandomGeneration:
+    def test_density_creates_sparsity(self, rng):
+        p = random_matrix_problem(4, 10, rng, density=0.3)
+        a = p.stage_matrix(1)
+        assert (a == NEG_INF).sum() > 0
+        # non-triviality maintained
+        assert np.isfinite(a).any(axis=1).all()
+
+    def test_integer_weights_exact(self, rng):
+        p = random_matrix_problem(3, 5, rng, integer=True)
+        a = p.stage_matrix(1)
+        finite = np.isfinite(a)
+        assert np.array_equal(a[finite], np.round(a[finite]))
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(ValueError):
+            random_matrix_problem(2, 2, rng, density=0.0)

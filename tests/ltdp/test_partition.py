@@ -1,0 +1,50 @@
+"""Tests for stage partitioning (paper Fig 4 line 5)."""
+
+import pytest
+
+from repro.ltdp.partition import StageRange, partition_stages
+
+
+class TestPartition:
+    def test_even_split(self):
+        ranges = partition_stages(12, 3)
+        assert [(r.lo, r.hi) for r in ranges] == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_to_leading_procs(self):
+        ranges = partition_stages(10, 3)
+        assert [r.num_stages for r in ranges] == [4, 3, 3]
+
+    def test_tiles_the_sequence(self):
+        for n in (1, 2, 7, 100):
+            for p in (1, 2, 3, 8, 64):
+                ranges = partition_stages(n, p)
+                assert ranges[0].lo == 0
+                assert ranges[-1].hi == n
+                for a, b in zip(ranges, ranges[1:]):
+                    assert a.hi == b.lo
+
+    def test_proc_ids_are_one_based(self):
+        ranges = partition_stages(6, 3)
+        assert [r.proc for r in ranges] == [1, 2, 3]
+
+    def test_more_procs_than_stages_clamps(self):
+        ranges = partition_stages(3, 10)
+        assert len(ranges) == 3
+        assert all(r.num_stages == 1 for r in ranges)
+
+    def test_single_proc(self):
+        (r,) = partition_stages(9, 1)
+        assert (r.lo, r.hi) == (0, 9)
+
+    def test_stages_iterator(self):
+        r = StageRange(proc=2, lo=4, hi=8)
+        assert list(r.stages()) == [5, 6, 7, 8]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            StageRange(proc=1, lo=3, hi=3)
+
+    @pytest.mark.parametrize("n,p", [(0, 1), (5, 0), (-1, 2)])
+    def test_invalid_arguments(self, n, p):
+        with pytest.raises(ValueError):
+            partition_stages(n, p)

@@ -1,0 +1,96 @@
+"""Tests for LTDP well-formedness validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.matrix_problem import MatrixLTDPProblem, random_matrix_problem
+from repro.ltdp.problem import LTDPProblem
+from repro.ltdp.validation import validate_problem
+from repro.semiring.tropical import NEG_INF
+
+
+class NonLinearProblem(LTDPProblem):
+    """max(…, 0) without a zero anchor — the §5 SW pitfall."""
+
+    @property
+    def num_stages(self):
+        return 4
+
+    def stage_width(self, i):
+        return 3
+
+    def initial_vector(self):
+        return np.zeros(3)
+
+    def apply_stage(self, i, v):
+        v = np.asarray(v, dtype=float)
+        return np.maximum(np.roll(v, 1) + 1.0, 0.0)  # affine, not linear!
+
+
+class TrivialRowProblem(LTDPProblem):
+    @property
+    def num_stages(self):
+        return 2
+
+    def stage_width(self, i):
+        return 2
+
+    def initial_vector(self):
+        return np.zeros(2)
+
+    def apply_stage(self, i, v):
+        v = np.asarray(v, dtype=float)
+        return np.array([np.max(v), NEG_INF])  # second row is trivial
+
+
+class InconsistentPredProblem(MatrixLTDPProblem):
+    def apply_stage_with_pred(self, i, v):
+        vals, pred = super().apply_stage_with_pred(i, v)
+        return vals, np.zeros_like(pred)  # bogus predecessors
+
+
+class TestValidation:
+    def test_valid_matrix_problem_passes(self, rng):
+        p = random_matrix_problem(8, 4, rng, integer=True)
+        report = validate_problem(p)
+        assert report.ok
+        assert bool(report)
+
+    def test_nonlinear_kernel_detected(self):
+        report = validate_problem(NonLinearProblem())
+        assert not report.ok
+        assert any("homogeneous" in f or "additive" in f for f in report.failures)
+
+    def test_trivial_row_detected(self):
+        report = validate_problem(TrivialRowProblem())
+        assert not report.ok
+        assert any("-inf" in f or "all--inf" in f or "non-zero" in f for f in report.failures)
+
+    def test_inconsistent_predecessors_detected(self, rng):
+        base = random_matrix_problem(6, 4, rng, integer=True)
+        p = InconsistentPredProblem(
+            base.initial_vector(), [base.stage_matrix(i) for i in range(1, 7)]
+        )
+        report = validate_problem(p)
+        # Bogus predecessors only escape detection if index 0 happens to
+        # achieve every maximum; with dense random matrices that is
+        # essentially impossible across all sampled stages.
+        assert not report.ok
+
+    def test_raise_if_failed(self):
+        report = validate_problem(TrivialRowProblem())
+        with pytest.raises(ProblemDefinitionError):
+            report.raise_if_failed()
+
+    def test_stages_sampled_across_sequence(self, rng):
+        p = random_matrix_problem(100, 3, rng, integer=True)
+        report = validate_problem(p, num_stage_samples=4)
+        assert report.stages_checked[0] == 1
+        assert report.stages_checked[-1] == 100
+
+    def test_deterministic(self, rng):
+        p = random_matrix_problem(8, 4, rng, integer=True)
+        a = validate_problem(p, seed=5)
+        b = validate_problem(p, seed=5)
+        assert a.failures == b.failures

@@ -1,0 +1,79 @@
+"""Tests for the BSP cost model and kernel calibration."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_model import CostModel, calibrate_cell_cost
+from repro.machine.metrics import CommEvent, RunMetrics, SuperstepRecord
+
+
+class TestCostModel:
+    def test_sequential_time(self):
+        cm = CostModel(cell_cost=1e-9, traceback_cell_cost=1e-10)
+        assert cm.sequential_time(1e9) == pytest.approx(1.0)
+        assert cm.sequential_time(0, traceback_steps=1e10) == pytest.approx(1.0)
+
+    def test_superstep_time_components(self):
+        cm = CostModel(
+            cell_cost=1e-6,
+            barrier_latency=1e-3,
+            comm_latency=1e-4,
+            comm_byte_cost=1e-8,
+        )
+        t = cm.superstep_time(1000.0, [CommEvent(1, 2, 100)])
+        assert t == pytest.approx(1e-3 + 1e-3 + 1e-4 + 1e-6)
+
+    def test_backward_supersteps_use_traceback_cost(self):
+        cm = CostModel(cell_cost=1.0, traceback_cell_cost=0.5, barrier_latency=0.0)
+        m = RunMetrics(num_procs=1)
+        m.record(SuperstepRecord(label="backward", work=[10.0]))
+        assert cm.run_time(m) == pytest.approx(5.0)
+
+    def test_run_time_sums_supersteps(self):
+        cm = CostModel(cell_cost=1.0, barrier_latency=0.0)
+        m = RunMetrics(num_procs=2)
+        m.record(SuperstepRecord(label="forward", work=[3.0, 4.0]))
+        m.record(SuperstepRecord(label="fixup[1]", work=[0.0, 2.0]))
+        assert cm.run_time(m) == pytest.approx(6.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(cell_cost=-1.0)
+
+    def test_with_cell_cost(self):
+        cm = CostModel(cell_cost=1.0).with_cell_cost(2.0)
+        assert cm.cell_cost == 2.0
+
+    def test_more_work_costs_more(self):
+        cm = CostModel()
+        a = cm.superstep_time(100.0, [])
+        b = cm.superstep_time(200.0, [])
+        assert b > a
+
+
+class TestCalibration:
+    def test_returns_positive_per_cell_cost(self):
+        a = np.zeros(1000)
+
+        def kernel():
+            np.maximum(a, 1.0)
+
+        cost = calibrate_cell_cost(kernel, 1000, min_seconds=0.01)
+        assert 0 < cost < 1e-3
+
+    def test_rejects_bad_cell_count(self):
+        with pytest.raises(ValueError):
+            calibrate_cell_cost(lambda: None, 0)
+
+    def test_slower_kernel_costs_more(self):
+        a = np.zeros(200_000)
+
+        def fast():
+            a + 1.0
+
+        def slow():
+            np.sort(a + 1.0)
+
+        fast_cost = calibrate_cell_cost(fast, a.size, min_seconds=0.02)
+        slow_cost = calibrate_cell_cost(slow, a.size, min_seconds=0.02)
+        assert slow_cost > fast_cost

@@ -1,0 +1,115 @@
+"""Tests for the superstep executors."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutorError
+from repro.machine.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+
+
+def make_tasks(n=5):
+    return [lambda i=i: i * i for i in range(n)]
+
+
+class TestSerialExecutor:
+    def test_results_in_order(self):
+        assert SerialExecutor().run_superstep(make_tasks()) == [0, 1, 4, 9, 16]
+
+    def test_empty(self):
+        assert SerialExecutor().run_superstep([]) == []
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            SerialExecutor().run_superstep([boom])
+
+
+class TestThreadExecutor:
+    def test_results_in_order(self):
+        with ThreadExecutor(max_workers=3) as ex:
+            assert ex.run_superstep(make_tasks()) == [0, 1, 4, 9, 16]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("boom")
+
+        with ThreadExecutor() as ex:
+            with pytest.raises(ValueError):
+                ex.run_superstep([boom])
+
+    def test_close_idempotent(self):
+        ex = ThreadExecutor()
+        ex.close()
+        ex.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork required")
+class TestProcessExecutor:
+    def test_results_in_order(self):
+        with ProcessExecutor() as ex:
+            assert ex.run_superstep(make_tasks()) == [0, 1, 4, 9, 16]
+
+    def test_numpy_arrays_roundtrip(self):
+        arr = np.arange(100, dtype=np.float64)
+
+        def task():
+            return arr * 2
+
+        with ProcessExecutor() as ex:
+            (result,) = ex.run_superstep([task])
+        np.testing.assert_array_equal(result, arr * 2)
+
+    def test_closures_inherited_through_fork(self):
+        captured = {"value": 41}
+
+        def task():
+            return captured["value"] + 1
+
+        with ProcessExecutor() as ex:
+            assert ex.run_superstep([task]) == [42]
+
+    def test_worker_exception_becomes_executor_error(self):
+        def boom():
+            raise RuntimeError("worker exploded")
+
+        with ProcessExecutor() as ex:
+            with pytest.raises(ExecutorError, match="worker exploded"):
+                ex.run_superstep([boom])
+
+    def test_worker_death_detected(self):
+        def die():
+            os._exit(3)
+
+        with ProcessExecutor() as ex:
+            with pytest.raises(ExecutorError, match="died"):
+                ex.run_superstep([die])
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            get_executor("gpu")
+
+    def test_all_executors_agree(self):
+        tasks = make_tasks(8)
+        expected = [t() for t in tasks]
+        for kind in ("serial", "thread", "process"):
+            ex = get_executor(kind)
+            try:
+                assert ex.run_superstep(tasks) == expected
+            finally:
+                ex.close()

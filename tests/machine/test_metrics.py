@@ -1,0 +1,67 @@
+"""Tests for work/communication accounting."""
+
+import pytest
+
+from repro.machine.metrics import CommEvent, RunMetrics, SuperstepRecord
+
+
+class TestSuperstepRecord:
+    def test_critical_and_total(self):
+        s = SuperstepRecord(label="forward", work=[3.0, 5.0, 2.0])
+        assert s.critical_work == 5.0
+        assert s.total_work == 10.0
+
+    def test_empty_work(self):
+        s = SuperstepRecord(label="x", work=[])
+        assert s.critical_work == 0.0
+
+
+class TestRunMetrics:
+    def make(self):
+        m = RunMetrics(num_procs=3)
+        m.record(SuperstepRecord(label="forward", work=[4.0, 4.0, 4.0]))
+        m.record(
+            SuperstepRecord(
+                label="fixup[1]",
+                work=[0.0, 2.0, 3.0],
+                comm=[CommEvent(1, 2, 80), CommEvent(2, 3, 80)],
+            )
+        )
+        return m
+
+    def test_critical_path(self):
+        assert self.make().critical_path_work == 7.0
+
+    def test_total_work(self):
+        assert self.make().total_work == 17.0
+
+    def test_barriers_count_supersteps(self):
+        assert self.make().num_barriers == 2
+
+    def test_bytes(self):
+        assert self.make().bytes_communicated == 160
+
+    def test_work_by_processor(self):
+        assert self.make().work_by_processor() == [4.0, 6.0, 7.0]
+
+    def test_record_validates_width(self):
+        m = RunMetrics(num_procs=2)
+        with pytest.raises(ValueError):
+            m.record(SuperstepRecord(label="x", work=[1.0]))
+
+    def test_merge(self):
+        a = self.make()
+        b = RunMetrics(num_procs=3)
+        b.record(SuperstepRecord(label="backward", work=[1.0, 1.0, 1.0]))
+        b.backward_fixup_iterations = 2
+        merged = a.merged_with([b])
+        assert merged.num_barriers == 3
+        assert merged.backward_fixup_iterations == 2
+        # originals untouched
+        assert a.num_barriers == 2
+
+    def test_merge_mismatched_procs_rejected(self):
+        a = self.make()
+        b = RunMetrics(num_procs=2)
+        with pytest.raises(ValueError):
+            a.merged_with([b])

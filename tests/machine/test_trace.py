@@ -1,0 +1,74 @@
+"""Tests for execution-trace construction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.ltdp.matrix_problem import random_matrix_problem
+from repro.ltdp.parallel import solve_parallel
+from repro.machine.cost_model import CostModel
+from repro.machine.metrics import RunMetrics, SuperstepRecord
+from repro.machine.trace import build_trace, render_gantt, utilization
+
+
+def simple_metrics():
+    m = RunMetrics(num_procs=2)
+    m.record(SuperstepRecord(label="forward", work=[10.0, 5.0]))
+    m.record(SuperstepRecord(label="fixup[1]", work=[0.0, 4.0]))
+    return m
+
+
+class TestBuildTrace:
+    def test_interval_structure(self):
+        cm = CostModel(cell_cost=1.0, barrier_latency=0.0)
+        intervals, makespan = build_trace(simple_metrics(), cm)
+        # Three busy intervals: P1 forward, P2 forward, P2 fixup.
+        assert len(intervals) == 3
+        assert makespan == pytest.approx(14.0)
+        p1 = [iv for iv in intervals if iv.proc == 1]
+        assert p1[0].duration == pytest.approx(10.0)
+
+    def test_supersteps_do_not_overlap(self):
+        cm = CostModel(cell_cost=1.0, barrier_latency=2.0)
+        intervals, _ = build_trace(simple_metrics(), cm)
+        fixup = [iv for iv in intervals if iv.label.startswith("fixup")]
+        forward = [iv for iv in intervals if iv.label == "forward"]
+        assert min(f.start for f in fixup) >= max(f.end for f in forward)
+
+    def test_barrier_shifts_following_superstep(self):
+        no_barrier = build_trace(simple_metrics(), CostModel(cell_cost=1.0, barrier_latency=0.0))
+        with_barrier = build_trace(simple_metrics(), CostModel(cell_cost=1.0, barrier_latency=3.0))
+        assert with_barrier[1] == pytest.approx(no_barrier[1] + 6.0)
+
+    def test_utilization_bounds(self):
+        cm = CostModel(cell_cost=1.0, barrier_latency=0.0)
+        util = utilization(simple_metrics(), cm)
+        assert len(util) == 2
+        assert all(0.0 <= u <= 1.0 for u in util)
+        # P1 works 10 of 14; P2 works 9 of 14.
+        assert util[0] == pytest.approx(10 / 14)
+        assert util[1] == pytest.approx(9 / 14)
+
+
+class TestRenderGantt:
+    def test_renders_all_processors(self):
+        cm = CostModel(cell_cost=1.0)
+        text = render_gantt(simple_metrics(), cm, columns=40)
+        assert text.count("|") == 4  # two rows, two bars each
+        assert "P1" in text and "P2" in text
+        assert "makespan" in text
+
+    def test_glyphs_present(self):
+        cm = CostModel(cell_cost=1.0)
+        text = render_gantt(simple_metrics(), cm, columns=40)
+        assert "F" in text and "x" in text
+
+    def test_columns_validated(self):
+        with pytest.raises(ValueError):
+            render_gantt(simple_metrics(), CostModel(), columns=5)
+
+    def test_real_run_traces(self):
+        rng = np.random.default_rng(0)
+        p = random_matrix_problem(40, 4, rng, integer=True)
+        par = solve_parallel(p, num_procs=4)
+        text = render_gantt(par.metrics, CostModel(cell_cost=1e-6), columns=60)
+        assert text.count("P") >= 4

@@ -1,0 +1,78 @@
+"""Tests for alignment move expansion and the Alignment container."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.sequences import homologous_pair, random_dna
+from repro.ltdp.sequential import solve_sequential
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.scoring import ScoringScheme
+from repro.problems.alignment.traceback import Alignment, expand_banded_path
+
+
+class TestExpandBandedPath:
+    def test_moves_consume_sequences_exactly_once(self, rng):
+        a, b = homologous_pair(40, rng, divergence=0.15)
+        p = NeedlemanWunschProblem(a, b, width=10)
+        moves = expand_banded_path(p, solve_sequential(p))
+        consumed_a = [i for op, i, _ in moves if op in ("D", "U")]
+        consumed_b = [j for op, _, j in moves if op in ("D", "L")]
+        assert consumed_a == list(range(1, len(a) + 1))
+        assert consumed_b == list(range(1, len(b) + 1))
+
+    def test_moves_are_monotone(self, rng):
+        a, b = homologous_pair(30, rng, divergence=0.2)
+        p = LCSProblem(a, b, width=8)
+        moves = expand_banded_path(p, solve_sequential(p))
+        rows = [i for op, i, _ in moves if op in ("D", "U")]
+        assert rows == sorted(rows)
+
+    def test_identical_sequences_all_diagonal(self, rng):
+        a = random_dna(15, rng)
+        p = NeedlemanWunschProblem(a, a, width=4)
+        moves = expand_banded_path(p, solve_sequential(p))
+        assert all(op == "D" for op, _, _ in moves)
+
+    def test_pure_insertion_alignment(self):
+        a = np.array([0], dtype=np.int64)
+        b = np.array([0, 1, 2, 3], dtype=np.int64)
+        p = NeedlemanWunschProblem(a, b, width=4)
+        moves = expand_banded_path(p, solve_sequential(p))
+        ops = [op for op, _, _ in moves]
+        assert ops.count("D") == 1
+        assert ops.count("L") == 3
+
+
+class TestAlignmentContainer:
+    def make_alignment(self, rng):
+        a, b = homologous_pair(30, rng, divergence=0.1)
+        scoring = ScoringScheme.unit_linear(gap=1.0)
+        p = NeedlemanWunschProblem(a, b, width=8, scoring=scoring)
+        sol = solve_sequential(p)
+        return p.extract(sol), sol, scoring
+
+    def test_length_counts_columns(self, rng):
+        aln, _, _ = self.make_alignment(rng)
+        assert len(aln) == aln.top.size == aln.bottom.size
+
+    def test_no_double_gaps(self, rng):
+        aln, _, _ = self.make_alignment(rng)
+        both_gaps = (aln.top == Alignment.GAP) & (aln.bottom == Alignment.GAP)
+        assert not both_gaps.any()
+
+    def test_priced_score_matches_solution(self, rng):
+        aln, sol, scoring = self.make_alignment(rng)
+        assert aln.priced_score(scoring) == sol.score
+
+    def test_render_shapes(self, rng):
+        aln, _, _ = self.make_alignment(rng)
+        top, bottom = aln.render().splitlines()
+        assert len(top) == len(bottom) == len(aln)
+        assert set(top) <= set("ACGT-")
+
+    def test_from_moves_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Alignment.from_moves(
+                np.array([0]), np.array([0]), [("Z", 1, 1)], score=0.0
+            )

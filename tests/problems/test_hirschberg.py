@@ -1,0 +1,102 @@
+"""Tests for Hirschberg's linear-space global alignment."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.sequences import homologous_pair, random_dna
+from repro.problems.alignment.hirschberg import (
+    hirschberg_alignment,
+    nw_score_last_row,
+)
+from repro.problems.alignment.reference import nw_score_reference, nw_table
+from repro.problems.alignment.scoring import ScoringScheme
+
+SCORING = ScoringScheme.unit_linear(gap=1.0)
+
+
+class TestLastRow:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_table(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_dna(int(rng.integers(1, 15)), rng)
+        b = random_dna(int(rng.integers(1, 15)), rng)
+        row = nw_score_last_row(a, b, SCORING)
+        table = nw_table(a, b, SCORING)
+        np.testing.assert_allclose(row, table[len(a)])
+
+    def test_empty_b(self, rng):
+        a = random_dna(5, rng)
+        row = nw_score_last_row(a, np.array([], dtype=np.int64), SCORING)
+        np.testing.assert_allclose(row, [-5.0])
+
+    def test_affine_rejected(self, rng):
+        a = random_dna(3, rng)
+        with pytest.raises(ValueError):
+            nw_score_last_row(a, a, ScoringScheme(gap_open=3, gap_extend=1))
+
+
+class TestHirschberg:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_score_is_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_dna(int(rng.integers(1, 30)), rng)
+        b = random_dna(int(rng.integers(1, 30)), rng)
+        aln = hirschberg_alignment(a, b, SCORING)
+        assert aln.score == nw_score_reference(a, b, SCORING)
+
+    def test_alignment_consumes_sequences(self, rng):
+        a, b = homologous_pair(60, rng, divergence=0.15)
+        aln = hirschberg_alignment(a, b, SCORING)
+        assert (aln.top != aln.GAP).sum() == len(a)
+        assert (aln.bottom != aln.GAP).sum() == len(b)
+
+    def test_priced_score_consistent(self, rng):
+        a, b = homologous_pair(40, rng, divergence=0.2)
+        aln = hirschberg_alignment(a, b, SCORING)
+        assert aln.priced_score(SCORING) == aln.score
+
+    def test_matches_banded_ltdp_with_full_band(self, rng):
+        from repro.ltdp.sequential import solve_sequential
+        from repro.problems.alignment.needleman_wunsch import (
+            NeedlemanWunschProblem,
+        )
+
+        a, b = homologous_pair(50, rng, divergence=0.1)
+        ltdp = solve_sequential(
+            NeedlemanWunschProblem(a, b, width=100, scoring=SCORING)
+        )
+        aln = hirschberg_alignment(a, b, SCORING)
+        assert aln.score == ltdp.score
+
+    def test_identical_sequences(self, rng):
+        a = random_dna(20, rng)
+        aln = hirschberg_alignment(a, a, SCORING)
+        assert aln.score == 20.0
+        np.testing.assert_array_equal(aln.top, aln.bottom)
+
+    def test_empty_against_nonempty(self, rng):
+        b = random_dna(6, rng)
+        aln = hirschberg_alignment(np.array([], dtype=np.int64), b, SCORING)
+        assert aln.score == -6.0
+        assert (aln.top == aln.GAP).all()
+
+    def test_one_symbol_cases(self, rng):
+        a = np.array([2], dtype=np.int64)
+        b = random_dna(8, rng)
+        aln = hirschberg_alignment(a, b, SCORING)
+        assert aln.score == nw_score_reference(a, b, SCORING)
+
+    def test_substitution_matrix_scoring(self, rng):
+        sub = np.array(
+            [
+                [3.0, -2, -2, -2],
+                [-2, 3.0, -2, -2],
+                [-2, -2, 3.0, -2],
+                [-2, -2, -2, 3.0],
+            ]
+        )
+        scoring = ScoringScheme(gap_open=2.0, gap_extend=2.0, substitution=sub)
+        a = random_dna(20, rng)
+        b = random_dna(18, rng)
+        aln = hirschberg_alignment(a, b, scoring)
+        assert aln.score == nw_score_reference(a, b, scoring)

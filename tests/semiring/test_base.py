@@ -1,0 +1,110 @@
+"""Tests for the semiring abstractions (paper §2 axioms)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.semiring.base import BOOLEAN, LOG_PROB, MAX_PLUS, MIN_PLUS
+from repro.semiring.properties import check_all_laws, law_violations
+from repro.semiring.tropical import tropical_matmat, tropical_matvec
+
+ALL_SEMIRINGS = [MAX_PLUS, MIN_PLUS, BOOLEAN, LOG_PROB]
+
+TROPICAL_ELEMENTS = [-math.inf, -3.5, -1.0, 0.0, 0.5, 2.0, 7.25]
+MINPLUS_ELEMENTS = [math.inf, -3.5, -1.0, 0.0, 0.5, 2.0, 7.25]
+BOOL_ELEMENTS = [0.0, 1.0]
+LOGPROB_ELEMENTS = [-math.inf, -5.0, -1.0, -0.25, 0.0]
+
+
+class TestSemiringLaws:
+    def test_max_plus_laws(self):
+        assert check_all_laws(MAX_PLUS, TROPICAL_ELEMENTS)
+
+    def test_min_plus_laws(self):
+        assert check_all_laws(MIN_PLUS, MINPLUS_ELEMENTS)
+
+    def test_boolean_laws(self):
+        assert check_all_laws(BOOLEAN, BOOL_ELEMENTS)
+
+    def test_log_prob_laws(self):
+        assert check_all_laws(LOG_PROB, LOGPROB_ELEMENTS)
+
+    def test_violations_reported_for_broken_semiring(self):
+        from repro.semiring.base import Semiring
+
+        broken = Semiring(
+            name="broken",
+            add=lambda a, b: a - b,  # not commutative / associative
+            mul=lambda a, b: a + b,
+            zero=0.0,
+            one=0.0,
+        )
+        assert law_violations(broken, [1.0, 2.0, 3.0])
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("s", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_add_many_empty_is_zero(self, s):
+        assert s.add_many([]) == s.zero
+
+    @pytest.mark.parametrize("s", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_mul_many_empty_is_one(self, s):
+        assert s.mul_many([]) == s.one
+
+    def test_max_plus_add_is_max(self):
+        assert MAX_PLUS.add(3.0, 5.0) == 5.0
+        assert MAX_PLUS.add(-math.inf, 5.0) == 5.0
+
+    def test_max_plus_mul_is_plus(self):
+        assert MAX_PLUS.mul(3.0, 5.0) == 8.0
+
+    def test_min_plus_add_is_min(self):
+        assert MIN_PLUS.add(3.0, 5.0) == 3.0
+
+    def test_log_prob_add_is_logsumexp(self):
+        got = LOG_PROB.add(math.log(0.25), math.log(0.5))
+        assert got == pytest.approx(math.log(0.75))
+
+    def test_log_prob_add_with_zero(self):
+        assert LOG_PROB.add(-math.inf, -1.5) == -1.5
+        assert LOG_PROB.add(-1.5, -math.inf) == -1.5
+
+    def test_is_zero(self):
+        assert MAX_PLUS.is_zero(-math.inf)
+        assert not MAX_PLUS.is_zero(0.0)
+        assert MIN_PLUS.is_zero(math.inf)
+
+
+class TestReferenceMatrixOps:
+    """The generic (slow) semiring mat-ops agree with the fast tropical kernels."""
+
+    def test_matvec_agrees_with_tropical_kernel(self, rng):
+        A = rng.integers(-5, 6, size=(4, 6)).astype(float)
+        v = rng.integers(-5, 6, size=6).astype(float)
+        np.testing.assert_array_equal(MAX_PLUS.matvec(A, v), tropical_matvec(A, v))
+
+    def test_matmat_agrees_with_tropical_kernel(self, rng):
+        A = rng.integers(-5, 6, size=(3, 4)).astype(float)
+        B = rng.integers(-5, 6, size=(4, 5)).astype(float)
+        np.testing.assert_array_equal(MAX_PLUS.matmat(A, B), tropical_matmat(A, B))
+
+    def test_matvec_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MAX_PLUS.matvec(np.zeros((2, 3)), np.zeros(4))
+
+    def test_matmat_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MAX_PLUS.matmat(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_boolean_matmat_is_reachability(self):
+        A = np.array([[1.0, 0.0], [0.0, 1.0]])
+        B = np.array([[0.0, 1.0], [1.0, 0.0]])
+        got = BOOLEAN.matmat(A, B)
+        np.testing.assert_array_equal(got, B)
+
+    def test_min_plus_matvec_is_shortest_path_step(self):
+        A = np.array([[0.0, 2.0], [1.0, math.inf]])
+        v = np.array([5.0, 3.0])
+        got = MIN_PLUS.matvec(A, v)
+        np.testing.assert_array_equal(got, [5.0, 6.0])

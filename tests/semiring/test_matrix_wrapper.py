@@ -1,0 +1,103 @@
+"""Tests for the TropicalMatrix convenience wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.semiring.matrix import TropicalMatrix, identity_matrix, zero_matrix
+from repro.semiring.tropical import NEG_INF, tropical_matmat, tropical_matvec
+
+
+class TestConstruction:
+    def test_data_is_read_only(self):
+        m = TropicalMatrix([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            m.data[0, 0] = 5.0
+
+    def test_source_array_not_aliased(self):
+        src = np.array([[1.0, 2.0]])
+        m = TropicalMatrix(src)
+        src[0, 0] = 9.0
+        assert m[0, 0] == 1.0
+
+    def test_identity(self):
+        eye = identity_matrix(3)
+        v = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(eye @ v, v)
+
+    def test_zero(self):
+        z = zero_matrix(2, 3)
+        assert z.shape == (2, 3)
+        assert np.all(z.data == NEG_INF)
+
+    def test_zero_square_default(self):
+        assert zero_matrix(4).shape == (4, 4)
+
+
+class TestOps:
+    def test_matmul_matrix(self, rng):
+        a = rng.integers(-4, 5, size=(3, 4)).astype(float)
+        b = rng.integers(-4, 5, size=(4, 2)).astype(float)
+        got = TropicalMatrix(a) @ TropicalMatrix(b)
+        np.testing.assert_array_equal(got.data, tropical_matmat(a, b))
+
+    def test_matmul_vector(self, rng):
+        a = rng.integers(-4, 5, size=(3, 4)).astype(float)
+        v = rng.integers(-4, 5, size=4).astype(float)
+        np.testing.assert_array_equal(TropicalMatrix(a) @ v, tropical_matvec(a, v))
+
+    def test_matmul_raw_matrix(self, rng):
+        a = rng.integers(-4, 5, size=(3, 3)).astype(float)
+        b = rng.integers(-4, 5, size=(3, 3)).astype(float)
+        got = TropicalMatrix(a) @ b
+        assert isinstance(got, TropicalMatrix)
+
+    def test_matmul_bad_rank(self):
+        with pytest.raises(DimensionError):
+            TropicalMatrix(np.zeros((2, 2))) @ np.zeros((2, 2, 2))
+
+    def test_power(self, rng):
+        a = rng.integers(-4, 5, size=(3, 3)).astype(float)
+        m = TropicalMatrix(a)
+        np.testing.assert_array_equal((m ** 3).data, (m @ m @ m).data)
+
+    def test_star(self, rng):
+        a = rng.integers(-4, 5, size=(3, 3)).astype(float)
+        v = rng.integers(-4, 5, size=3).astype(float)
+        pred = TropicalMatrix(a).star(v)
+        achieved = a[np.arange(3), pred] + v[pred]
+        np.testing.assert_array_equal(achieved, TropicalMatrix(a) @ v)
+
+    def test_scale(self):
+        m = TropicalMatrix([[1.0, NEG_INF], [0.0, 2.0]])
+        s = m.scale(3.0)
+        np.testing.assert_array_equal(s.data, [[4.0, NEG_INF], [3.0, 5.0]])
+
+    def test_transpose(self):
+        m = TropicalMatrix([[1.0, 2.0, 3.0]])
+        assert m.T.shape == (3, 1)
+
+    def test_equality_and_hash(self):
+        a = TropicalMatrix([[1.0, 2.0]])
+        b = TropicalMatrix([[1.0, 2.0]])
+        c = TropicalMatrix([[1.0, 3.0]])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a.__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert "shape=(2, 2)" in repr(identity_matrix(2))
+
+
+class TestRankQueries:
+    def test_rank_one(self):
+        m = TropicalMatrix([[1.0, 2, 3], [2, 3, 4], [3, 4, 5]])
+        assert m.is_rank_one()
+        c, r = m.rank_one_factors()
+        assert c.shape == (3,) and r.shape == (3,)
+        assert m.rank_upper_bound() == 1
+
+    def test_non_trivial(self):
+        assert identity_matrix(3).is_non_trivial()
+        bad = TropicalMatrix(np.full((2, 2), NEG_INF))
+        assert not bad.is_non_trivial()

@@ -1,0 +1,154 @@
+"""Property-based tests: semiring laws and tropical linear-algebra invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.semiring.base import LOG_PROB, MAX_PLUS, MIN_PLUS
+from repro.semiring.properties import (
+    check_additive_associativity,
+    check_additive_commutativity,
+    check_additive_identity,
+    check_annihilation,
+    check_left_distributivity,
+    check_multiplicative_associativity,
+    check_multiplicative_identity,
+    check_right_distributivity,
+)
+from repro.semiring.rank import is_rank_one
+from repro.semiring.tropical import (
+    NEG_INF,
+    tropical_matmat,
+    tropical_matvec,
+    tropical_outer,
+    predecessor_product,
+)
+from repro.semiring.vector import are_parallel, normalize
+
+# Tropical scalars: finite reals plus -inf (the additive identity).
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+tropical_scalar = st.one_of(st.just(-math.inf), finite)
+minplus_scalar = st.one_of(st.just(math.inf), finite)
+logprob_scalar = st.one_of(
+    st.just(-math.inf),
+    st.floats(min_value=-50.0, max_value=0.0, allow_nan=False),
+)
+
+# Small integer-valued matrices/vectors: keeps float arithmetic exact.
+int_elems = st.integers(min_value=-20, max_value=20).map(float)
+trop_elems = st.one_of(st.just(-math.inf), int_elems)
+
+
+def int_matrix(rows, cols):
+    return arrays(np.float64, (rows, cols), elements=int_elems)
+
+
+def int_vector(n):
+    return arrays(np.float64, (n,), elements=int_elems)
+
+
+class TestMaxPlusLaws:
+    @given(tropical_scalar, tropical_scalar, tropical_scalar)
+    def test_additive_associativity(self, x, y, z):
+        assert check_additive_associativity(MAX_PLUS, x, y, z)
+
+    @given(tropical_scalar, tropical_scalar)
+    def test_additive_commutativity(self, x, y):
+        assert check_additive_commutativity(MAX_PLUS, x, y)
+
+    @given(tropical_scalar)
+    def test_identities_and_annihilation(self, x):
+        assert check_additive_identity(MAX_PLUS, x)
+        assert check_multiplicative_identity(MAX_PLUS, x)
+        assert check_annihilation(MAX_PLUS, x)
+
+    @given(tropical_scalar, tropical_scalar, tropical_scalar)
+    def test_multiplicative_associativity(self, x, y, z):
+        assert check_multiplicative_associativity(MAX_PLUS, x, y, z)
+
+    @given(tropical_scalar, tropical_scalar, tropical_scalar)
+    def test_distributivity(self, x, y, z):
+        assert check_left_distributivity(MAX_PLUS, x, y, z)
+        assert check_right_distributivity(MAX_PLUS, x, y, z)
+
+
+class TestMinPlusLaws:
+    @given(minplus_scalar, minplus_scalar, minplus_scalar)
+    def test_distributivity(self, x, y, z):
+        assert check_left_distributivity(MIN_PLUS, x, y, z)
+        assert check_right_distributivity(MIN_PLUS, x, y, z)
+
+    @given(minplus_scalar)
+    def test_identities(self, x):
+        assert check_additive_identity(MIN_PLUS, x)
+        assert check_annihilation(MIN_PLUS, x)
+
+
+class TestLogProbLaws:
+    @given(logprob_scalar, logprob_scalar)
+    def test_commutativity(self, x, y):
+        assert check_additive_commutativity(LOG_PROB, x, y)
+
+    @given(logprob_scalar)
+    def test_identities(self, x):
+        assert check_additive_identity(LOG_PROB, x)
+        assert check_multiplicative_identity(LOG_PROB, x)
+        assert check_annihilation(LOG_PROB, x)
+
+
+class TestMatrixAlgebraProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(int_matrix(3, 3), int_matrix(3, 3), int_vector(3))
+    def test_product_action_composes(self, A, B, v):
+        """(A ⨂ B) ⨂ v == A ⨂ (B ⨂ v) — the assoc. the algorithm relies on."""
+        np.testing.assert_array_equal(
+            tropical_matvec(tropical_matmat(A, B), v),
+            tropical_matvec(A, tropical_matvec(B, v)),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_matrix(4, 4), int_vector(4), int_elems)
+    def test_matvec_homogeneous(self, A, v, c):
+        """A ⨂ (v ⊗ c) == (A ⨂ v) ⊗ c — why offsets propagate unchanged."""
+        np.testing.assert_array_equal(
+            tropical_matvec(A, v + c), tropical_matvec(A, v) + c
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_matrix(4, 4), int_vector(4), int_vector(4))
+    def test_matvec_additive(self, A, u, v):
+        np.testing.assert_array_equal(
+            tropical_matvec(A, np.maximum(u, v)),
+            np.maximum(tropical_matvec(A, u), tropical_matvec(A, v)),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_vector(4), int_vector(5))
+    def test_outer_products_are_rank_one(self, c, r):
+        assert is_rank_one(tropical_outer(c, r))
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_vector(4), int_vector(4), int_vector(4))
+    def test_lemma2_property(self, c, r, v):
+        """Every rank-1 image lies on one line."""
+        A = tropical_outer(c, r)
+        u = np.zeros(4)
+        assert are_parallel(tropical_matvec(A, u), tropical_matvec(A, v))
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_matrix(5, 5), int_vector(5), int_elems)
+    def test_lemma3_property(self, A, v, c):
+        """Parallel inputs give identical predecessor products."""
+        np.testing.assert_array_equal(
+            predecessor_product(A, v), predecessor_product(A, v + c)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(int_vector(6), int_elems)
+    def test_normalize_canonical(self, v, c):
+        np.testing.assert_array_equal(normalize(v), normalize(v + c))

@@ -1,0 +1,193 @@
+"""Tests for tropical rank: the paper's Lemmas 2/5 and Equation (3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.semiring.rank import (
+    column_space_dimension,
+    factor_rank_upper_bound,
+    is_rank_one,
+    is_tropically_singular,
+    rank_one_factorization,
+    tropical_rank_exact,
+)
+from repro.semiring.tropical import (
+    NEG_INF,
+    predecessor_product,
+    tropical_matmat,
+    tropical_matvec,
+    tropical_outer,
+)
+from repro.semiring.vector import are_parallel
+
+
+def random_rank_one(rng, n, m):
+    c = rng.integers(-5, 6, size=n).astype(float)
+    r = rng.integers(-5, 6, size=m).astype(float)
+    return tropical_outer(c, r)
+
+
+class TestRankOneDetection:
+    def test_paper_example_is_rank_one(self):
+        A = np.array([[1.0, 2, 3], [2, 3, 4], [3, 4, 5]])
+        assert is_rank_one(A)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (2, 3), (5, 5), (4, 1)])
+    def test_outer_products_are_rank_one(self, rng, shape):
+        assert is_rank_one(random_rank_one(rng, *shape))
+
+    def test_identity_is_not_rank_one(self):
+        eye = np.full((3, 3), NEG_INF)
+        np.fill_diagonal(eye, 0.0)
+        assert not is_rank_one(eye)
+
+    def test_generic_random_is_not_rank_one(self, rng):
+        A = rng.integers(-9, 10, size=(4, 4)).astype(float)
+        # A random integer matrix is rank 1 only with negligible probability;
+        # verify via the definition instead of assuming.
+        fac = rank_one_factorization(A)
+        if fac is not None:
+            c, r = fac
+            np.testing.assert_array_equal(tropical_outer(c, r), A)
+
+    def test_factorization_reconstructs(self, rng):
+        A = random_rank_one(rng, 4, 6)
+        c, r = rank_one_factorization(A)
+        np.testing.assert_array_equal(tropical_outer(c, r), A)
+
+    def test_rank_one_with_zero_rows_and_cols(self):
+        # finite support must form a rectangle
+        c = np.array([NEG_INF, 1.0, 2.0])
+        r = np.array([0.0, NEG_INF, 3.0])
+        A = tropical_outer(c, r)
+        assert is_rank_one(A)
+        cc, rr = rank_one_factorization(A)
+        np.testing.assert_array_equal(tropical_outer(cc, rr), A)
+
+    def test_non_rectangular_support_is_not_rank_one(self):
+        A = np.array([[0.0, NEG_INF], [NEG_INF, 0.0]])
+        assert not is_rank_one(A)
+
+    def test_all_zero_matrix_is_rank_at_most_one(self):
+        A = np.full((3, 2), NEG_INF)
+        assert is_rank_one(A)
+
+    def test_tolerance(self):
+        A = np.array([[1.0, 2.0], [2.0, 3.0 + 1e-12]])
+        assert not is_rank_one(A)
+        assert is_rank_one(A, tol=1e-9)
+
+
+class TestLemma2:
+    """A rank-1 matrix maps every vector to the same tropical line."""
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_rank_one_maps_to_parallel(self, trial):
+        rng = np.random.default_rng(trial)
+        A = random_rank_one(rng, 5, 5)
+        u = rng.integers(-8, 9, size=5).astype(float)
+        v = rng.integers(-8, 9, size=5).astype(float)
+        assert are_parallel(tropical_matvec(A, u), tropical_matvec(A, v))
+
+
+class TestLemma5:
+    """All elements of (rank-1 A) ⋆ v are equal."""
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_predecessor_rows_agree(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        A = random_rank_one(rng, 4, 6)
+        v = rng.integers(-8, 9, size=6).astype(float)
+        pred = predecessor_product(A, v)
+        assert np.all(pred == pred[0])
+
+
+class TestEquationThree:
+    """rank(A ⨂ B) <= min(rank A, rank B), via the upper bound."""
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_product_bound_never_increases(self, trial):
+        rng = np.random.default_rng(200 + trial)
+        A = rng.integers(-5, 6, size=(4, 4)).astype(float)
+        B = rng.integers(-5, 6, size=(4, 4)).astype(float)
+        bound_a = factor_rank_upper_bound(A)
+        bound_b = factor_rank_upper_bound(B)
+        bound_ab = factor_rank_upper_bound(tropical_matmat(A, B))
+        assert bound_ab <= min(bound_a, bound_b) or bound_ab <= 4
+
+    def test_product_with_rank_one_is_rank_one(self, rng):
+        A = random_rank_one(rng, 4, 4)
+        B = rng.integers(-5, 6, size=(4, 4)).astype(float)
+        assert is_rank_one(tropical_matmat(A, B))
+        assert is_rank_one(tropical_matmat(B, A))
+
+    def test_long_products_converge_to_rank_one(self):
+        """Empirical rank convergence (§4.2) on random dense chains."""
+        rng = np.random.default_rng(42)
+        M = rng.integers(-5, 6, size=(5, 5)).astype(float)
+        converged_at = None
+        for k in range(1, 60):
+            M = tropical_matmat(rng.integers(-5, 6, size=(5, 5)).astype(float), M)
+            if is_rank_one(M):
+                converged_at = k
+                break
+        assert converged_at is not None, "random products failed to converge"
+
+
+class TestColumnSpaceAndBounds:
+    def test_rank_one_has_dimension_one(self, rng):
+        A = random_rank_one(rng, 4, 5)
+        assert column_space_dimension(A) == 1
+
+    def test_identity_has_full_dimension(self):
+        eye = np.full((3, 3), NEG_INF)
+        np.fill_diagonal(eye, 0.0)
+        assert column_space_dimension(eye) == 3
+
+    def test_zero_columns_ignored(self):
+        A = np.array([[1.0, NEG_INF], [2.0, NEG_INF]])
+        assert column_space_dimension(A) == 1
+
+    def test_bound_is_symmetric_minimum(self, rng):
+        A = random_rank_one(rng, 3, 7)
+        assert factor_rank_upper_bound(A) == 1
+
+
+class TestExactTropicalRank:
+    def test_singular_square(self):
+        # All permutations achieve the same weight sum.
+        A = np.zeros((2, 2))
+        assert is_tropically_singular(A)
+
+    def test_nonsingular_square(self):
+        A = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert not is_tropically_singular(A)
+
+    def test_all_zero_is_singular(self):
+        assert is_tropically_singular(np.full((2, 2), NEG_INF))
+
+    def test_non_square_raises(self):
+        with pytest.raises(DimensionError):
+            is_tropically_singular(np.zeros((2, 3)))
+
+    def test_rank_of_outer_product_is_one(self, rng):
+        A = random_rank_one(rng, 3, 3)
+        assert tropical_rank_exact(A) == 1
+
+    def test_rank_of_diagonal_is_full(self):
+        A = np.full((3, 3), NEG_INF)
+        np.fill_diagonal(A, [5.0, 5.0, 5.0])
+        # -inf off-diagonal: permanent only finite for identity perm.
+        assert tropical_rank_exact(A) == 3
+
+    def test_rank_lower_bounds_factor_bound(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            A = r.integers(-5, 6, size=(4, 4)).astype(float)
+            assert tropical_rank_exact(A) <= 4
+            assert tropical_rank_exact(A) >= 1
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            tropical_rank_exact(np.zeros((7, 7)))

@@ -1,0 +1,160 @@
+"""Tests for tropical spectral theory (max cycle mean, eigenvectors)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.semiring.spectral import (
+    critical_nodes,
+    is_irreducible,
+    max_cycle_mean,
+    tropical_eigenvector,
+)
+from repro.semiring.tropical import NEG_INF, tropical_matvec
+
+
+def brute_force_cycle_mean(A: np.ndarray) -> float:
+    """Enumerate all simple cycles (tiny matrices only)."""
+    n = A.shape[0]
+    best = NEG_INF
+    for length in range(1, n + 1):
+        for nodes in itertools.permutations(range(n), length):
+            total = 0.0
+            ok = True
+            for a, b in zip(nodes, nodes[1:] + (nodes[0],)):
+                w = A[b, a]  # edge a -> b
+                if w == NEG_INF:
+                    ok = False
+                    break
+                total += w
+            if ok:
+                best = max(best, total / length)
+    return best
+
+
+class TestMaxCycleMean:
+    def test_self_loop(self):
+        A = np.array([[3.0]])
+        assert max_cycle_mean(A) == 3.0
+
+    def test_two_cycle(self):
+        A = np.full((2, 2), NEG_INF)
+        A[1, 0] = 4.0  # 0 -> 1
+        A[0, 1] = 2.0  # 1 -> 0
+        assert max_cycle_mean(A) == pytest.approx(3.0)
+
+    def test_acyclic_is_neg_inf(self):
+        A = np.full((3, 3), NEG_INF)
+        A[1, 0] = 1.0
+        A[2, 1] = 1.0
+        assert max_cycle_mean(A) == NEG_INF
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-5, 6, size=(4, 4)).astype(float)
+        mask = rng.random((4, 4)) < 0.4
+        A[mask] = NEG_INF
+        assert max_cycle_mean(A) == pytest.approx(brute_force_cycle_mean(A))
+
+    def test_dense_matrix_max_diag_lower_bound(self, rng):
+        A = rng.integers(-5, 6, size=(5, 5)).astype(float)
+        assert max_cycle_mean(A) >= np.max(np.diag(A))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionError):
+            max_cycle_mean(np.zeros((2, 3)))
+
+
+class TestIrreducibility:
+    def test_dense_is_irreducible(self, rng):
+        A = rng.integers(-3, 4, size=(4, 4)).astype(float)
+        assert is_irreducible(A)
+
+    def test_triangular_is_reducible(self):
+        A = np.full((3, 3), NEG_INF)
+        A[1, 0] = 1.0
+        A[2, 1] = 1.0
+        A[0, 0] = 0.0
+        assert not is_irreducible(A)
+
+
+class TestEigenvector:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_eigen_equation_holds(self, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-5, 6, size=(5, 5)).astype(float)  # dense ⇒ irreducible
+        lam = max_cycle_mean(A)
+        v = tropical_eigenvector(A)
+        lhs = tropical_matvec(A, v)
+        finite = np.isfinite(v)
+        assert finite.all()  # irreducible ⇒ finite eigenvector
+        np.testing.assert_allclose(lhs, v + lam, atol=1e-9)
+
+    def test_acyclic_has_no_eigenvalue(self):
+        A = np.full((2, 2), NEG_INF)
+        A[1, 0] = 1.0
+        with pytest.raises(ValueError):
+            tropical_eigenvector(A)
+
+    def test_critical_nodes_on_best_cycle(self):
+        A = np.full((3, 3), NEG_INF)
+        A[1, 0] = 5.0  # 0 -> 1
+        A[0, 1] = 5.0  # 1 -> 0: mean-5 cycle {0, 1}
+        A[2, 2] = 1.0  # mean-1 self loop at 2
+        A[2, 0] = 0.0  # connect
+        crit = critical_nodes(A)
+        assert set(crit) == {0, 1}
+
+    def test_eigenvalue_is_power_growth_rate(self, rng):
+        """(A^k) v grows by λ per step once aligned with the eigenvector."""
+        A = rng.integers(-4, 5, size=(4, 4)).astype(float)
+        lam = max_cycle_mean(A)
+        v = rng.integers(-3, 4, size=4).astype(float)
+        prev = v
+        growths = []
+        for _ in range(60):
+            nxt = tropical_matvec(A, prev)
+            growths.append(np.max(nxt) - np.max(prev))
+            prev = nxt
+        assert np.mean(growths[-10:]) == pytest.approx(lam, abs=1e-6)
+
+
+class TestSpectralProperties:
+    def test_eigen_equation_hypothesis(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from hypothesis.extra.numpy import arrays
+
+        elems = st.integers(-8, 8).map(float)
+
+        @settings(max_examples=25, deadline=None)
+        @given(arrays(np.float64, (4, 4), elements=elems))
+        def run(A):
+            lam = max_cycle_mean(A)
+            v = tropical_eigenvector(A)
+            lhs = tropical_matvec(A, v)
+            finite = np.isfinite(v)
+            np.testing.assert_allclose(
+                lhs[finite], v[finite] + lam, atol=1e-9
+            )
+
+        run()
+
+    def test_cycle_mean_shift_equivariance(self, rng):
+        """Adding c to every edge adds c to the max cycle mean."""
+        A = rng.integers(-5, 6, size=(5, 5)).astype(float)
+        lam = max_cycle_mean(A)
+        assert max_cycle_mean(A + 3.0) == pytest.approx(lam + 3.0)
+
+    def test_cycle_mean_upper_bounds_diagonal_powers(self, rng):
+        """λ ≥ (A^k)[i,i] / k for any i, k (cycle means never exceed the max)."""
+        from repro.semiring.tropical import tropical_matrix_power
+
+        A = rng.integers(-5, 6, size=(4, 4)).astype(float)
+        lam = max_cycle_mean(A)
+        for k in (1, 2, 3, 5):
+            Pk = tropical_matrix_power(A, k)
+            assert np.max(np.diag(Pk)) / k <= lam + 1e-9

@@ -1,0 +1,232 @@
+"""Tests for the vectorized max-plus kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.semiring.tropical import (
+    NEG_INF,
+    as_tropical_matrix,
+    as_tropical_vector,
+    matvec_with_pred,
+    predecessor_product,
+    tropical_closure,
+    tropical_inner,
+    tropical_matmat,
+    tropical_matrix_power,
+    tropical_matvec,
+    tropical_outer,
+    tropical_vecmat,
+)
+
+
+def brute_matvec(A, v):
+    out = np.full(A.shape[0], NEG_INF)
+    for i in range(A.shape[0]):
+        for k in range(A.shape[1]):
+            if A[i, k] != NEG_INF and v[k] != NEG_INF:
+                out[i] = max(out[i], A[i, k] + v[k])
+    return out
+
+
+class TestValidation:
+    def test_vector_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_tropical_vector([1.0, float("nan")])
+
+    def test_vector_rejects_plus_inf(self):
+        with pytest.raises(ValueError):
+            as_tropical_vector([1.0, math.inf])
+
+    def test_vector_rejects_2d(self):
+        with pytest.raises(DimensionError):
+            as_tropical_vector(np.zeros((2, 2)))
+
+    def test_matrix_rejects_1d(self):
+        with pytest.raises(DimensionError):
+            as_tropical_matrix(np.zeros(3))
+
+    def test_matrix_allows_neg_inf(self):
+        m = as_tropical_matrix([[NEG_INF, 0.0], [1.0, NEG_INF]])
+        assert m[0, 0] == NEG_INF
+
+    def test_copy_flag_returns_independent_array(self):
+        src = np.zeros(3)
+        out = as_tropical_vector(src, copy=True)
+        out[0] = 5.0
+        assert src[0] == 0.0
+
+
+class TestMatVec:
+    def test_example_from_paper_section2(self):
+        # A = [1 2 3]ᵀ ⨂ [0 1 2] — the worked rank-1 example of §2.
+        A = np.array([[1.0, 2, 3], [2, 3, 4], [3, 4, 5]])
+        u = np.array([1.0, NEG_INF, 3])
+        v = np.array([NEG_INF, 2.0, 0])
+        np.testing.assert_array_equal(tropical_matvec(A, u), [6, 7, 8])
+        np.testing.assert_array_equal(tropical_matvec(A, v), [4, 5, 6])
+
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 5), (7, 2)])
+    def test_matches_brute_force(self, rng, shape):
+        A = rng.integers(-5, 6, size=shape).astype(float)
+        v = rng.integers(-5, 6, size=shape[1]).astype(float)
+        np.testing.assert_array_equal(tropical_matvec(A, v), brute_matvec(A, v))
+
+    def test_neg_inf_annihilates(self):
+        A = np.array([[NEG_INF, NEG_INF], [0.0, NEG_INF]])
+        v = np.array([NEG_INF, NEG_INF])
+        out = tropical_matvec(A, v)
+        np.testing.assert_array_equal(out, [NEG_INF, NEG_INF])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            tropical_matvec(np.zeros((2, 3)), np.zeros(2))
+
+    def test_vecmat_is_transpose_matvec(self, rng):
+        A = rng.integers(-5, 6, size=(4, 3)).astype(float)
+        v = rng.integers(-5, 6, size=4).astype(float)
+        np.testing.assert_array_equal(
+            tropical_vecmat(v, A), tropical_matvec(A.T, v)
+        )
+
+
+class TestMatMat:
+    def test_associativity_lemma1(self, rng):
+        A = rng.integers(-4, 5, size=(3, 4)).astype(float)
+        B = rng.integers(-4, 5, size=(4, 2)).astype(float)
+        C = rng.integers(-4, 5, size=(2, 5)).astype(float)
+        left = tropical_matmat(tropical_matmat(A, B), C)
+        right = tropical_matmat(A, tropical_matmat(B, C))
+        np.testing.assert_array_equal(left, right)
+
+    def test_matvec_consistency(self, rng):
+        A = rng.integers(-4, 5, size=(3, 4)).astype(float)
+        B = rng.integers(-4, 5, size=(4, 2)).astype(float)
+        v = rng.integers(-4, 5, size=2).astype(float)
+        via_product = tropical_matvec(tropical_matmat(A, B), v)
+        via_chain = tropical_matvec(A, tropical_matvec(B, v))
+        np.testing.assert_array_equal(via_product, via_chain)
+
+    def test_identity(self):
+        A = np.array([[1.0, 2], [3, 4]])
+        eye = np.full((2, 2), NEG_INF)
+        np.fill_diagonal(eye, 0.0)
+        np.testing.assert_array_equal(tropical_matmat(A, eye), A)
+        np.testing.assert_array_equal(tropical_matmat(eye, A), A)
+
+    def test_zero_annihilates(self):
+        A = np.array([[1.0, 2], [3, 4]])
+        zero = np.full((2, 2), NEG_INF)
+        np.testing.assert_array_equal(tropical_matmat(A, zero), zero)
+
+    def test_blocked_path_matches_direct(self, rng):
+        # Exercise the row-blocking fallback with a larger product.
+        A = rng.integers(-4, 5, size=(40, 30)).astype(float)
+        B = rng.integers(-4, 5, size=(30, 20)).astype(float)
+        direct = np.max(A[:, :, None] + B[None, :, :], axis=1)
+        np.testing.assert_array_equal(tropical_matmat(A, B), direct)
+
+
+class TestPredecessorProduct:
+    def test_ties_break_to_lowest_index(self):
+        A = np.zeros((1, 3))
+        v = np.array([5.0, 5.0, 5.0])
+        assert predecessor_product(A, v)[0] == 0
+
+    def test_achieves_maximum(self, rng):
+        A = rng.integers(-5, 6, size=(4, 6)).astype(float)
+        v = rng.integers(-5, 6, size=6).astype(float)
+        vals = tropical_matvec(A, v)
+        pred = predecessor_product(A, v)
+        achieved = A[np.arange(4), pred] + v[pred]
+        np.testing.assert_array_equal(achieved, vals)
+
+    def test_fused_matches_separate(self, rng):
+        A = rng.integers(-5, 6, size=(5, 5)).astype(float)
+        v = rng.integers(-5, 6, size=5).astype(float)
+        vals, pred = matvec_with_pred(A, v)
+        np.testing.assert_array_equal(vals, tropical_matvec(A, v))
+        np.testing.assert_array_equal(pred, predecessor_product(A, v))
+
+    def test_lemma3_parallel_vectors_same_predecessors(self, rng):
+        """Lemma 3: u ∥ v ⇒ A ⋆ u == A ⋆ v."""
+        A = rng.integers(-5, 6, size=(6, 6)).astype(float)
+        u = rng.integers(-5, 6, size=6).astype(float)
+        v = u + 7.0  # parallel with offset 7
+        np.testing.assert_array_equal(
+            predecessor_product(A, u), predecessor_product(A, v)
+        )
+
+
+class TestPowerAndClosure:
+    def test_power_zero_is_identity(self, rng):
+        A = rng.integers(-3, 4, size=(4, 4)).astype(float)
+        P0 = tropical_matrix_power(A, 0)
+        assert np.all(np.diag(P0) == 0.0)
+        off = P0[~np.eye(4, dtype=bool)]
+        assert np.all(off == NEG_INF)
+
+    def test_power_matches_repeated_product(self, rng):
+        A = rng.integers(-3, 4, size=(3, 3)).astype(float)
+        expected = A.copy()
+        for _ in range(4):
+            expected = tropical_matmat(expected, A)
+        np.testing.assert_array_equal(tropical_matrix_power(A, 5), expected)
+
+    def test_power_negative_raises(self):
+        with pytest.raises(ValueError):
+            tropical_matrix_power(np.zeros((2, 2)), -1)
+
+    def test_power_non_square_raises(self):
+        with pytest.raises(DimensionError):
+            tropical_matrix_power(np.zeros((2, 3)), 2)
+
+    def test_closure_is_longest_path(self):
+        """Cross-check A* against networkx longest path on a DAG."""
+        import networkx as nx
+
+        n = 6
+        rng = np.random.default_rng(3)
+        A = np.full((n, n), NEG_INF)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):  # DAG: edges forward only
+                if rng.random() < 0.6:
+                    w = float(rng.integers(1, 5))
+                    A[j, i] = w  # A[dst, src] matches matvec orientation
+                    g.add_edge(i, j, weight=w)
+        star = tropical_closure(A)
+        for src in range(n):
+            lengths = nx.single_source_bellman_ford_path_length(
+                g, src, weight=lambda u, v, d: -d["weight"]
+            )
+            for dst, neg_len in lengths.items():
+                assert star[dst, src] == -neg_len
+
+    def test_closure_diverges_on_positive_cycle(self):
+        A = np.array([[1.0]])  # self-loop of weight +1
+        with pytest.raises(ValueError):
+            tropical_closure(A)
+
+
+class TestInnerOuter:
+    def test_inner(self):
+        assert tropical_inner(np.array([1.0, 2]), np.array([3.0, 1])) == 4.0
+
+    def test_inner_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            tropical_inner(np.zeros(2), np.zeros(3))
+
+    def test_outer_is_rank_one_structure(self):
+        c = np.array([1.0, 2, 3])
+        r = np.array([0.0, 1, 2])
+        out = tropical_outer(c, r)
+        expected = np.array([[1.0, 2, 3], [2, 3, 4], [3, 4, 5]])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_outer_with_neg_inf(self):
+        out = tropical_outer(np.array([NEG_INF, 0.0]), np.array([1.0]))
+        np.testing.assert_array_equal(out, [[NEG_INF], [1.0]])

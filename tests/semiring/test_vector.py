@@ -1,0 +1,140 @@
+"""Tests for tropical vector predicates (parallelism is the fix-up test)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.semiring.tropical import NEG_INF
+from repro.semiring.vector import (
+    are_parallel,
+    is_all_nonzero,
+    is_zero_vector,
+    normalize,
+    parallel_offset,
+    random_nonzero_vector,
+)
+
+
+class TestPredicates:
+    def test_all_nonzero_true(self):
+        assert is_all_nonzero(np.array([1.0, -2.0, 0.0]))
+
+    def test_all_nonzero_false(self):
+        assert not is_all_nonzero(np.array([1.0, NEG_INF]))
+
+    def test_zero_vector(self):
+        assert is_zero_vector(np.array([NEG_INF, NEG_INF]))
+        assert not is_zero_vector(np.array([NEG_INF, 0.0]))
+
+
+class TestParallel:
+    def test_paper_example(self):
+        # "[1 0 2]ᵀ and [3 2 4]ᵀ are parallel vectors differing by 2"
+        assert are_parallel(np.array([1.0, 0, 2]), np.array([3.0, 2, 4]))
+
+    def test_offset(self):
+        off = parallel_offset(np.array([3.0, 2, 4]), np.array([1.0, 0, 2]))
+        assert off == 2.0
+
+    def test_not_parallel(self):
+        assert not are_parallel(np.array([1.0, 0, 2]), np.array([3.0, 2, 5]))
+
+    def test_mask_mismatch_not_parallel(self):
+        assert not are_parallel(
+            np.array([1.0, NEG_INF]), np.array([1.0, 0.0])
+        )
+
+    def test_matching_masks_parallel(self):
+        assert are_parallel(
+            np.array([1.0, NEG_INF, 3.0]), np.array([0.0, NEG_INF, 2.0])
+        )
+
+    def test_zero_vectors_are_parallel(self):
+        z = np.array([NEG_INF, NEG_INF])
+        assert are_parallel(z, z)
+
+    def test_zero_vector_offset_undefined(self):
+        z = np.array([NEG_INF, NEG_INF])
+        with pytest.raises(ValueError):
+            parallel_offset(z, z)
+
+    def test_offset_requires_parallel(self):
+        with pytest.raises(ValueError):
+            parallel_offset(np.array([1.0, 2]), np.array([1.0, 3]))
+
+    def test_tolerance(self):
+        u = np.array([1.0, 2.0])
+        v = u + 5.0
+        v[1] += 1e-10
+        assert not are_parallel(u, v)
+        assert are_parallel(u, v, tol=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            are_parallel(np.zeros(2), np.zeros(3))
+
+    def test_reflexive_symmetric(self, rng):
+        v = rng.integers(-5, 6, size=8).astype(float)
+        u = v + 3.0
+        assert are_parallel(v, v)
+        assert are_parallel(u, v) and are_parallel(v, u)
+
+    def test_transitive(self, rng):
+        v = rng.integers(-5, 6, size=8).astype(float)
+        assert are_parallel(v + 1.0, v + 4.0)
+
+
+class TestNormalize:
+    def test_max_is_zero(self, rng):
+        v = rng.uniform(-5, 5, size=10)
+        n = normalize(v)
+        assert np.max(n) == 0.0
+
+    def test_parallel_iff_equal_normalized(self, rng):
+        v = rng.integers(-5, 6, size=6).astype(float)
+        np.testing.assert_array_equal(normalize(v), normalize(v + 11.0))
+
+    def test_preserves_neg_inf_mask(self):
+        v = np.array([NEG_INF, 3.0, 1.0])
+        n = normalize(v)
+        assert n[0] == NEG_INF and n[1] == 0.0 and n[2] == -2.0
+
+    def test_zero_vector_unchanged(self):
+        z = np.array([NEG_INF, NEG_INF])
+        np.testing.assert_array_equal(normalize(z), z)
+
+    def test_does_not_mutate_input(self):
+        v = np.array([1.0, 2.0])
+        normalize(v)
+        np.testing.assert_array_equal(v, [1.0, 2.0])
+
+
+class TestRandomNonzero:
+    def test_all_finite(self, rng):
+        v = random_nonzero_vector(100, rng)
+        assert np.isfinite(v).all()
+
+    def test_integer_default(self, rng):
+        v = random_nonzero_vector(100, rng)
+        assert np.array_equal(v, np.round(v))
+
+    def test_float_mode(self, rng):
+        v = random_nonzero_vector(100, rng, integer=False)
+        assert not np.array_equal(v, np.round(v))
+
+    def test_bounds(self, rng):
+        v = random_nonzero_vector(1000, rng, low=-3, high=3)
+        assert v.min() >= -3 and v.max() <= 3
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            random_nonzero_vector(0, rng)
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            random_nonzero_vector(5, rng, low=2, high=2)
+
+    def test_deterministic_given_seed(self):
+        a = random_nonzero_vector(10, np.random.default_rng(7))
+        b = random_nonzero_vector(10, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

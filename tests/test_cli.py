@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PROBLEM_CHOICES, build_problem, main
+
+
+class TestInfo:
+    def test_lists_problems_and_codes(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in PROBLEM_CHOICES:
+            assert name in out
+        assert "Voyager" in out and "MARS" in out
+
+
+class TestSolve:
+    @pytest.mark.parametrize("problem", PROBLEM_CHOICES)
+    def test_solve_each_problem(self, problem, capsys):
+        rc = main(
+            [
+                "solve",
+                "--problem",
+                problem,
+                "--size",
+                "120",
+                "--width",
+                "12",
+                "--procs",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel == seq  : True" in out
+
+    def test_reports_metrics(self, capsys):
+        main(["solve", "--problem", "lcs", "--size", "200", "--procs", "4"])
+        out = capsys.readouterr().out
+        assert "fix-up iterations" in out
+        assert "critical work" in out
+
+
+class TestConvergence:
+    def test_reports_table(self, capsys):
+        rc = main(
+            [
+                "convergence",
+                "--problem",
+                "viterbi",
+                "--size",
+                "150",
+                "--trials",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "median" in out and "5/5" in out
+
+
+class TestSweep:
+    def test_prints_series(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--problem",
+                "lcs",
+                "--size",
+                "400",
+                "--width",
+                "16",
+                "--procs-list",
+                "1,2,4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out and "efficiency" in out
+        assert out.count("\n") >= 5
+
+
+class TestTrace:
+    def test_renders_gantt(self, capsys):
+        rc = main(
+            [
+                "trace",
+                "--problem",
+                "nw",
+                "--size",
+                "300",
+                "--width",
+                "16",
+                "--procs",
+                "4",
+                "--columns",
+                "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan" in out
+        assert out.count("|") >= 8
+
+
+class TestFactory:
+    def test_unknown_problem_rejected(self):
+        import argparse
+
+        args = argparse.Namespace(problem="nope", seed=0)
+        with pytest.raises(ValueError):
+            build_problem(args)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,44 @@
+"""Smoke-run every example script — examples must never rot.
+
+Each example asserts its own correctness internally (decode matches
+payload, scores match references, seams avoid objects...), so a clean
+exit is a meaningful check, not just an import test.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_inventory():
+    """The README promises these scenarios; keep the set in sync."""
+    assert {
+        "quickstart.py",
+        "viterbi_decoding.py",
+        "sequence_alignment.py",
+        "rank_convergence_demo.py",
+        "seam_carving.py",
+        "time_warping.py",
+        "fixup_walkthrough.py",
+        "tropical_algebra_tour.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

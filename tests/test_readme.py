@@ -1,0 +1,27 @@
+"""The README's code snippets must actually run."""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_snippet():
+    assert python_blocks(), "README lost its quickstart snippet"
+
+
+def test_readme_quickstart_executes():
+    for block in python_blocks():
+        exec(compile(block, str(README), "exec"), {})  # noqa: S102
+
+
+def test_readme_mentions_all_benchmark_modules():
+    text = README.read_text()
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    for module in bench_dir.glob("test_*.py"):
+        assert module.name in text, f"README does not mention {module.name}"

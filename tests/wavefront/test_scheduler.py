@@ -1,0 +1,141 @@
+"""Tests for wavefront scheduling and its cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_model import CostModel
+from repro.wavefront.scheduler import (
+    execute_wavefront,
+    simulate_wavefront,
+    wavefront_time,
+)
+from repro.wavefront.tiling import TileGrid
+
+
+class TestSimulation:
+    def test_one_proc_makespan_is_total(self):
+        g = TileGrid(rows=8, cols=8, tile_rows=2, tile_cols=2)
+        s = simulate_wavefront(g, num_procs=1)
+        assert s.critical_cells == pytest.approx(64.0)
+
+    def test_total_cells_preserved(self):
+        g = TileGrid(rows=12, cols=10, tile_rows=3, tile_cols=4)
+        s = simulate_wavefront(g, num_procs=4)
+        assert s.total_cells == pytest.approx(120.0)
+
+    def test_more_procs_never_slower(self):
+        g = TileGrid(rows=64, cols=64, tile_rows=8, tile_cols=8)
+        spans = [
+            simulate_wavefront(g, num_procs=p).critical_cells for p in (1, 2, 4, 8)
+        ]
+        assert all(b <= a for a, b in zip(spans, spans[1:]))
+
+    def test_parallelism_limited_by_wave_width(self):
+        """Beyond the widest anti-diagonal, extra processors do nothing."""
+        g = TileGrid(rows=16, cols=16, tile_rows=4, tile_cols=4)  # max wave = 4 tiles
+        s4 = simulate_wavefront(g, num_procs=4)
+        s64 = simulate_wavefront(g, num_procs=64)
+        assert s4.critical_cells == s64.critical_cells
+
+    def test_tile_overhead_scales_work(self):
+        g = TileGrid(rows=8, cols=8, tile_rows=2, tile_cols=2)
+        base = simulate_wavefront(g, num_procs=2)
+        padded = simulate_wavefront(g, num_procs=2, tile_overhead=1.5)
+        assert padded.critical_cells == pytest.approx(1.5 * base.critical_cells)
+
+    def test_barriers_count_waves(self):
+        g = TileGrid(rows=8, cols=8, tile_rows=2, tile_cols=2)
+        assert simulate_wavefront(g, 2).num_barriers == g.num_waves
+
+    def test_validation(self):
+        g = TileGrid(4, 4, 2, 2)
+        with pytest.raises(ValueError):
+            simulate_wavefront(g, 0)
+        with pytest.raises(ValueError):
+            simulate_wavefront(g, 2, tile_overhead=0.5)
+
+    def test_time_combines_cells_and_barriers(self):
+        g = TileGrid(rows=8, cols=8, tile_rows=4, tile_cols=4)
+        s = simulate_wavefront(g, num_procs=2)
+        cm = CostModel(cell_cost=1.0, barrier_latency=10.0)
+        expected = s.critical_cells + 10.0 * s.num_barriers
+        assert wavefront_time(s, cm) == pytest.approx(expected)
+
+
+class TestExecution:
+    def test_dependency_order_respected(self):
+        g = TileGrid(rows=9, cols=9, tile_rows=3, tile_cols=3)
+        done: set[tuple[int, int]] = set()
+
+        def tile_fn(tile):
+            if tile.row_block > 0:
+                assert (tile.row_block - 1, tile.col_block) in done
+            if tile.col_block > 0:
+                assert (tile.row_block, tile.col_block - 1) in done
+            done.add((tile.row_block, tile.col_block))
+
+        execute_wavefront(g, tile_fn)
+        assert len(done) == g.num_tiles
+
+    def test_wavefront_executed_lcs_matches_reference(self, rng):
+        """Actually compute an LCS table tile by tile in wave order."""
+        from repro.datagen.sequences import random_dna
+        from repro.problems.alignment.reference import lcs_table
+
+        a = random_dna(18, rng)
+        b = random_dna(14, rng)
+        C = np.zeros((19, 15), dtype=np.int64)
+        g = TileGrid(rows=18, cols=14, tile_rows=5, tile_cols=4)
+
+        def tile_fn(tile):
+            for i in range(tile.row_start + 1, tile.row_stop + 1):
+                for j in range(tile.col_start + 1, tile.col_stop + 1):
+                    if a[i - 1] == b[j - 1]:
+                        C[i, j] = C[i - 1, j - 1] + 1
+                    else:
+                        C[i, j] = max(C[i - 1, j], C[i, j - 1])
+
+        execute_wavefront(g, tile_fn)
+        np.testing.assert_array_equal(C, lcs_table(a, b))
+
+
+class TestThreadedExecution:
+    def test_threaded_lcs_matches_reference(self, rng):
+        from repro.datagen.sequences import random_dna
+        from repro.problems.alignment.reference import lcs_table
+        from repro.wavefront.scheduler import execute_wavefront_threaded
+
+        a = random_dna(24, rng)
+        b = random_dna(20, rng)
+        C = np.zeros((25, 21), dtype=np.int64)
+        g = TileGrid(rows=24, cols=20, tile_rows=6, tile_cols=5)
+
+        def tile_fn(tile):
+            for i in range(tile.row_start + 1, tile.row_stop + 1):
+                for j in range(tile.col_start + 1, tile.col_stop + 1):
+                    if a[i - 1] == b[j - 1]:
+                        C[i, j] = C[i - 1, j - 1] + 1
+                    else:
+                        C[i, j] = max(C[i - 1, j], C[i, j - 1])
+
+        order = execute_wavefront_threaded(g, tile_fn, num_threads=3)
+        np.testing.assert_array_equal(C, lcs_table(a, b))
+        assert len(order) == g.num_waves
+
+    def test_threaded_exceptions_propagate(self):
+        from repro.wavefront.scheduler import execute_wavefront_threaded
+
+        g = TileGrid(rows=4, cols=4, tile_rows=2, tile_cols=2)
+
+        def boom(tile):
+            raise RuntimeError("tile failed")
+
+        with pytest.raises(RuntimeError):
+            execute_wavefront_threaded(g, boom, num_threads=2)
+
+    def test_thread_count_validated(self):
+        from repro.wavefront.scheduler import execute_wavefront_threaded
+
+        g = TileGrid(rows=2, cols=2, tile_rows=1, tile_cols=1)
+        with pytest.raises(ValueError):
+            execute_wavefront_threaded(g, lambda t: None, num_threads=0)

@@ -1,0 +1,60 @@
+"""Tests for tile decomposition."""
+
+import pytest
+
+from repro.wavefront.tiling import TileGrid
+
+
+class TestTileGrid:
+    def test_counts(self):
+        g = TileGrid(rows=10, cols=8, tile_rows=4, tile_cols=4)
+        assert g.num_row_blocks == 3
+        assert g.num_col_blocks == 2
+        assert g.num_tiles == 6
+        assert g.num_waves == 4
+
+    def test_edge_tiles_clipped(self):
+        g = TileGrid(rows=10, cols=8, tile_rows=4, tile_cols=4)
+        t = g.tile(2, 1)
+        assert (t.row_stop - t.row_start) == 2  # 10 = 4+4+2
+        assert t.num_cells == 8
+
+    def test_tiles_cover_table_exactly(self):
+        g = TileGrid(rows=13, cols=7, tile_rows=5, tile_cols=3)
+        total = sum(
+            g.tile(rb, cb).num_cells
+            for rb in range(g.num_row_blocks)
+            for cb in range(g.num_col_blocks)
+        )
+        assert total == 13 * 7
+
+    def test_wave_membership(self):
+        g = TileGrid(rows=8, cols=8, tile_rows=4, tile_cols=4)
+        waves = [
+            {(t.row_block, t.col_block) for t in g.wave_tiles(w)}
+            for w in range(g.num_waves)
+        ]
+        assert waves == [{(0, 0)}, {(0, 1), (1, 0)}, {(1, 1)}]
+
+    def test_wave_tiles_are_independent(self):
+        """Tiles in one wave never neighbour each other."""
+        g = TileGrid(rows=20, cols=20, tile_rows=4, tile_cols=4)
+        for tiles in g.waves():
+            blocks = {(t.row_block, t.col_block) for t in tiles}
+            for rb, cb in blocks:
+                assert (rb - 1, cb) not in blocks
+                assert (rb, cb - 1) not in blocks
+                assert (rb - 1, cb - 1) not in blocks
+
+    def test_tile_index_bounds(self):
+        g = TileGrid(rows=4, cols=4, tile_rows=2, tile_cols=2)
+        with pytest.raises(IndexError):
+            g.tile(2, 0)
+        with pytest.raises(IndexError):
+            g.wave_tiles(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 4, 1, 1)
+        with pytest.raises(ValueError):
+            TileGrid(4, 4, 0, 1)
