@@ -1,0 +1,126 @@
+"""Runtime overhead: persistent worker pool vs fork-per-task processes.
+
+The rank-convergence algorithm's parallel overhead is dominated by the
+per-superstep runtime cost — barrier + task launch + state shipping.
+The legacy :class:`~repro.machine.executor.ProcessExecutor` pays a
+fork + full-state pickle on *every task of every superstep*; the
+:class:`~repro.machine.pool.PoolProcessExecutor` spawns its workers
+once, keeps per-processor stage vectors resident, and exchanges only
+boundary vectors per fix-up iteration.
+
+The workload is an adversarial permutation-chain LTDP instance: tropical
+permutation matrices never lose rank, so with P processors the fix-up
+loop runs ~P iterations — a superstep-heavy solve where per-superstep
+overhead, not cell work, is the bill.  Measured wall-clock per superstep
+(``RunMetrics.wall_seconds``) must come out lower for the pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.ltdp.matrix_problem import MatrixLTDPProblem
+from repro.ltdp.parallel import ParallelOptions, solve_parallel
+from repro.machine.executor import ProcessExecutor
+from repro.machine.pool import PoolProcessExecutor
+from repro.semiring.tropical import NEG_INF
+
+NUM_PROCS = 6
+NUM_STAGES = 240
+WIDTH = 24
+
+
+def permutation_chain_problem(num_stages, width, rng):
+    """Rank never converges: the fix-up loop runs ~P full iterations."""
+    mats = []
+    for _ in range(num_stages):
+        perm = rng.permutation(width)
+        m = np.full((width, width), NEG_INF)
+        m[perm, np.arange(width)] = rng.integers(-3, 4, size=width).astype(float)
+        mats.append(m)
+    init = rng.integers(-5, 6, size=width).astype(float)
+    return MatrixLTDPProblem(init, mats)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(1234)
+    return permutation_chain_problem(NUM_STAGES, WIDTH, rng)
+
+
+def run_with(problem, executor):
+    opts = ParallelOptions(num_procs=NUM_PROCS, seed=3, executor=executor)
+    return solve_parallel(problem, opts)
+
+
+def test_pool_beats_fork_per_task(workload, report, benchmark):
+    """Per-superstep wall-clock: persistent pool < fork-per-task."""
+    # Warm both paths once so neither pays one-time import/spawn costs
+    # inside the measured solve.
+    with ProcessExecutor(max_workers=2) as ex:
+        run_with(workload, ex)
+    pool = PoolProcessExecutor(max_workers=2)
+    try:
+        run_with(workload, pool)
+
+        fork_ex = ProcessExecutor(max_workers=2)
+        fork_sol = run_with(workload, fork_ex)
+        pool_sol = run_with(workload, pool)
+    finally:
+        pool.close()
+
+    np.testing.assert_array_equal(fork_sol.path, pool_sol.path)
+    assert fork_sol.score == pool_sol.score
+
+    fork_m, pool_m = fork_sol.metrics, pool_sol.metrics
+    assert fork_m.forward_fixup_iterations >= NUM_PROCS - 1  # superstep-heavy
+    assert len(fork_m.supersteps) == len(pool_m.supersteps)
+
+    rows = [
+        [
+            "process (fork per task)",
+            len(fork_m.supersteps),
+            f"{fork_m.wall_time:.4f}",
+            f"{fork_m.mean_superstep_wall() * 1e3:.2f}",
+        ],
+        [
+            "pool (persistent)",
+            len(pool_m.supersteps),
+            f"{pool_m.wall_time:.4f}",
+            f"{pool_m.mean_superstep_wall() * 1e3:.2f}",
+        ],
+    ]
+    speedup = fork_m.mean_superstep_wall() / pool_m.mean_superstep_wall()
+    report(
+        "runtime_overhead",
+        format_table(
+            ["runtime", "supersteps", "wall [s]", "mean/superstep [ms]"],
+            rows,
+            title=(
+                "Runtime overhead — permutation chain "
+                f"({NUM_STAGES} stages, width {WIDTH}, P={NUM_PROCS}); "
+                f"pool is {speedup:.1f}x lower per superstep"
+            ),
+        ),
+    )
+
+    assert pool_m.wall_time < fork_m.wall_time
+    assert pool_m.mean_superstep_wall() < fork_m.mean_superstep_wall()
+
+    # pytest-benchmark record: one pooled superstep round-trip.
+    def one_superstep():
+        pool2 = getattr(one_superstep, "_pool", None)
+        if pool2 is None:
+            pool2 = one_superstep._pool = PoolProcessExecutor(max_workers=2)
+        return pool2.run_superstep([_noop] * NUM_PROCS)
+
+    try:
+        benchmark(one_superstep)
+    finally:
+        pool2 = getattr(one_superstep, "_pool", None)
+        if pool2 is not None:
+            pool2.close()
+
+
+def _noop():
+    return None

@@ -86,7 +86,11 @@ def scaling_sweep(
             opts = make_options(p)
         else:
             opts = ParallelOptions(
-                num_procs=p, seed=seed, use_delta=use_delta, exact_score=False
+                num_procs=p,
+                seed=seed,
+                use_delta=use_delta,
+                exact_score=False,
+                executor=cluster.executor,
             )
         solution = solve_parallel(problem, opts)
         metrics = solution.metrics

@@ -33,9 +33,10 @@ from repro.datagen.hmms import make_hmm_workload
 from repro.datagen.packets import make_received_packet
 from repro.datagen.sequences import homologous_pair, random_dna, random_series
 from repro.ltdp.convergence import measure_convergence_steps
-from repro.ltdp.parallel import solve_parallel
+from repro.ltdp.parallel import ParallelOptions, solve_parallel
 from repro.ltdp.sequential import solve_sequential
 from repro.machine.cluster import SimCluster
+from repro.machine.executor import EXECUTOR_KINDS, Executor, get_executor
 from repro.machine.cost_model import CostModel, calibrate_cell_cost
 from repro.machine.trace import render_gantt
 from repro.problems.alignment.lcs import LCSProblem
@@ -82,6 +83,37 @@ def build_problem(args: argparse.Namespace):
     raise ValueError(f"unknown problem {kind!r}")
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="serial",
+        help="superstep runtime: serial (simulated), thread, "
+        "process (fork per task) or pool (persistent workers)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap on real OS workers for thread/process/pool executors",
+    )
+
+
+def _build_executor(args: argparse.Namespace) -> Executor:
+    """Executor described by ``--executor`` / ``--workers``."""
+    if args.executor == "serial":
+        return get_executor("serial")
+    return get_executor(args.executor, max_workers=args.workers)
+
+
 def _add_problem_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--problem", choices=PROBLEM_CHOICES, default="lcs")
     p.add_argument("--size", type=int, default=1000, help="stages / sequence length")
@@ -119,17 +151,26 @@ def cmd_info(_args: argparse.Namespace) -> int:
 def cmd_solve(args: argparse.Namespace) -> int:
     problem = build_problem(args)
     seq = solve_sequential(problem)
-    par = solve_parallel(problem, num_procs=args.procs, seed=args.seed)
+    executor = _build_executor(args)
+    try:
+        options = ParallelOptions(
+            num_procs=args.procs, seed=args.seed, executor=executor
+        )
+        par = solve_parallel(problem, options)
+    finally:
+        executor.close()
     ok = bool(np.array_equal(seq.path, par.path)) and abs(seq.score - par.score) < 1e-9
     m = par.metrics
     print(f"problem          : {args.problem} ({problem.num_stages} stages)")
     print(f"score            : {seq.score}")
     print(f"parallel == seq  : {ok}")
+    print(f"executor         : {args.executor}")
     print(f"processors       : {m.num_procs}")
     print(f"fix-up iterations: {m.forward_fixup_iterations}")
     print(f"critical work    : {m.critical_path_work:.0f} cells")
     print(f"total work       : {m.total_work:.0f} cells")
     print(f"sequential work  : {problem.total_cells():.0f} cells")
+    print(f"measured wall    : {m.wall_time:.4f} s over {len(m.supersteps)} supersteps")
     return 0 if ok else 1
 
 
@@ -158,9 +199,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cell_cost = calibrate_cell_cost(
         lambda: problem.apply_stage(mid, v), problem.stage_cost(mid), min_seconds=0.02
     )
-    cluster = SimCluster.stampede(1, cell_cost=cell_cost)
+    cluster = SimCluster.stampede(1, cell_cost=cell_cost).with_executor(
+        _build_executor(args)
+    )
     procs = [int(x) for x in args.procs_list.split(",")]
-    curve = scaling_sweep(problem, cluster, procs, seed=args.seed)
+    try:
+        curve = scaling_sweep(problem, cluster, procs, seed=args.seed)
+    finally:
+        cluster.close()
     print(
         format_series(
             "P",
@@ -179,7 +225,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     problem = build_problem(args)
-    par = solve_parallel(problem, num_procs=args.procs, seed=args.seed)
+    executor = _build_executor(args)
+    try:
+        options = ParallelOptions(
+            num_procs=args.procs, seed=args.seed, executor=executor
+        )
+        par = solve_parallel(problem, options)
+    finally:
+        executor.close()
     print(render_gantt(par.metrics, CostModel(cell_cost=1e-7), columns=args.columns))
     return 0
 
@@ -195,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_solve = sub.add_parser("solve", help="solve one synthetic instance")
     _add_problem_args(p_solve)
+    _add_runtime_args(p_solve)
     p_solve.add_argument("--procs", type=int, default=8)
 
     p_conv = sub.add_parser("convergence", help="Table-1 convergence protocol")
@@ -203,10 +257,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_sweep = sub.add_parser("sweep", help="processor scaling sweep")
     _add_problem_args(p_sweep)
+    _add_runtime_args(p_sweep)
     p_sweep.add_argument("--procs-list", default="1,2,4,8,16,32,64")
 
     p_trace = sub.add_parser("trace", help="ASCII Gantt of one parallel run")
     _add_problem_args(p_trace)
+    _add_runtime_args(p_trace)
     p_trace.add_argument("--procs", type=int, default=8)
     p_trace.add_argument("--columns", type=int, default=100)
 

@@ -1,0 +1,55 @@
+"""The parallel LTDP engine: plan layer + runtime layer.
+
+The engine splits the paper's parallel algorithm (Figs 4/5) into
+
+- a **plan layer** that emits declarative
+  :class:`~repro.ltdp.engine.specs.SuperstepSpec` objects — stage
+  range, boundary input, convergence predicate — one per processor per
+  barrier-delimited superstep
+  (:mod:`~repro.ltdp.engine.forward`, :mod:`~repro.ltdp.engine.backward`,
+  orchestrated by :mod:`~repro.ltdp.engine.driver`), and
+- a **runtime layer** that executes those specs: in-process against a
+  shared store (:class:`~repro.ltdp.engine.runtime.LocalRuntime`, which
+  wraps any classic serial/thread/process
+  :class:`~repro.machine.executor.Executor`) or against per-worker
+  resident state on a persistent process pool
+  (:class:`~repro.ltdp.engine.poolrt.PoolRuntime` over
+  :class:`~repro.machine.pool.PoolProcessExecutor`).
+
+``solve_parallel`` keeps the exact signature and semantics it had when
+it lived in :mod:`repro.ltdp.parallel`; that module remains the
+stable import point.
+"""
+
+from repro.ltdp.engine.driver import (
+    ParallelOptions,
+    edge_weight_by_probe,
+    solve_parallel,
+)
+from repro.ltdp.engine.runtime import LocalRuntime, SuperstepRuntime
+from repro.ltdp.engine.specs import (
+    BackwardFixupSpec,
+    BackwardInitSpec,
+    ForwardFixupSpec,
+    ForwardInitSpec,
+    ObjectiveSpec,
+    SpecResult,
+    SuperstepSpec,
+)
+from repro.ltdp.engine.state import EngineState
+
+__all__ = [
+    "ParallelOptions",
+    "solve_parallel",
+    "edge_weight_by_probe",
+    "SuperstepRuntime",
+    "LocalRuntime",
+    "EngineState",
+    "SuperstepSpec",
+    "SpecResult",
+    "ForwardInitSpec",
+    "ForwardFixupSpec",
+    "ObjectiveSpec",
+    "BackwardInitSpec",
+    "BackwardFixupSpec",
+]

@@ -1,0 +1,240 @@
+"""Entry point of the parallel LTDP engine: options + ``solve_parallel``.
+
+The driver wires the plan layer (phase planners emitting declarative
+superstep specs) to the runtime layer (where the specs execute):
+
+1. partition stages over virtual processors;
+2. pick a runtime from the executor's capabilities —
+   :class:`~repro.ltdp.engine.runtime.LocalRuntime` for closure-running
+   executors (serial / thread / fork-per-task),
+   :class:`~repro.ltdp.engine.poolrt.PoolRuntime` for the persistent
+   :class:`~repro.machine.pool.PoolProcessExecutor`;
+3. run the forward phase, the optional objective reduction, and the
+   backward phase, collecting :class:`~repro.machine.metrics.RunMetrics`
+   (simulated work *and* real wall-clock per superstep);
+4. price the exact score and assemble the :class:`LTDPSolution`.
+
+Results are bit-identical across every runtime: all cross-processor
+inputs are snapshotted into the specs at each barrier (exactly what the
+paper's barriers guarantee), and the spec execution bodies are shared
+code.
+
+The *exact-score epilogue* (ours, not in the paper) recovers the true
+optimal value ``s_n[0]`` by pricing the traced path edge by edge: the
+parallel forward phase only guarantees vectors parallel to the truth,
+so the final vector's entries are offset by an unknown constant, but
+path edge weights are offset-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.ltdp.engine.backward import (
+    backward_parallel_phase,
+    backward_serial_phase,
+    objective_phase,
+)
+from repro.ltdp.engine.forward import forward_phase
+from repro.ltdp.engine.runtime import LocalRuntime, SuperstepRuntime
+from repro.ltdp.partition import partition_stages
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.ltdp.sequential import solve_sequential
+from repro.machine.executor import Executor, SerialExecutor
+from repro.machine.metrics import RunMetrics
+from repro.semiring.tropical import NEG_INF
+
+__all__ = ["ParallelOptions", "solve_parallel", "edge_weight_by_probe"]
+
+
+@dataclass
+class ParallelOptions:
+    """Knobs of the parallel solver.
+
+    Attributes
+    ----------
+    num_procs:
+        Requested processor count ``P`` (clamped to the stage count).
+    executor:
+        Where superstep tasks run; default serial (deterministic sim).
+        Executors advertising ``supports_resident_state`` (the
+        persistent worker pool) get the state-resident runtime.
+    seed:
+        Seeds the random ``nz`` start vectors (Fig 4 line 8).  The same
+        seed gives the same vectors regardless of executor.
+    nz_low, nz_high:
+        Range of the entries of the ``nz`` vectors.
+    nz_integer:
+        Draw integer ``nz`` entries (default) so that integer-scored
+        problems stay bit-exact; set False for continuous entries.
+    use_delta:
+        Account fix-up work with the §4.7 delta-computation cost
+        (changed adjacent differences + 1) instead of full stage cost.
+        Results are unchanged; only the recorded work differs.
+    max_fixup_iterations:
+        Safety bound; default ``P + 1`` (the loop provably terminates
+        within ``P`` iterations — worst case it devolves to sequential).
+    exact_score:
+        Run the path-pricing epilogue so ``solution.score`` equals the
+        true ``s_n[0]`` (costs one ``edge_weight`` per stage).
+    parallel_backward:
+        Use the Fig 5 parallel backward phase; else traceback serially.
+    keep_stage_vectors:
+        Return the stored per-stage vectors (each parallel to the true
+        one) on the solution object.
+    """
+
+    num_procs: int = 2
+    executor: Executor = field(default_factory=SerialExecutor)
+    seed: int | None = 0
+    nz_low: float = -10.0
+    nz_high: float = 10.0
+    nz_integer: bool = True
+    use_delta: bool = False
+    max_fixup_iterations: int | None = None
+    exact_score: bool = True
+    parallel_backward: bool = True
+    keep_stage_vectors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
+        if not self.nz_low < self.nz_high:
+            raise ValueError("require nz_low < nz_high")
+
+
+def edge_weight_by_probe(problem: LTDPProblem, i: int, j: int, k: int) -> float:
+    """``A_i[j, k]`` recovered by applying stage ``i`` to the unit vector at ``k``.
+
+    O(width) fallback used when a problem does not override
+    ``edge_weight``; all shipped problems provide O(1) overrides.
+    """
+    w_in = problem.stage_width(i - 1)
+    unit = np.full(w_in, NEG_INF)
+    unit[k] = 0.0
+    return float(problem.apply_stage(i, unit)[j])
+
+
+def _edge_weight(problem: LTDPProblem, i: int, j: int, k: int) -> float:
+    fn = getattr(problem, "edge_weight", None)
+    if fn is not None:
+        return float(fn(i, j, k))
+    return edge_weight_by_probe(problem, i, j, k)
+
+
+def _price_path(problem: LTDPProblem, path: np.ndarray) -> float:
+    """Exact objective of a traced path: ``s_0[path[0]] + Σ_i A_i[path[i], path[i-1]]``."""
+    s0 = problem.initial_vector()
+    total = float(s0[path[0]])
+    for i in range(1, problem.num_stages + 1):
+        total += _edge_weight(problem, i, int(path[i]), int(path[i - 1]))
+    return total
+
+
+def _make_runtime(executor: Executor, problem: LTDPProblem, ranges) -> SuperstepRuntime:
+    """Runtime selection: resident-state executors get the pool runtime."""
+    if getattr(executor, "supports_resident_state", False):
+        from repro.ltdp.engine.poolrt import PoolRuntime
+
+        return PoolRuntime(executor, problem, ranges)
+    return LocalRuntime(executor, problem)
+
+
+def solve_parallel(
+    problem: LTDPProblem,
+    options: ParallelOptions | None = None,
+    **kwargs,
+) -> LTDPSolution:
+    """Solve an LTDP instance with the paper's parallel algorithm.
+
+    ``kwargs`` are convenience overrides for :class:`ParallelOptions`
+    fields, e.g. ``solve_parallel(prob, num_procs=8, seed=42)``.
+
+    Returns an :class:`LTDPSolution` whose ``path`` is identical to the
+    sequential algorithm's (deterministic tie-breaking makes this an
+    equality, not just co-optimality) and whose ``metrics`` record the
+    real per-processor work for the cost model.
+    """
+    if options is None:
+        options = ParallelOptions(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a ParallelOptions object or keyword overrides")
+
+    n = problem.num_stages
+    if n < 1:
+        raise ProblemDefinitionError("problem must have at least one stage")
+
+    ranges = partition_stages(n, options.num_procs)
+    num_procs = len(ranges)
+    if num_procs == 1:
+        solution = solve_sequential(
+            problem,
+            keep_stage_vectors=options.keep_stage_vectors,
+            with_metrics=True,
+        )
+        return solution
+
+    metrics = RunMetrics(
+        num_procs=num_procs,
+        num_stages=n,
+        stage_width=problem.stage_width(n),
+    )
+    runtime = _make_runtime(options.executor, problem, ranges)
+    try:
+        finals = forward_phase(problem, ranges, options, runtime, metrics)
+
+        obj_stage: int | None = None
+        obj_cell: int | None = None
+        obj_value: float | None = None
+        if problem.tracks_stage_objective:
+            obj_value, obj_stage, obj_cell = objective_phase(
+                problem, ranges, options, runtime, metrics
+            )
+
+        if options.parallel_backward:
+            path = backward_parallel_phase(
+                problem,
+                ranges,
+                options,
+                runtime,
+                metrics,
+                start_stage=obj_stage,
+                start_cell=obj_cell or 0,
+            )
+        else:
+            path = backward_serial_phase(
+                problem,
+                runtime,
+                metrics,
+                num_procs,
+                start_stage=obj_stage,
+                start_cell=obj_cell or 0,
+            )
+
+        final = np.asarray(finals[ranges[-1].proc])
+        if obj_value is not None:
+            # The shift-invariant objective is exact even on offset vectors.
+            score = float(obj_value)
+        elif options.exact_score:
+            score = _price_path(problem, path)
+        else:
+            score = float(final[0])
+
+        stage_vectors = None
+        if options.keep_stage_vectors:
+            stage_vectors = [np.asarray(v) for v in runtime.stage_vectors()]
+    finally:
+        runtime.finish()
+
+    return LTDPSolution(
+        path=path,
+        score=score,
+        final_vector=final,
+        metrics=metrics,
+        stage_vectors=stage_vectors,
+        objective_stage=obj_stage,
+        objective_cell=obj_cell,
+    )

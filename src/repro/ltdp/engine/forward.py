@@ -1,0 +1,148 @@
+"""Forward-phase planner (paper Fig 4): initial pass + fix-up loop.
+
+This module *plans* — it builds :class:`ForwardInitSpec` /
+:class:`ForwardFixupSpec` lists, snapshots the boundary vectors that
+cross each barrier, hands the specs to the runtime, and keeps the
+metrics ledger.  All numeric work happens inside the specs, wherever
+the runtime runs them.
+
+The driver-visible product of the phase is the ``finals`` map: each
+processor's range-final stage vector as of the last barrier.  It is the
+complete inter-processor state of the forward phase (the only vectors
+the paper's algorithm ever communicates), which is what lets the pool
+runtime keep everything else worker-resident.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.ltdp.engine.runtime import SuperstepRuntime
+from repro.ltdp.engine.specs import ForwardFixupSpec, ForwardInitSpec
+from repro.ltdp.partition import StageRange
+from repro.ltdp.problem import LTDPProblem
+from repro.machine.metrics import CommEvent, RunMetrics, SuperstepRecord
+
+__all__ = ["plan_initial_pass", "plan_fixup_round", "forward_phase"]
+
+
+def plan_initial_pass(
+    ranges: Sequence[StageRange], opts
+) -> list[ForwardInitSpec]:
+    """Fig 4 lines 6-11: every processor sweeps its range from s0 / nz."""
+    seed_seq = np.random.SeedSequence(opts.seed)
+    child_seeds = seed_seq.spawn(len(ranges))
+    return [
+        ForwardInitSpec(
+            proc=rg.proc,
+            lo=rg.lo,
+            hi=rg.hi,
+            seed=child,
+            nz_low=opts.nz_low,
+            nz_high=opts.nz_high,
+            nz_integer=opts.nz_integer,
+        )
+        for rg, child in zip(ranges, child_seeds)
+    ]
+
+
+def plan_fixup_round(
+    ranges: Sequence[StageRange],
+    finals: dict[int, np.ndarray],
+    opts,
+    tol: float,
+) -> tuple[list[ForwardFixupSpec], list[CommEvent]]:
+    """One fix-up superstep: snapshot boundaries, emit specs + comm events.
+
+    Barrier semantics: every processor reads its left neighbour's final
+    stage vector *as stored at the start of the iteration* — the copy
+    here is that snapshot.
+    """
+    specs = [
+        ForwardFixupSpec(
+            proc=rg.proc,
+            lo=rg.lo,
+            hi=rg.hi,
+            boundary=np.array(finals[rg.proc - 1], copy=True),
+            tol=tol,
+            use_delta=opts.use_delta,
+        )
+        for rg in ranges[1:]
+    ]
+    comm = [
+        CommEvent(src=sp.proc - 1, dst=sp.proc, num_bytes=8 * sp.boundary.size)
+        for sp in specs
+    ]
+    return specs, comm
+
+
+def forward_phase(
+    problem: LTDPProblem,
+    ranges: Sequence[StageRange],
+    opts,
+    runtime: SuperstepRuntime,
+    metrics: RunMetrics,
+) -> dict[int, np.ndarray]:
+    """Run the full forward phase; returns each processor's final vector."""
+    num_procs = len(ranges)
+
+    # -- initial pass (one superstep) ----------------------------------
+    specs = plan_initial_pass(ranges, opts)
+    t0 = time.perf_counter()
+    results = runtime.run(specs)
+    wall = time.perf_counter() - t0
+    finals: dict[int, np.ndarray] = {}
+    work_row = []
+    for result, rg in zip(results, ranges):
+        finals[rg.proc] = result.boundary
+        work_row.append(result.work)
+    metrics.record(
+        SuperstepRecord(label="forward", work=work_row, wall_seconds=wall)
+    )
+
+    # -- fix-up loop (Fig 4 lines 13-27) -------------------------------
+    if num_procs == 1:
+        return finals
+    max_iters = (
+        opts.max_fixup_iterations
+        if opts.max_fixup_iterations is not None
+        else num_procs + 1
+    )
+    tol = problem.parallel_tol
+    iteration = 0
+    while True:
+        iteration += 1
+        if iteration > max_iters:
+            raise ConvergenceError(
+                f"forward fix-up did not converge within {max_iters} iterations"
+            )
+        specs, comm = plan_fixup_round(ranges, finals, opts, tol)
+        t0 = time.perf_counter()
+        results = runtime.run(specs)
+        wall = time.perf_counter() - t0
+        work_row = [0.0] * num_procs  # processor 1 idles in fix-up
+        all_conv = True
+        for result in results:
+            finals[result.proc] = result.boundary
+            work_row[result.proc - 1] = result.work
+            metrics.fixup_stages[result.proc] = (
+                metrics.fixup_stages.get(result.proc, 0) + result.stages_done
+            )
+            all_conv &= result.converged
+        metrics.record(
+            SuperstepRecord(
+                label=f"fixup[{iteration}]",
+                work=work_row,
+                comm=comm,
+                wall_seconds=wall,
+            )
+        )
+        if all_conv:
+            break
+    metrics.forward_fixup_iterations = iteration
+    metrics.converged_first_iteration = iteration == 1
+    return finals

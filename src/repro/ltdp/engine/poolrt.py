@@ -1,0 +1,208 @@
+"""State-resident runtime over the persistent worker pool.
+
+:class:`PoolRuntime` maps each virtual processor (slot) onto one of the
+:class:`~repro.machine.pool.PoolProcessExecutor`'s persistent workers
+and keeps that slot's stage vectors, predecessor vectors and backward
+path segment **inside the worker** for the whole solve:
+
+- ``begin`` (constructor) pickles the problem **once** and broadcasts
+  it to every worker;
+- each superstep ships only the declarative spec objects (a boundary
+  vector + scalars per processor) and receives *stripped* results — the
+  O(width) range-final vector and scalar accounting, never the
+  per-stage payloads.  That is exactly the paper's cost model: per
+  fix-up iteration, one boundary vector per neighbour pair crosses a
+  process boundary, nothing else;
+- when the backward partition differs from the forward one (objective
+  problems whose optimum lies before the last stage), a one-time
+  driver-mediated redistribution moves the few predecessor vectors a
+  slot is missing;
+- gathers (``keep_stage_vectors``, the serial-traceback fallback) pull
+  the resident arrays out at the end, off the hot path.
+
+The functions prefixed ``_w_`` execute *inside* workers against the
+worker's persistent namespace; they are module-level so they pickle by
+reference.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExecutorError
+from repro.ltdp.engine.runtime import SuperstepRuntime
+from repro.ltdp.engine.specs import SpecResult, SuperstepSpec
+from repro.ltdp.partition import StageRange
+from repro.ltdp.problem import LTDPProblem
+
+__all__ = ["PoolRuntime"]
+
+
+class _WorkerStore:
+    """One slot's resident state inside a pool worker."""
+
+    def __init__(self, problem: LTDPProblem) -> None:
+        self.problem = problem
+        self.s: dict[int, np.ndarray] = {}
+        self.pred: dict[int, np.ndarray] = {}
+        self.path: dict[int, int] = {}
+
+    # -- StageStore protocol -------------------------------------------
+    def get_s(self, i: int) -> np.ndarray:
+        if i == 0 and 0 not in self.s:
+            self.s[0] = self.problem.initial_vector()
+        return self.s[i]
+
+    def get_pred(self, i: int) -> np.ndarray:
+        return self.pred[i]
+
+    def get_path(self, i: int) -> int:
+        return self.path[i]
+
+    def apply(self, result: SpecResult) -> None:
+        self.s.update(result.s_updates)
+        self.pred.update(result.pred_updates)
+        self.path.update(result.path_updates)
+
+
+# ----------------------------------------------------------------------
+# Worker-side namespace functions (run via PoolProcessExecutor.call_slots
+# / broadcast; ``ns`` is the worker's persistent namespace dict).
+# ----------------------------------------------------------------------
+
+
+def _w_reset(ns, problem_blob: bytes, slots: list[int]) -> None:
+    """Install the problem (shipped once per solve) and fresh slot states."""
+    problem = pickle.loads(problem_blob)
+    ns["problem"] = problem
+    ns["states"] = {slot: _WorkerStore(problem) for slot in slots}
+
+
+def _w_run_spec(ns, spec: SuperstepSpec) -> SpecResult:
+    """Execute one spec against the slot's resident store.
+
+    Stage-resident writes are applied here, in the worker; the reply is
+    stripped down to boundary vector + scalars (+ path indices, which
+    are the backward phase's output).
+    """
+    store = ns["states"][spec.proc]
+    result = spec.execute(ns["problem"], store)
+    store.apply(result)
+    return result.stripped()
+
+
+def _w_collect(ns, slot: int, kind: str, stages: list[int]):
+    """Ship the requested resident vectors back to the driver."""
+    store = ns["states"][slot]
+    source = store.s if kind == "s" else store.pred
+    return {i: source[i] for i in stages if i in source}
+
+
+def _w_install_pred(ns, slot: int, mapping: dict[int, np.ndarray]) -> None:
+    """Merge redistributed predecessor vectors into a slot's store."""
+    ns["states"][slot].pred.update(mapping)
+
+
+# ----------------------------------------------------------------------
+
+
+class PoolRuntime(SuperstepRuntime):
+    """Plan executor backed by persistent, state-resident pool workers."""
+
+    def __init__(
+        self, pool, problem: LTDPProblem, ranges: Sequence[StageRange]
+    ) -> None:
+        self.pool = pool
+        self.problem = problem
+        self.num_stages = problem.num_stages
+        self.forward_ranges = list(ranges)
+        try:
+            blob = pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ExecutorError(
+                "the pool runtime ships the problem to persistent workers "
+                f"once per solve, but this problem is not picklable: {exc!r}"
+            ) from exc
+        # Every worker learns every slot id; a slot's state only ever
+        # fills on its owning worker, the rest stay empty placeholders.
+        slots = [rg.proc for rg in self.forward_ranges]
+        self.pool.broadcast(_w_reset, (blob, slots))
+
+    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
+        return self.pool.call_slots(
+            [(spec.proc, _w_run_spec, (spec,)) for spec in specs]
+        )
+
+    def install_path(self, path: np.ndarray) -> None:
+        # The driver owns the path array; workers keep their own segment
+        # resident (written by their backward specs), so nothing to do.
+        pass
+
+    def prepare_backward(
+        self,
+        backward_ranges: Sequence[StageRange],
+        forward_ranges: Sequence[StageRange],
+    ) -> None:
+        """One-time pred redistribution for a repartitioned backward phase.
+
+        Worker slot ``p`` holds predecessors for its *forward* range; if
+        its backward range covers other stages, fetch them from their
+        forward owners and install them — driver-mediated, once, before
+        the backward supersteps start.
+        """
+        owner_of: dict[int, int] = {}
+        owned: dict[int, set[int]] = {}
+        for rg in forward_ranges:
+            stages = set(rg.stages())
+            owned[rg.proc] = stages
+            for i in stages:
+                owner_of[i] = rg.proc
+        needs: dict[int, list[int]] = {}
+        for rg in backward_ranges:
+            missing = sorted(set(rg.stages()) - owned.get(rg.proc, set()))
+            if missing:
+                needs[rg.proc] = missing
+        if not needs:
+            return
+        # Gather each missing stage from its forward owner...
+        fetch: dict[int, list[int]] = {}
+        for stages in needs.values():
+            for i in stages:
+                fetch.setdefault(owner_of[i], []).append(i)
+        gathered: dict[int, np.ndarray] = {}
+        for chunk in self.pool.call_slots(
+            [
+                (owner, _w_collect, (owner, "pred", stages))
+                for owner, stages in fetch.items()
+            ]
+        ):
+            gathered.update(chunk)
+        # ...and install it on the slot whose backward range needs it.
+        self.pool.call_slots(
+            [
+                (slot, _w_install_pred, (slot, {i: gathered[i] for i in stages}))
+                for slot, stages in needs.items()
+            ]
+        )
+
+    # -- gathers --------------------------------------------------------
+    def _gather(self, kind: str) -> list[np.ndarray | None]:
+        out: list[np.ndarray | None] = [None] * (self.num_stages + 1)
+        if kind == "s":
+            out[0] = self.problem.initial_vector()
+        ranges = self.forward_ranges
+        for chunk in self.pool.call_slots(
+            [(rg.proc, _w_collect, (rg.proc, kind, list(rg.stages()))) for rg in ranges]
+        ):
+            for i, v in chunk.items():
+                out[i] = v
+        return out
+
+    def stage_vectors(self) -> list[np.ndarray | None]:
+        return self._gather("s")
+
+    def pred_vectors(self) -> list[np.ndarray | None]:
+        return self._gather("pred")

@@ -1,0 +1,100 @@
+"""The runtime layer: where superstep specs actually execute.
+
+A :class:`SuperstepRuntime` turns the plan layer's declarative
+:class:`~repro.ltdp.engine.specs.SuperstepSpec` lists into executed
+supersteps.  Two implementations ship:
+
+- :class:`LocalRuntime` — stage state lives in the driver process
+  (:class:`~repro.ltdp.engine.state.EngineState`); specs are wrapped in
+  closures and handed to any classic
+  :class:`~repro.machine.executor.Executor` (serial / thread pool /
+  fork-per-task processes).
+- :class:`~repro.ltdp.engine.poolrt.PoolRuntime` — stage state lives
+  *inside* persistent worker processes
+  (:class:`~repro.machine.pool.PoolProcessExecutor`); only specs and
+  boundary vectors cross process boundaries.
+
+The driver (:mod:`repro.ltdp.engine.driver`) picks the runtime from the
+executor's capabilities, so ``solve_parallel``'s signature and results
+are identical either way.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.ltdp.engine.specs import SpecResult, SuperstepSpec
+from repro.ltdp.engine.state import EngineState
+from repro.ltdp.partition import StageRange
+from repro.ltdp.problem import LTDPProblem
+from repro.machine.executor import Executor
+
+__all__ = ["SuperstepRuntime", "LocalRuntime"]
+
+
+class SuperstepRuntime(ABC):
+    """Executes superstep specs and owns the per-stage state between them."""
+
+    @abstractmethod
+    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
+        """Execute one superstep (one spec per participating processor).
+
+        Returns results in spec order with all stage-resident updates
+        already applied to the runtime's store.  ``path_updates`` are
+        applied by the driver (which owns the path array); runtimes with
+        worker-resident state must *also* apply them to their workers'
+        stores before replying.
+        """
+
+    @abstractmethod
+    def install_path(self, path: np.ndarray) -> None:
+        """Give the runtime's store access to the driver's path array."""
+
+    def prepare_backward(
+        self,
+        backward_ranges: Sequence[StageRange],
+        forward_ranges: Sequence[StageRange],
+    ) -> None:
+        """Redistribute predecessor vectors when the backward partition
+        differs from the forward one (objective problems whose optimum
+        lies before the last stage).  No-op for shared-store runtimes."""
+
+    @abstractmethod
+    def stage_vectors(self) -> list[np.ndarray | None]:
+        """Gather all stored stage vectors (``keep_stage_vectors``)."""
+
+    @abstractmethod
+    def pred_vectors(self) -> list[np.ndarray | None]:
+        """Gather all predecessor vectors (serial-traceback fallback)."""
+
+    def finish(self) -> None:
+        """Release per-solve resources.  Must not tear down the executor."""
+
+
+class LocalRuntime(SuperstepRuntime):
+    """Driver-resident state + any closure-running executor."""
+
+    def __init__(self, executor: Executor, problem: LTDPProblem) -> None:
+        self.executor = executor
+        self.problem = problem
+        self.state = EngineState(problem)
+
+    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
+        problem, store = self.problem, self.state
+        tasks = [lambda spec=spec: spec.execute(problem, store) for spec in specs]
+        results = self.executor.run_superstep(tasks)
+        for result in results:
+            store.apply(result)
+        return results
+
+    def install_path(self, path: np.ndarray) -> None:
+        self.state.path = path
+
+    def stage_vectors(self) -> list[np.ndarray | None]:
+        return list(self.state.s)
+
+    def pred_vectors(self) -> list[np.ndarray | None]:
+        return list(self.state.pred)

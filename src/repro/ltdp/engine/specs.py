@@ -1,0 +1,292 @@
+"""Declarative superstep specs — the *plan* half of the plan/runtime split.
+
+The parallel LTDP algorithm (paper Figs 4/5) is pure BSP: each
+superstep is a set of per-processor jobs whose cross-processor inputs
+were all snapshotted at the previous barrier.  This module captures one
+such job as a :class:`SuperstepSpec` — a frozen dataclass naming the
+stage range, the boundary input carried across the barrier, and (for
+fix-up supersteps) the convergence predicate parameters.  Specs are
+pure data: picklable, free of closures, and independent of *where* they
+run.
+
+Runtimes (see :mod:`repro.ltdp.engine.runtime` and
+:mod:`repro.ltdp.engine.poolrt`) execute a spec by calling
+:meth:`SuperstepSpec.execute` against a :class:`StageStore` — an
+abstract view of the per-stage vectors the executing processor can see.
+``execute`` never mutates the store; all writes are collected in the
+returned :class:`SpecResult` and applied after the barrier, which is
+exactly what makes serial / thread / forked-process / persistent-pool
+execution bit-identical.
+
+The store contract mirrors the paper's data distribution: a spec only
+ever reads stages inside its own ``(lo .. hi]`` range (resident on its
+processor) plus the boundary value embedded in the spec itself (the
+one message its left/right neighbour sent at the barrier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol
+
+import numpy as np
+
+from repro.exceptions import ZeroVectorError
+from repro.ltdp.delta import delta_fixup_work
+from repro.ltdp.problem import LTDPProblem
+from repro.semiring.vector import are_parallel, is_zero_vector, random_nonzero_vector
+
+__all__ = [
+    "StageStore",
+    "SpecResult",
+    "SuperstepSpec",
+    "ForwardInitSpec",
+    "ForwardFixupSpec",
+    "ObjectiveSpec",
+    "BackwardInitSpec",
+    "BackwardFixupSpec",
+]
+
+
+class StageStore(Protocol):
+    """What a spec may read while executing: its processor's resident state."""
+
+    def get_s(self, i: int) -> np.ndarray:
+        """Stored stage vector ``s_i`` (as of the last barrier)."""
+        ...
+
+    def get_pred(self, i: int) -> np.ndarray:
+        """Stored predecessor vector of stage ``i``."""
+        ...
+
+    def get_path(self, i: int) -> int:
+        """Stored backward-path entry at stage ``i`` (as of the last barrier)."""
+        ...
+
+
+@dataclass
+class SpecResult:
+    """Everything one spec execution produced.
+
+    ``s_updates`` / ``pred_updates`` are the stage-resident writes: a
+    runtime with worker-resident state applies them *in the worker* and
+    strips them before replying, so only ``boundary`` (one stage-width
+    vector) and the scalar fields cross the wire per superstep — the
+    paper's O(boundary) communication model.  ``path_updates`` are the
+    backward phase's output (integers, i.e. the answer itself) and are
+    always returned to the driver.
+    """
+
+    proc: int
+    work: float = 0.0
+    s_updates: dict[int, np.ndarray] = field(default_factory=dict)
+    pred_updates: dict[int, np.ndarray] = field(default_factory=dict)
+    path_updates: dict[int, int] = field(default_factory=dict)
+    stages_done: int = 0
+    converged: bool = True
+    #: The executing processor's range-final stage vector after this
+    #: superstep — the only vector its right neighbour ever needs.
+    boundary: np.ndarray | None = None
+    #: ``(value, stage, cell)`` candidate from an :class:`ObjectiveSpec`.
+    objective: tuple[float, int, int] | None = None
+
+    def stripped(self) -> "SpecResult":
+        """Copy with the stage-resident payloads removed (pool wire format)."""
+        return replace(self, s_updates={}, pred_updates={})
+
+
+@dataclass(frozen=True)
+class SuperstepSpec:
+    """One processor's job within one barrier-delimited superstep."""
+
+    proc: int  # 1-based processor id, matching the paper
+    lo: int  # exclusive lower stage bound
+    hi: int  # inclusive upper stage bound
+
+    def stages(self) -> range:
+        return range(self.lo + 1, self.hi + 1)
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ForwardInitSpec(SuperstepSpec):
+    """Fig 4 lines 6-11: sweep the range from ``s_0`` (proc 1) or ``nz``.
+
+    ``seed`` is the processor's spawned :class:`numpy.random.SeedSequence`
+    child; the same child produces the same ``nz`` vector on every
+    runtime, which is what keeps runs reproducible across executors.
+    """
+
+    seed: np.random.SeedSequence | None = None
+    nz_low: float = -10.0
+    nz_high: float = 10.0
+    nz_integer: bool = True
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        if self.proc == 1:
+            v = problem.initial_vector()
+        else:
+            rng = np.random.default_rng(self.seed)
+            v = random_nonzero_vector(
+                problem.stage_width(self.lo),
+                rng,
+                low=self.nz_low,
+                high=self.nz_high,
+                integer=self.nz_integer,
+            )
+        out_s: dict[int, np.ndarray] = {}
+        out_pred: dict[int, np.ndarray] = {}
+        work = 0.0
+        for i in self.stages():
+            v, p = problem.apply_stage_with_pred(i, v)
+            if is_zero_vector(v):
+                raise ZeroVectorError(
+                    f"stage {i} produced an all--inf vector during the "
+                    "parallel forward pass"
+                )
+            out_s[i] = v
+            out_pred[i] = p
+            work += problem.stage_cost(i)
+        return SpecResult(
+            proc=self.proc,
+            work=work,
+            s_updates=out_s,
+            pred_updates=out_pred,
+            boundary=out_s[self.hi],
+        )
+
+
+@dataclass(frozen=True)
+class ForwardFixupSpec(SuperstepSpec):
+    """Fig 4 lines 13-27: re-sweep from the left neighbour's boundary.
+
+    ``boundary`` is the neighbour's range-final vector as advertised at
+    the barrier; the convergence predicate is tropical parallelism
+    against the stored vectors (:meth:`is_converged`), with the
+    problem's tolerance baked into the spec.
+    """
+
+    boundary: np.ndarray = None  # type: ignore[assignment]
+    tol: float = 0.0
+    use_delta: bool = False
+
+    def is_converged(self, new: np.ndarray, stored: np.ndarray) -> bool:
+        """The fix-up convergence predicate (§4.2 rank convergence)."""
+        return are_parallel(new, stored, tol=self.tol)
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        v = self.boundary
+        new_s: dict[int, np.ndarray] = {}
+        new_pred: dict[int, np.ndarray] = {}
+        work = 0.0
+        stages_done = 0
+        converged = False
+        for i in self.stages():
+            v, p = problem.apply_stage_with_pred(i, v)
+            if is_zero_vector(v):
+                raise ZeroVectorError(
+                    f"stage {i} produced an all--inf vector in fix-up"
+                )
+            new_pred[i] = p
+            old = store.get_s(i)
+            if self.use_delta:
+                work += delta_fixup_work(old, v)
+            else:
+                work += problem.stage_cost(i)
+            stages_done += 1
+            if self.is_converged(v, old):
+                converged = True
+                break
+            new_s[i] = v
+        # On early convergence the stored suffix (including the range
+        # final) is untouched, so the advertised boundary is the stored
+        # one; otherwise the sweep rewrote through the end of the range.
+        boundary = new_s[self.hi] if self.hi in new_s else store.get_s(self.hi)
+        return SpecResult(
+            proc=self.proc,
+            work=work,
+            s_updates=new_s,
+            pred_updates=new_pred,
+            stages_done=stages_done,
+            converged=converged,
+            boundary=boundary,
+        )
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec(SuperstepSpec):
+    """Scan the resident stage vectors for the shift-invariant objective.
+
+    Processor 1 additionally covers stage 0 (``include_initial``), the
+    same convention as the sequential solver's reduction.
+    """
+
+    include_initial: bool = False
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        start = 0 if self.include_initial else self.lo + 1
+        best: tuple[float, int, int] | None = None
+        for i in range(start, self.hi + 1):
+            val, cell = problem.stage_objective(i, np.asarray(store.get_s(i)))
+            if best is None or val > best[0]:
+                best = (val, i, cell)
+        work = float(
+            sum(problem.stage_objective_cost(i) for i in range(start, self.hi + 1))
+        )
+        return SpecResult(proc=self.proc, work=work, objective=best)
+
+
+@dataclass(frozen=True)
+class BackwardInitSpec(SuperstepSpec):
+    """Fig 5 initial traversal: follow predecessors right-to-left.
+
+    ``start_index`` is 0 for interior processors (Fig 5 line 8's
+    assumption) and the objective cell for the last processor.
+    """
+
+    start_index: int = 0
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        x = self.start_index
+        out: dict[int, int] = {}
+        for i in range(self.hi, self.lo, -1):
+            x = int(store.get_pred(i)[x])
+            out[i - 1] = x
+        return SpecResult(
+            proc=self.proc,
+            work=float(self.hi - self.lo),
+            path_updates=out,
+        )
+
+
+@dataclass(frozen=True)
+class BackwardFixupSpec(SuperstepSpec):
+    """Fig 5 fix-up: re-traverse from the right neighbour's corrected index.
+
+    Convergence predicate: the traversal agrees with the stored path
+    entry (Lemma 5 — guaranteed once the backward partial products
+    reach rank 1).
+    """
+
+    boundary_index: int = 0
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        x = self.boundary_index
+        updates: dict[int, int] = {}
+        work = 0.0
+        converged = False
+        for i in range(self.hi, self.lo, -1):
+            x = int(store.get_pred(i)[x])
+            work += 1.0
+            if store.get_path(i - 1) == x:
+                converged = True
+                break
+            updates[i - 1] = x
+        return SpecResult(
+            proc=self.proc,
+            work=work,
+            path_updates=updates,
+            converged=converged,
+        )

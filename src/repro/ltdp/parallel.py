@@ -1,569 +1,25 @@
-"""The parallel LTDP algorithm — paper Figures 4 (forward) and 5 (backward).
+"""The parallel LTDP algorithm — stable import point.
 
-Processors own contiguous stage ranges.  Processor 1 starts from the
-true initial vector; every other processor starts from a random
-**all-non-zero** vector (§4.5).  After a barrier, the fix-up loop
-repeatedly re-executes each processor's range from the boundary vector
-its left neighbour advertised, stopping early as soon as a recomputed
-stage vector becomes *tropically parallel* to the stored one — rank
-convergence (§4.2) makes that happen after a problem-dependent number
-of stages, and Lemma 3 guarantees the stored suffix then yields the
-same predecessors as the true computation.
+The implementation lives in :mod:`repro.ltdp.engine`, split into a
+*plan* layer (declarative superstep specs for the forward pass, fix-up
+loop, objective reduction and backward phases — paper Figures 4/5) and
+a *runtime* layer (where the specs execute: serially, on threads, on
+forked processes, or on a persistent worker pool with state-resident
+workers).  This module re-exports the public entry points under their
+historical names so ``from repro.ltdp.parallel import solve_parallel``
+keeps working unchanged.
 
-The algorithm here is executed for real — every recomputed cell is a
-genuine kernel invocation — and its per-processor work is recorded in
-:class:`~repro.machine.metrics.RunMetrics` for the BSP cost model.
-Any :class:`~repro.machine.executor.Executor` can run the supersteps:
-results are bit-identical across serial / thread / process executors
-because every superstep's cross-processor inputs are snapshotted first
-(exactly what the paper's barriers guarantee).
-
-An *exact-score epilogue* (ours, not in the paper) recovers the true
-optimal value ``s_n[0]`` by pricing the traced path edge by edge: the
-parallel forward phase only guarantees vectors parallel to the truth,
-so the final vector's entries are offset by an unknown constant, but
-path edge weights are offset-free.
+See :mod:`repro.ltdp.engine.driver` for the algorithm documentation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
-
-import numpy as np
-
-from repro.exceptions import ConvergenceError, ProblemDefinitionError, ZeroVectorError
-from repro.ltdp.delta import delta_fixup_work
-from repro.ltdp.partition import StageRange, partition_stages
-from repro.ltdp.problem import LTDPProblem, LTDPSolution
-from repro.ltdp.sequential import solve_sequential
-from repro.machine.executor import Executor, SerialExecutor
-from repro.machine.metrics import CommEvent, RunMetrics, SuperstepRecord
-from repro.semiring.tropical import NEG_INF
-from repro.semiring.vector import are_parallel, is_zero_vector, random_nonzero_vector
+from repro.ltdp.engine.driver import (  # noqa: F401  (re-exports)
+    ParallelOptions,
+    _edge_weight,
+    _price_path,
+    edge_weight_by_probe,
+    solve_parallel,
+)
 
 __all__ = ["ParallelOptions", "solve_parallel", "edge_weight_by_probe"]
-
-
-@dataclass
-class ParallelOptions:
-    """Knobs of the parallel solver.
-
-    Attributes
-    ----------
-    num_procs:
-        Requested processor count ``P`` (clamped to the stage count).
-    executor:
-        Where superstep tasks run; default serial (deterministic sim).
-    seed:
-        Seeds the random ``nz`` start vectors (Fig 4 line 8).  The same
-        seed gives the same vectors regardless of executor.
-    nz_low, nz_high:
-        Range of the entries of the ``nz`` vectors.
-    nz_integer:
-        Draw integer ``nz`` entries (default) so that integer-scored
-        problems stay bit-exact; set False for continuous entries.
-    use_delta:
-        Account fix-up work with the §4.7 delta-computation cost
-        (changed adjacent differences + 1) instead of full stage cost.
-        Results are unchanged; only the recorded work differs.
-    max_fixup_iterations:
-        Safety bound; default ``P + 1`` (the loop provably terminates
-        within ``P`` iterations — worst case it devolves to sequential).
-    exact_score:
-        Run the path-pricing epilogue so ``solution.score`` equals the
-        true ``s_n[0]`` (costs one ``edge_weight`` per stage).
-    parallel_backward:
-        Use the Fig 5 parallel backward phase; else traceback serially.
-    keep_stage_vectors:
-        Return the stored per-stage vectors (each parallel to the true
-        one) on the solution object.
-    """
-
-    num_procs: int = 2
-    executor: Executor = field(default_factory=SerialExecutor)
-    seed: int | None = 0
-    nz_low: float = -10.0
-    nz_high: float = 10.0
-    nz_integer: bool = True
-    use_delta: bool = False
-    max_fixup_iterations: int | None = None
-    exact_score: bool = True
-    parallel_backward: bool = True
-    keep_stage_vectors: bool = False
-
-    def __post_init__(self) -> None:
-        if self.num_procs < 1:
-            raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
-        if not self.nz_low < self.nz_high:
-            raise ValueError("require nz_low < nz_high")
-
-
-def edge_weight_by_probe(problem: LTDPProblem, i: int, j: int, k: int) -> float:
-    """``A_i[j, k]`` recovered by applying stage ``i`` to the unit vector at ``k``.
-
-    O(width) fallback used when a problem does not override
-    ``edge_weight``; all shipped problems provide O(1) overrides.
-    """
-    w_in = problem.stage_width(i - 1)
-    unit = np.full(w_in, NEG_INF)
-    unit[k] = 0.0
-    return float(problem.apply_stage(i, unit)[j])
-
-
-def _edge_weight(problem: LTDPProblem, i: int, j: int, k: int) -> float:
-    fn = getattr(problem, "edge_weight", None)
-    if fn is not None:
-        return float(fn(i, j, k))
-    return edge_weight_by_probe(problem, i, j, k)
-
-
-def _price_path(problem: LTDPProblem, path: np.ndarray) -> float:
-    """Exact objective of a traced path: ``s_0[path[0]] + Σ_i A_i[path[i], path[i-1]]``."""
-    s0 = problem.initial_vector()
-    total = float(s0[path[0]])
-    for i in range(1, problem.num_stages + 1):
-        total += _edge_weight(problem, i, int(path[i]), int(path[i - 1]))
-    return total
-
-
-# ----------------------------------------------------------------------
-# Forward phase (paper Figure 4)
-# ----------------------------------------------------------------------
-
-
-def _forward_initial_pass(
-    problem: LTDPProblem,
-    ranges: Sequence[StageRange],
-    opts: ParallelOptions,
-    s_store: list[np.ndarray | None],
-    pred_store: list[np.ndarray | None],
-    metrics: RunMetrics,
-) -> None:
-    """Fig 4 lines 6-11: every processor sweeps its range from s0 / nz."""
-    seed_seq = np.random.SeedSequence(opts.seed)
-    child_seeds = seed_seq.spawn(len(ranges))
-
-    def make_task(rg: StageRange, child: np.random.SeedSequence):
-        def task():
-            if rg.proc == 1:
-                v = problem.initial_vector()
-            else:
-                rng = np.random.default_rng(child)
-                v = random_nonzero_vector(
-                    problem.stage_width(rg.lo),
-                    rng,
-                    low=opts.nz_low,
-                    high=opts.nz_high,
-                    integer=opts.nz_integer,
-                )
-            out_s: dict[int, np.ndarray] = {}
-            out_pred: dict[int, np.ndarray] = {}
-            work = 0.0
-            for i in rg.stages():
-                v, p = problem.apply_stage_with_pred(i, v)
-                if is_zero_vector(v):
-                    raise ZeroVectorError(
-                        f"stage {i} produced an all--inf vector during the "
-                        "parallel forward pass"
-                    )
-                out_s[i] = v
-                out_pred[i] = p
-                work += problem.stage_cost(i)
-            return out_s, out_pred, work
-
-        return task
-
-    tasks = [make_task(rg, child) for rg, child in zip(ranges, child_seeds)]
-    results = opts.executor.run_superstep(tasks)
-    work_row = []
-    for (out_s, out_pred, work), _rg in zip(results, ranges):
-        for i, v in out_s.items():
-            s_store[i] = v
-        for i, p in out_pred.items():
-            pred_store[i] = p
-        work_row.append(work)
-    metrics.record(SuperstepRecord(label="forward", work=work_row))
-
-
-def _forward_fixup(
-    problem: LTDPProblem,
-    ranges: Sequence[StageRange],
-    opts: ParallelOptions,
-    s_store: list[np.ndarray | None],
-    pred_store: list[np.ndarray | None],
-    metrics: RunMetrics,
-) -> None:
-    """Fig 4 lines 13-27: iterate until every processor observes parallelism."""
-    num_procs = len(ranges)
-    if num_procs == 1:
-        return
-    max_iters = (
-        opts.max_fixup_iterations
-        if opts.max_fixup_iterations is not None
-        else num_procs + 1
-    )
-    tol = problem.parallel_tol
-    iteration = 0
-    while True:
-        iteration += 1
-        if iteration > max_iters:
-            raise ConvergenceError(
-                f"forward fix-up did not converge within {max_iters} iterations"
-            )
-        # Barrier semantics: every processor reads its left neighbour's
-        # final stage vector as stored at the *start* of the iteration.
-        boundaries = {rg.proc: np.array(s_store[rg.lo], copy=True) for rg in ranges[1:]}
-        comm = [
-            CommEvent(src=rg.proc - 1, dst=rg.proc, num_bytes=8 * boundaries[rg.proc].size)
-            for rg in ranges[1:]
-        ]
-
-        def make_task(rg: StageRange):
-            stored = {i: s_store[i] for i in rg.stages()}
-
-            def task():
-                v = boundaries[rg.proc]
-                new_s: dict[int, np.ndarray] = {}
-                new_pred: dict[int, np.ndarray] = {}
-                work = 0.0
-                stages_done = 0
-                converged = False
-                for i in rg.stages():
-                    v, p = problem.apply_stage_with_pred(i, v)
-                    if is_zero_vector(v):
-                        raise ZeroVectorError(
-                            f"stage {i} produced an all--inf vector in fix-up"
-                        )
-                    new_pred[i] = p
-                    old = stored[i]
-                    if opts.use_delta:
-                        work += delta_fixup_work(old, v)
-                    else:
-                        work += problem.stage_cost(i)
-                    stages_done += 1
-                    if are_parallel(v, old, tol=tol):
-                        converged = True
-                        break
-                    new_s[i] = v
-                return new_s, new_pred, work, stages_done, converged
-
-            return task
-
-        tasks = [make_task(rg) for rg in ranges[1:]]
-        results = opts.executor.run_superstep(tasks)
-        work_row = [0.0] * num_procs  # processor 1 idles in fix-up
-        all_conv = True
-        for (new_s, new_pred, work, stages_done, converged), rg in zip(
-            results, ranges[1:]
-        ):
-            for i, v in new_s.items():
-                s_store[i] = v
-            for i, p in new_pred.items():
-                pred_store[i] = p
-            work_row[rg.proc - 1] = work
-            metrics.fixup_stages[rg.proc] = (
-                metrics.fixup_stages.get(rg.proc, 0) + stages_done
-            )
-            all_conv &= converged
-        metrics.record(
-            SuperstepRecord(label=f"fixup[{iteration}]", work=work_row, comm=comm)
-        )
-        if all_conv:
-            break
-    metrics.forward_fixup_iterations = iteration
-    metrics.converged_first_iteration = iteration == 1
-
-
-# ----------------------------------------------------------------------
-# Backward phase (paper Figure 5)
-# ----------------------------------------------------------------------
-
-
-def _objective_reduction(
-    problem: LTDPProblem,
-    ranges: Sequence[StageRange],
-    opts: ParallelOptions,
-    s_store: list[np.ndarray | None],
-    metrics: RunMetrics,
-) -> tuple[float, int, int]:
-    """Reduce the shift-invariant per-stage objective across processors.
-
-    One extra superstep: each processor scans its own stored stage
-    vectors (processor 1 also covers stage 0); the global reduction
-    breaks ties toward the earliest stage — the same deterministic rule
-    the sequential solver uses.
-    """
-
-    def make_task(rg: StageRange):
-        def task():
-            best = None
-            start = 0 if rg.proc == 1 else rg.lo + 1
-            for i in range(start, rg.hi + 1):
-                val, cell = problem.stage_objective(i, np.asarray(s_store[i]))
-                if best is None or val > best[0]:
-                    best = (val, i, cell)
-            work = float(
-                sum(problem.stage_objective_cost(i) for i in range(start, rg.hi + 1))
-            )
-            return best, work
-
-        return task
-
-    results = opts.executor.run_superstep([make_task(rg) for rg in ranges])
-    metrics.record(
-        SuperstepRecord(label="objective", work=[w for _, w in results])
-    )
-    best_val, best_stage, best_cell = None, 0, 0
-    for (candidate, _w) in results:
-        if candidate is None:
-            continue
-        val, stage, cell = candidate
-        if best_val is None or val > best_val or (val == best_val and stage < best_stage):
-            best_val, best_stage, best_cell = val, stage, cell
-    assert best_val is not None
-    return best_val, best_stage, best_cell
-
-
-def _backward_parallel(
-    problem: LTDPProblem,
-    ranges: Sequence[StageRange],
-    opts: ParallelOptions,
-    pred_store: list[np.ndarray | None],
-    metrics: RunMetrics,
-    *,
-    start_stage: int | None = None,
-    start_cell: int = 0,
-) -> np.ndarray:
-    """Fig 5: parallel predecessor traversal with its own fix-up loop.
-
-    ``path[i]`` = optimal subproblem index at stage ``i``.  Every
-    processor starts its traversal assuming index 0 at its right
-    boundary (Fig 5 line 8); the last processor's assumption is exact
-    by the solution convention (or it starts from the objective cell
-    for stage-objective problems).  Fix-up re-traverses from the right
-    neighbour's corrected boundary until an entry matches (Lemma 5
-    ensures this happens once the backward partial products reach
-    rank 1).
-    """
-    n = problem.num_stages
-    total_procs = len(ranges)
-    if start_stage is None:
-        start_stage = n
-    path = np.zeros(n + 1, dtype=np.int64)
-    path[start_stage] = start_cell
-    if start_stage == 0:
-        return path
-    # The traceback only covers stages 1..start_stage; repartition them
-    # over the same processor pool (idle processors contribute 0 work).
-    ranges = partition_stages(start_stage, total_procs)
-    num_procs = len(ranges)
-
-    def pad(work_rows: list[float]) -> list[float]:
-        return work_rows + [0.0] * (total_procs - len(work_rows))
-
-    def make_initial(rg: StageRange):
-        def task():
-            x = start_cell if rg.proc == num_procs else 0
-            out: dict[int, int] = {}
-            for i in range(rg.hi, rg.lo, -1):
-                x = int(pred_store[i][x])
-                out[i - 1] = x
-            return out
-
-        return task
-
-    results = opts.executor.run_superstep([make_initial(rg) for rg in ranges])
-    for out in results:
-        for idx, val in out.items():
-            path[idx] = val
-    metrics.record(
-        SuperstepRecord(
-            label="backward", work=pad([float(rg.num_stages) for rg in ranges])
-        )
-    )
-
-    if num_procs == 1:
-        return path
-
-    max_iters = (
-        opts.max_fixup_iterations
-        if opts.max_fixup_iterations is not None
-        else num_procs + 1
-    )
-    iteration = 0
-    while True:
-        iteration += 1
-        if iteration > max_iters:
-            raise ConvergenceError(
-                f"backward fix-up did not converge within {max_iters} iterations"
-            )
-        # Processors 1..P-1 re-traverse from the boundary index owned by
-        # their right neighbour's region (snapshot = barrier semantics).
-        boundaries = {rg.proc: int(path[rg.hi]) for rg in ranges[:-1]}
-        comm = [
-            CommEvent(src=rg.proc + 1, dst=rg.proc, num_bytes=8)
-            for rg in ranges[:-1]
-        ]
-
-        def make_fixup(rg: StageRange):
-            snapshot = {i - 1: int(path[i - 1]) for i in range(rg.hi, rg.lo, -1)}
-
-            def task():
-                x = boundaries[rg.proc]
-                updates: dict[int, int] = {}
-                work = 0.0
-                converged = False
-                for i in range(rg.hi, rg.lo, -1):
-                    x = int(pred_store[i][x])
-                    work += 1.0
-                    if snapshot[i - 1] == x:
-                        converged = True
-                        break
-                    updates[i - 1] = x
-                return updates, work, converged
-
-            return task
-
-        tasks = [make_fixup(rg) for rg in ranges[:-1]]
-        results = opts.executor.run_superstep(tasks)
-        work_row = [0.0] * total_procs  # the last processor idles
-        all_conv = True
-        for (updates, work, converged), rg in zip(results, ranges[:-1]):
-            for idx, val in updates.items():
-                path[idx] = val
-            work_row[rg.proc - 1] = work
-            all_conv &= converged
-        metrics.record(
-            SuperstepRecord(label=f"bwd-fixup[{iteration}]", work=work_row, comm=comm)
-        )
-        if all_conv:
-            break
-    metrics.backward_fixup_iterations = iteration
-    return path
-
-
-def _backward_serial(
-    problem: LTDPProblem,
-    pred_store: list[np.ndarray | None],
-    metrics: RunMetrics,
-    num_procs: int,
-    *,
-    start_stage: int | None = None,
-    start_cell: int = 0,
-) -> np.ndarray:
-    """Sequential traceback (Fig 2 backward) recorded as processor-1 work."""
-    n = problem.num_stages
-    if start_stage is None:
-        start_stage = n
-    path = np.zeros(n + 1, dtype=np.int64)
-    path[start_stage] = start_cell
-    x = start_cell
-    for i in range(start_stage, 0, -1):
-        x = int(pred_store[i][x])
-        path[i - 1] = x
-    work_row = [0.0] * num_procs
-    work_row[0] = float(start_stage)
-    metrics.record(SuperstepRecord(label="backward", work=work_row))
-    return path
-
-
-# ----------------------------------------------------------------------
-# Entry point
-# ----------------------------------------------------------------------
-
-
-def solve_parallel(
-    problem: LTDPProblem,
-    options: ParallelOptions | None = None,
-    **kwargs,
-) -> LTDPSolution:
-    """Solve an LTDP instance with the paper's parallel algorithm.
-
-    ``kwargs`` are convenience overrides for :class:`ParallelOptions`
-    fields, e.g. ``solve_parallel(prob, num_procs=8, seed=42)``.
-
-    Returns an :class:`LTDPSolution` whose ``path`` is identical to the
-    sequential algorithm's (deterministic tie-breaking makes this an
-    equality, not just co-optimality) and whose ``metrics`` record the
-    real per-processor work for the cost model.
-    """
-    if options is None:
-        options = ParallelOptions(**kwargs)
-    elif kwargs:
-        raise TypeError("pass either a ParallelOptions object or keyword overrides")
-
-    n = problem.num_stages
-    if n < 1:
-        raise ProblemDefinitionError("problem must have at least one stage")
-
-    ranges = partition_stages(n, options.num_procs)
-    num_procs = len(ranges)
-    if num_procs == 1:
-        solution = solve_sequential(
-            problem,
-            keep_stage_vectors=options.keep_stage_vectors,
-            with_metrics=True,
-        )
-        return solution
-
-    metrics = RunMetrics(
-        num_procs=num_procs,
-        num_stages=n,
-        stage_width=problem.stage_width(n),
-    )
-    s_store: list[np.ndarray | None] = [None] * (n + 1)
-    s_store[0] = problem.initial_vector()
-    pred_store: list[np.ndarray | None] = [None] * (n + 1)
-
-    _forward_initial_pass(problem, ranges, options, s_store, pred_store, metrics)
-    _forward_fixup(problem, ranges, options, s_store, pred_store, metrics)
-
-    obj_stage: int | None = None
-    obj_cell: int | None = None
-    obj_value: float | None = None
-    if problem.tracks_stage_objective:
-        obj_value, obj_stage, obj_cell = _objective_reduction(
-            problem, ranges, options, s_store, metrics
-        )
-
-    if options.parallel_backward:
-        path = _backward_parallel(
-            problem,
-            ranges,
-            options,
-            pred_store,
-            metrics,
-            start_stage=obj_stage,
-            start_cell=obj_cell or 0,
-        )
-    else:
-        path = _backward_serial(
-            problem,
-            pred_store,
-            metrics,
-            num_procs,
-            start_stage=obj_stage,
-            start_cell=obj_cell or 0,
-        )
-
-    final = np.asarray(s_store[n])
-    if obj_value is not None:
-        # The shift-invariant objective is exact even on offset vectors.
-        score = float(obj_value)
-    elif options.exact_score:
-        score = _price_path(problem, path)
-    else:
-        score = float(final[0])
-
-    return LTDPSolution(
-        path=path,
-        score=score,
-        final_vector=final,
-        metrics=metrics,
-        stage_vectors=(
-            [np.asarray(v) for v in s_store] if options.keep_stage_vectors else None
-        ),
-        objective_stage=obj_stage,
-        objective_cell=obj_cell,
-    )

@@ -11,6 +11,10 @@ provides:
 - :mod:`repro.machine.executor` — executors that run one task per
   virtual processor: serially (deterministic simulation), on threads,
   or on forked processes (real parallelism on multi-core hosts);
+- :mod:`repro.machine.pool` — the persistent worker-pool runtime:
+  ``max_workers`` processes spawned once, reused across supersteps,
+  with per-processor state resident in the workers so only boundary
+  vectors cross process boundaries (the paper's BSP cost model);
 - :mod:`repro.machine.cluster` — :class:`SimCluster`, the machine
   description (processor count + cost parameters) benchmarks sweep over.
 
@@ -26,12 +30,14 @@ from repro.machine.metrics import (
 )
 from repro.machine.cost_model import CostModel, calibrate_cell_cost
 from repro.machine.executor import (
+    EXECUTOR_KINDS,
     Executor,
     SerialExecutor,
     ThreadExecutor,
     ProcessExecutor,
     get_executor,
 )
+from repro.machine.pool import PoolProcessExecutor
 from repro.machine.cluster import SimCluster
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PoolProcessExecutor",
     "get_executor",
+    "EXECUTOR_KINDS",
     "SimCluster",
 ]

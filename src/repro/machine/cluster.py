@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.machine.cost_model import CostModel
-from repro.machine.executor import Executor, SerialExecutor
+from repro.machine.executor import Executor, SerialExecutor, get_executor
 from repro.machine.metrics import RunMetrics
 
 __all__ = ["SimCluster"]
@@ -80,3 +80,29 @@ class SimCluster:
         return SimCluster(
             num_procs=num_procs, cost_model=self.cost_model, executor=self.executor
         )
+
+    def with_executor(
+        self,
+        executor: Executor | str,
+        *,
+        max_workers: int | None = None,
+    ) -> "SimCluster":
+        """Same machine parameters, different superstep runtime.
+
+        ``executor`` is an :class:`Executor` instance or a
+        :func:`~repro.machine.executor.get_executor` kind
+        (``"serial" | "thread" | "process" | "pool"``); ``max_workers``
+        caps the real OS workers for the non-serial kinds.  The caller
+        owns the executor's lifecycle — call :meth:`close` (or the
+        executor's own ``close``) when done with a process-backed one.
+        """
+        if isinstance(executor, str):
+            kwargs = {} if executor == "serial" else {"max_workers": max_workers}
+            executor = get_executor(executor, **kwargs)
+        return SimCluster(
+            num_procs=self.num_procs, cost_model=self.cost_model, executor=executor
+        )
+
+    def close(self) -> None:
+        """Release the executor's worker resources (idempotent)."""
+        self.executor.close()

@@ -11,12 +11,17 @@ need locks; they only differ in where the closures run:
 - :class:`ThreadExecutor` — a thread pool.  Real concurrency for
   NumPy-heavy kernels (NumPy releases the GIL inside ufuncs), real
   barrier behaviour; bounded by the GIL for Python-level work.
-- :class:`ProcessExecutor` — forked worker processes, one per task.
-  True parallelism on multi-core hosts.  Uses ``fork`` so closures and
-  NumPy arrays are inherited, with results returned over pipes.
+- :class:`ProcessExecutor` — forked worker processes, one per task
+  (capped at ``max_workers`` concurrent forks).  True parallelism on
+  multi-core hosts.  Uses ``fork`` so closures and NumPy arrays are
+  inherited, with results returned over pipes.
+- :class:`~repro.machine.pool.PoolProcessExecutor` (in
+  :mod:`repro.machine.pool`) — *persistent* worker processes spawned
+  once and reused across supersteps; the LTDP engine additionally keeps
+  per-processor stage state resident in them.
 
-All three produce bit-identical results (the test-suite checks this);
-on this single-core host only the simulated clock shows speedup.
+All executors produce bit-identical results (the test-suite checks
+this); on a single-core host only the simulated clock shows speedup.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ExecutorError
@@ -36,7 +42,11 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "get_executor",
+    "EXECUTOR_KINDS",
 ]
+
+#: Executor kinds :func:`get_executor` understands (CLI ``--executor``).
+EXECUTOR_KINDS = ("serial", "thread", "process", "pool")
 
 Task = Callable[[], Any]
 
@@ -66,14 +76,34 @@ class SerialExecutor(Executor):
 
 
 class ThreadExecutor(Executor):
-    """Thread-pool execution; real concurrency for GIL-releasing kernels."""
+    """Thread-pool execution; real concurrency for GIL-releasing kernels.
+
+    Error contract (matching :class:`ProcessExecutor`): a raising task
+    cancels the superstep's not-yet-started siblings, drains the ones
+    already running, and surfaces as :class:`ExecutorError` naming the
+    failing processor index, with the original exception chained.
+    """
 
     def __init__(self, max_workers: int | None = None) -> None:
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
 
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
         futures = [self._pool.submit(task) for task in tasks]
-        return [f.result() for f in futures]
+        results: list[Any] = []
+        for idx, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                # Cancel whatever has not started, then drain the rest so
+                # no sibling task is still mutating state when we raise
+                # (the barrier must stay a barrier even on failure).
+                for pending in futures[idx + 1 :]:
+                    pending.cancel()
+                futures_wait(futures)
+                raise ExecutorError(
+                    f"task for processor {idx} failed: {exc!r}"
+                ) from exc
+        return results
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -96,50 +126,71 @@ class ProcessExecutor(Executor):
     """Fork-per-task execution: true multi-core parallelism.
 
     Closures are inherited through ``fork`` (no pickling of the task),
-    results come back pickled over a pipe.  Not available on platforms
-    without ``fork`` (Windows); raises :class:`ExecutorError` there.
+    results come back pickled over a pipe.  ``max_workers`` caps how
+    many forked children are alive at once (default: one per task);
+    supersteps with more tasks run them in ``max_workers``-sized waves.
+    Not available on platforms without ``fork`` (Windows); raises
+    :class:`ExecutorError` there.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_workers: int | None = None) -> None:
         if not hasattr(os, "fork"):
             raise ExecutorError("ProcessExecutor requires a fork-capable platform")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
         self._ctx = mp.get_context("fork")
 
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
-        procs = []
-        conns = []
-        for task in tasks:
-            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-            proc = self._ctx.Process(target=_child_main, args=(child_conn, task))
-            proc.start()
-            child_conn.close()
-            procs.append(proc)
-            conns.append(parent_conn)
+        limit = self.max_workers or len(tasks) or 1
         results: list[Any] = []
         errors: list[str] = []
-        for proc, conn in zip(procs, conns):
-            try:
-                ok, payload = pickle.loads(conn.recv_bytes())
-            except EOFError:
-                ok, payload = False, f"worker pid={proc.pid} died without a result"
-            finally:
-                conn.close()
-            proc.join()
-            if ok:
-                results.append(payload)
-            else:
-                errors.append(str(payload))
+        for start in range(0, len(tasks), limit):
+            wave = tasks[start : start + limit]
+            procs = []
+            conns = []
+            for task in wave:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(target=_child_main, args=(child_conn, task))
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+            for offset, (proc, conn) in enumerate(zip(procs, conns)):
+                try:
+                    ok, payload = pickle.loads(conn.recv_bytes())
+                except EOFError:
+                    ok, payload = (
+                        False,
+                        f"worker pid={proc.pid} died without a result",
+                    )
+                finally:
+                    conn.close()
+                proc.join()
+                if ok:
+                    results.append(payload)
+                else:
+                    errors.append(
+                        f"task for processor {start + offset} failed: {payload}"
+                    )
         if errors:
             raise ExecutorError("; ".join(errors))
         return results
 
 
 def get_executor(kind: str = "serial", **kwargs: Any) -> Executor:
-    """Factory: ``"serial"`` | ``"thread"`` | ``"process"``."""
+    """Factory: ``"serial"`` | ``"thread"`` | ``"process"`` | ``"pool"``.
+
+    ``thread``, ``process`` and ``pool`` accept ``max_workers``.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(**kwargs)
     if kind == "process":
         return ProcessExecutor(**kwargs)
+    if kind == "pool":
+        from repro.machine.pool import PoolProcessExecutor
+
+        return PoolProcessExecutor(**kwargs)
     raise ValueError(f"unknown executor kind {kind!r}")

@@ -42,11 +42,18 @@ class SuperstepRecord:
         in this superstep.  Length = number of processors.
     comm:
         Messages sent during (logically: at the start of) the superstep.
+    wall_seconds:
+        Real elapsed time of this superstep on the executing runtime
+        (barrier to barrier, as measured by the driver).  Unlike
+        ``work`` — which feeds the simulated BSP clock — this is actual
+        wall-clock, so benchmark files can track genuine speedup and
+        per-superstep runtime overhead.  0.0 when not measured.
     """
 
     label: str
     work: list[float]
     comm: list[CommEvent] = field(default_factory=list)
+    wall_seconds: float = 0.0
 
     @property
     def critical_work(self) -> float:
@@ -102,6 +109,18 @@ class RunMetrics:
     def num_barriers(self) -> int:
         """One barrier terminates each superstep."""
         return len(self.supersteps)
+
+    @property
+    def wall_time(self) -> float:
+        """Σ of measured real superstep durations (0.0 when unmeasured)."""
+        return float(sum(s.wall_seconds for s in self.supersteps))
+
+    def mean_superstep_wall(self) -> float:
+        """Average measured wall-clock per superstep — the runtime's
+        per-superstep overhead floor once work is small."""
+        if not self.supersteps:
+            return 0.0
+        return self.wall_time / len(self.supersteps)
 
     @property
     def comm_events(self) -> list[CommEvent]:

@@ -1,0 +1,259 @@
+"""`PoolProcessExecutor`: a persistent worker-pool process runtime.
+
+The legacy :class:`~repro.machine.executor.ProcessExecutor` forks one
+process *per task per superstep*, so a parallel LTDP solve with ``k``
+fix-up rounds pays ``P·(k+…)`` fork+pickle round-trips.  This pool
+spawns ``max_workers`` OS processes **once**, keeps them alive across
+supersteps (and across solves), and talks to them over pipes:
+
+- **generic tasks** — :meth:`run_superstep` ships picklable callables
+  and returns their results, satisfying the classic
+  :class:`~repro.machine.executor.Executor` contract;
+- **resident-state calls** — :meth:`call_slots` routes
+  ``(slot, fn, args)`` triples to the worker owning each slot and
+  invokes ``fn(namespace, *args)`` against that worker's persistent
+  namespace dict.  The LTDP engine uses this to ship the problem once,
+  keep per-processor stage vectors resident in the workers, and
+  exchange only boundary vectors per superstep — the paper's
+  O(boundary) communication model made real.
+
+Slots are 1-based virtual processor ids; slot ``p`` always maps to
+worker ``(p-1) % max_workers``, so per-slot state stays on one worker
+even when there are more virtual processors than OS processes.
+
+Error contract: any worker-side exception is reported per task/call and
+re-raised in the driver as :class:`ExecutorError` naming the failing
+processor; a dead worker surfaces as :class:`ExecutorError` too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ExecutorError
+from repro.machine.executor import Executor, Task
+
+__all__ = ["PoolProcessExecutor"]
+
+
+def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
+    """Worker loop: request/reply over one duplex pipe.
+
+    ``ns`` is the worker's persistent namespace — it outlives individual
+    messages, which is the whole point of the pool.
+    """
+    ns: dict[str, Any] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        replies: list[tuple[bool, Any]] = []
+        if kind == "ping":
+            replies.append((True, None))
+        else:
+            for fn, args in msg[1]:
+                try:
+                    if kind == "nscalls":
+                        replies.append((True, fn(ns, *args)))
+                    else:  # "calls": plain callables
+                        replies.append((True, fn(*args)))
+                except BaseException as exc:  # noqa: BLE001 - report any failure
+                    replies.append((False, f"{type(exc).__name__}: {exc}"))
+        try:
+            conn.send((os.getpid(), replies))
+        except BrokenPipeError:
+            break
+    conn.close()
+
+
+class PoolProcessExecutor(Executor):
+    """Persistent multi-process executor with worker-resident state."""
+
+    #: Signals the LTDP engine to use the state-resident pool runtime.
+    supports_resident_state = True
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        method = "fork" if hasattr(os, "fork") else "spawn"
+        self._ctx = mp.get_context(method)
+        self._procs: list[Any] | None = None
+        self._conns: list[Any] = []
+        #: One entry per dispatched superstep: the set of worker PIDs
+        #: that replied.  Tests use this to assert PID stability.
+        self.pid_log: deque[frozenset[int]] = deque(maxlen=1024)
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._procs is not None:
+            return
+        procs, conns = [], []
+        for _ in range(self.max_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_pool_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        self._procs, self._conns = procs, conns
+
+    @property
+    def num_workers(self) -> int:
+        self._ensure_workers()
+        assert self._procs is not None
+        return len(self._procs)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the (lazily spawned) persistent workers, in slot order."""
+        self._ensure_workers()
+        assert self._procs is not None
+        return [p.pid for p in self._procs]
+
+    def _worker_index(self, slot: int) -> int:
+        return (slot - 1) % self.num_workers
+
+    # -- low-level request/reply ---------------------------------------
+    def _dispatch(
+        self, per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]]
+    ) -> dict[int, list[tuple[bool, Any]]]:
+        """Send one batched message per involved worker, collect replies."""
+        self._ensure_workers()
+        for w, (kind, calls) in per_worker.items():
+            try:
+                self._conns[w].send((kind, calls))
+            except (BrokenPipeError, OSError) as exc:
+                proc = self._procs[w] if self._procs else None
+                raise ExecutorError(
+                    f"pool worker {w} (pid={getattr(proc, 'pid', '?')}) "
+                    "is gone; cannot ship work to it"
+                ) from exc
+            except Exception as exc:
+                raise ExecutorError(
+                    f"cannot ship work to pool worker {w}: {exc!r} "
+                    "(tasks and their arguments must be picklable)"
+                ) from exc
+        replies: dict[int, list[tuple[bool, Any]]] = {}
+        pids: set[int] = set()
+        for w in per_worker:
+            try:
+                pid, reply = self._conns[w].recv()
+            except (EOFError, OSError):
+                proc = self._procs[w] if self._procs else None
+                raise ExecutorError(
+                    f"pool worker {w} (pid={getattr(proc, 'pid', '?')}) "
+                    "died without a result"
+                ) from None
+            pids.add(pid)
+            replies[w] = reply
+        if pids:
+            self.pid_log.append(frozenset(pids))
+        return replies
+
+    # -- classic Executor contract -------------------------------------
+    def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        """Run picklable callables, task ``i`` on worker ``i % max_workers``.
+
+        Unlike the fork-per-task executor, tasks are shipped by pickle —
+        closures over local state will not survive the trip; use
+        module-level functions (the LTDP engine routes its work through
+        :meth:`call_slots` instead, which the pool runtime feeds with
+        declarative spec objects).
+        """
+        if not tasks:
+            return []
+        per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]] = {}
+        positions: dict[int, list[int]] = {}
+        for idx, task in enumerate(tasks):
+            w = idx % self.num_workers
+            per_worker.setdefault(w, ("calls", []))[1].append((task, ()))
+            positions.setdefault(w, []).append(idx)
+        replies = self._dispatch(per_worker)
+        results: list[Any] = [None] * len(tasks)
+        errors: list[str] = []
+        for w, reply in replies.items():
+            for idx, (ok, payload) in zip(positions[w], reply):
+                if ok:
+                    results[idx] = payload
+                else:
+                    errors.append(f"task for processor {idx} failed: {payload}")
+        if errors:
+            raise ExecutorError("; ".join(sorted(errors)))
+        return results
+
+    # -- resident-state interface (used by the LTDP pool runtime) ------
+    def call_slots(
+        self, calls: Sequence[tuple[int, Callable, tuple]]
+    ) -> list[Any]:
+        """Invoke ``fn(namespace, *args)`` on each slot's owning worker.
+
+        Returns results in call order.  The namespace dict persists on
+        the worker between calls — resident state lives there.
+        """
+        if not calls:
+            return []
+        per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]] = {}
+        positions: dict[int, list[int]] = {}
+        for idx, (slot, fn, args) in enumerate(calls):
+            w = self._worker_index(slot)
+            per_worker.setdefault(w, ("nscalls", []))[1].append((fn, args))
+            positions.setdefault(w, []).append(idx)
+        replies = self._dispatch(per_worker)
+        results: list[Any] = [None] * len(calls)
+        errors: list[str] = []
+        for w, reply in replies.items():
+            for idx, (ok, payload) in zip(positions[w], reply):
+                if ok:
+                    results[idx] = payload
+                else:
+                    slot = calls[idx][0]
+                    errors.append(f"processor {slot} failed: {payload}")
+        if errors:
+            raise ExecutorError("; ".join(sorted(errors)))
+        return results
+
+    def broadcast(self, fn: Callable, args: tuple = ()) -> list[Any]:
+        """Invoke ``fn(namespace, *args)`` once on *every* worker."""
+        self._ensure_workers()
+        per_worker = {
+            w: ("nscalls", [(fn, args)]) for w in range(self.num_workers)
+        }
+        replies = self._dispatch(per_worker)
+        results = []
+        errors = []
+        for w in range(self.num_workers):
+            ok, payload = replies[w][0]
+            if ok:
+                results.append(payload)
+            else:
+                errors.append(f"worker {w} failed: {payload}")
+        if errors:
+            raise ExecutorError("; ".join(errors))
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._procs is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            conn.close()
+        self._procs, self._conns = None, []

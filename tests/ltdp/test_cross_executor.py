@@ -1,0 +1,130 @@
+"""Cross-executor equivalence: every runtime is bit-identical.
+
+The plan/runtime split means all four executors run the *same*
+declarative superstep specs; only where they execute differs.  This
+suite pins that down for every shipped problem family: ``path``,
+``score`` and the fix-up iteration counts must match the serial
+baseline bit-for-bit — no tolerance — on the thread, fork-per-task
+process and persistent-pool runtimes alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen.hmms import make_hmm_workload
+from repro.datagen.packets import make_received_packet
+from repro.datagen.sequences import homologous_pair, random_dna, random_series
+from repro.ltdp.matrix_problem import random_matrix_problem
+from repro.ltdp.parallel import ParallelOptions, solve_parallel
+from repro.machine.executor import get_executor
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.smith_waterman import SmithWatermanProblem
+from repro.problems.convolutional import VOYAGER
+from repro.problems.dtw import DTWProblem
+from repro.problems.seam import SeamCarvingProblem
+
+NUM_PROCS = 3
+SEED = 11
+
+# Instances are deliberately small: each (problem, executor) cell runs a
+# full parallel solve, and the process-backed runtimes pay real OS cost.
+
+
+def build_problems():
+    rng = np.random.default_rng(99)
+    problems = {}
+
+    problems["matrix"] = random_matrix_problem(48, 8, rng, integer=True)
+
+    _, viterbi = make_received_packet(VOYAGER, 60, rng, error_rate=0.03)
+    problems["viterbi"] = viterbi
+
+    _, _, hmm = make_hmm_workload(6, 4, 60, rng, peakedness=3.0)
+    problems["hmm"] = hmm
+
+    a, b = homologous_pair(60, rng, divergence=0.08)
+    problems["lcs"] = LCSProblem(a, b, width=10)
+    problems["nw"] = NeedlemanWunschProblem(a, b, width=10)
+
+    q = random_dna(12, rng)
+    db = random_dna(120, rng)
+    db[60:72] = q
+    # Smith-Waterman tracks a stage objective, exercising the backward
+    # repartition (and the pool's pred redistribution).
+    problems["sw"] = SmithWatermanProblem(q, db)
+
+    problems["dtw"] = DTWProblem(
+        random_series(60, rng), random_series(60, rng), width=10
+    )
+    problems["seam"] = SeamCarvingProblem(rng.random((50, 12)))
+    return problems
+
+
+PROBLEMS = build_problems()
+
+
+def solve_with(problem, executor):
+    opts = ParallelOptions(num_procs=NUM_PROCS, seed=SEED, executor=executor)
+    return solve_parallel(problem, opts)
+
+
+@pytest.fixture(scope="module")
+def serial_solutions():
+    return {name: solve_with(p, get_executor("serial")) for name, p in PROBLEMS.items()}
+
+
+@pytest.mark.parametrize("kind", ["thread", "process", "pool"])
+@pytest.mark.parametrize("name", list(PROBLEMS))
+def test_executor_bit_identical_to_serial(name, kind, serial_solutions):
+    base = serial_solutions[name]
+    ex = get_executor(kind, max_workers=2)
+    try:
+        got = solve_with(PROBLEMS[name], ex)
+    finally:
+        ex.close()
+
+    np.testing.assert_array_equal(got.path, base.path)
+    assert got.score == base.score  # bit-identical, not approx
+    assert got.objective_stage == base.objective_stage
+    assert got.objective_cell == base.objective_cell
+
+    assert base.metrics is not None and got.metrics is not None
+    assert (
+        got.metrics.forward_fixup_iterations
+        == base.metrics.forward_fixup_iterations
+    )
+    assert (
+        got.metrics.backward_fixup_iterations
+        == base.metrics.backward_fixup_iterations
+    )
+    assert got.metrics.fixup_stages == base.metrics.fixup_stages
+    assert got.metrics.converged_first_iteration == (
+        base.metrics.converged_first_iteration
+    )
+
+
+def test_pool_serial_backward_and_stage_vectors_match():
+    """The pool runtime also reproduces the optional code paths:
+    serial backward phase and gathered stage vectors."""
+    problem = PROBLEMS["matrix"]
+    opts_kwargs = dict(
+        num_procs=NUM_PROCS,
+        seed=SEED,
+        parallel_backward=False,
+        keep_stage_vectors=True,
+    )
+    base = solve_parallel(problem, ParallelOptions(**opts_kwargs))
+    ex = get_executor("pool", max_workers=2)
+    try:
+        got = solve_parallel(
+            problem, ParallelOptions(executor=ex, **opts_kwargs)
+        )
+    finally:
+        ex.close()
+    np.testing.assert_array_equal(got.path, base.path)
+    assert got.score == base.score
+    assert base.stage_vectors is not None and got.stage_vectors is not None
+    assert len(got.stage_vectors) == len(base.stage_vectors)
+    for mine, theirs in zip(got.stage_vectors, base.stage_vectors):
+        np.testing.assert_array_equal(mine, theirs)

@@ -39,6 +39,35 @@ class TestSolve:
         out = capsys.readouterr().out
         assert "fix-up iterations" in out
         assert "critical work" in out
+        assert "measured wall" in out
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process", "pool"])
+    def test_executor_flag(self, executor, capsys):
+        rc = main(
+            [
+                "solve",
+                "--problem",
+                "lcs",
+                "--size",
+                "100",
+                "--width",
+                "10",
+                "--procs",
+                "3",
+                "--executor",
+                executor,
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel == seq  : True" in out
+        assert f"executor         : {executor}" in out
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--problem", "lcs", "--executor", "gpu"])
 
 
 class TestConvergence:
@@ -78,6 +107,28 @@ class TestSweep:
         assert rc == 0
         assert "speedup" in out and "efficiency" in out
         assert out.count("\n") >= 5
+
+    def test_sweep_accepts_runtime_flags(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--problem",
+                "lcs",
+                "--size",
+                "200",
+                "--width",
+                "10",
+                "--procs-list",
+                "1,2",
+                "--executor",
+                "pool",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
 
 
 class TestTrace:
