@@ -151,14 +151,13 @@ def cmd_info(_args: argparse.Namespace) -> int:
 def cmd_solve(args: argparse.Namespace) -> int:
     problem = build_problem(args)
     seq = solve_sequential(problem)
-    executor = _build_executor(args)
-    try:
+    # The with-block guarantees pool workers are reaped on every exit
+    # path, including solver errors and ^C.
+    with _build_executor(args) as executor:
         options = ParallelOptions(
             num_procs=args.procs, seed=args.seed, executor=executor
         )
         par = solve_parallel(problem, options)
-    finally:
-        executor.close()
     ok = bool(np.array_equal(seq.path, par.path)) and abs(seq.score - par.score) < 1e-9
     m = par.metrics
     print(f"problem          : {args.problem} ({problem.num_stages} stages)")
@@ -171,6 +170,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     print(f"total work       : {m.total_work:.0f} cells")
     print(f"sequential work  : {problem.total_cells():.0f} cells")
     print(f"measured wall    : {m.wall_time:.4f} s over {len(m.supersteps)} supersteps")
+    print(
+        f"recovery         : {m.worker_respawns} worker respawns, "
+        f"{m.dispatch_retries} dispatch retries, "
+        f"{m.replayed_supersteps} supersteps replayed"
+    )
     return 0 if ok else 1
 
 
@@ -199,14 +203,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cell_cost = calibrate_cell_cost(
         lambda: problem.apply_stage(mid, v), problem.stage_cost(mid), min_seconds=0.02
     )
-    cluster = SimCluster.stampede(1, cell_cost=cell_cost).with_executor(
-        _build_executor(args)
-    )
     procs = [int(x) for x in args.procs_list.split(",")]
-    try:
+    with _build_executor(args) as executor:
+        cluster = SimCluster.stampede(1, cell_cost=cell_cost).with_executor(
+            executor
+        )
         curve = scaling_sweep(problem, cluster, procs, seed=args.seed)
-    finally:
-        cluster.close()
     print(
         format_series(
             "P",
@@ -225,14 +227,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     problem = build_problem(args)
-    executor = _build_executor(args)
-    try:
+    with _build_executor(args) as executor:
         options = ParallelOptions(
             num_procs=args.procs, seed=args.seed, executor=executor
         )
         par = solve_parallel(problem, options)
-    finally:
-        executor.close()
     print(render_gantt(par.metrics, CostModel(cell_cost=1e-7), columns=args.columns))
     return 0
 

@@ -44,3 +44,13 @@ class ProblemDefinitionError(ReproError):
 
 class ExecutorError(ReproError):
     """A parallel executor failed (worker crash, bad configuration...)."""
+
+
+class WorkerCrashError(ExecutorError):
+    """A pool worker process died mid-dispatch.
+
+    Raised internally by the fault-tolerant pool runtime; the pool
+    recovers by respawning the worker and replaying its resident state,
+    so callers only see this (as an :class:`ExecutorError` subclass)
+    when recovery itself is exhausted or impossible.
+    """

@@ -57,9 +57,17 @@ def delta_decode(anchor: float, deltas: np.ndarray) -> np.ndarray:
 
     Vectors containing ``-inf`` do not round-trip (the encoding loses
     which side of a ``nan`` delta was ``-inf``); callers needing exact
-    reconstruction must keep the mask separately.  Raises when any
-    delta is ``nan``.
+    reconstruction must keep the mask separately.  Raises when the
+    anchor is non-finite or any delta is ``nan``.
     """
+    anchor = float(anchor)
+    if not np.isfinite(anchor):
+        raise ValueError(
+            f"cannot decode from non-finite anchor {anchor!r}: a vector "
+            "whose first entry is -inf (or nan) does not round-trip "
+            "through delta encoding — keep the -inf mask separately, as "
+            "delta_encode's contract requires"
+        )
     deltas = np.asarray(deltas, dtype=np.float64)
     if np.isnan(deltas).any():
         raise ValueError("cannot decode deltas containing -inf markers")

@@ -182,6 +182,11 @@ def solve_parallel(
         num_stages=n,
         stage_width=problem.stage_width(n),
     )
+    # Snapshot the pool's self-healing counters (if any) before the
+    # runtime touches the workers, so the metrics report exactly the
+    # respawns/retries/replays this solve caused.
+    recovery = getattr(options.executor, "recovery_stats", None)
+    recovery_base = recovery.snapshot() if recovery is not None else None
     runtime = _make_runtime(options.executor, problem, ranges)
     try:
         finals = forward_phase(problem, ranges, options, runtime, metrics)
@@ -228,6 +233,12 @@ def solve_parallel(
             stage_vectors = [np.asarray(v) for v in runtime.stage_vectors()]
     finally:
         runtime.finish()
+        if recovery is not None and recovery_base is not None:
+            metrics.worker_respawns += recovery.respawns - recovery_base.respawns
+            metrics.dispatch_retries += recovery.retries - recovery_base.retries
+            metrics.replayed_supersteps += (
+                recovery.replayed_supersteps - recovery_base.replayed_supersteps
+            )
 
     return LTDPSolution(
         path=path,

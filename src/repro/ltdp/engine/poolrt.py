@@ -106,6 +106,20 @@ def _w_install_pred(ns, slot: int, mapping: dict[int, np.ndarray]) -> None:
     ns["states"][slot].pred.update(mapping)
 
 
+def _w_replay_spec(ns, spec: SuperstepSpec) -> None:
+    """Re-execute a journalled spec during crash recovery.
+
+    Identical to :func:`_w_run_spec` except the result is discarded —
+    the driver already consumed it before the crash; replay only needs
+    the store side-effects.  Spec execution is deterministic given the
+    problem, the store contents and the spec's embedded inputs (seed /
+    boundary), so replaying the journal in order rebuilds the resident
+    state bit-identically.
+    """
+    store = ns["states"][spec.proc]
+    store.apply(spec.execute(ns["problem"], store))
+
+
 # ----------------------------------------------------------------------
 
 
@@ -129,12 +143,51 @@ class PoolRuntime(SuperstepRuntime):
         # Every worker learns every slot id; a slot's state only ever
         # fills on its owning worker, the rest stay empty placeholders.
         slots = [rg.proc for rg in self.forward_ranges]
+        self._slots = slots
+        self._reset_args = (blob, slots)
+        # Per-slot replay journal: every state-mutating operation that
+        # has *completed* on the worker, in execution order.  When the
+        # pool respawns a dead worker, _rebuild_worker replays the
+        # journal for the slots that worker owns, reconstructing its
+        # resident state bit-identically before the in-flight superstep
+        # re-runs (the paper's Fig 4 restartability: any processor can
+        # be re-run from its predecessor's boundary vector).
+        self._journal: dict[int, list[tuple[str, object]]] = {
+            slot: [] for slot in slots
+        }
+        if hasattr(self.pool, "set_rebuild_hook"):
+            self.pool.set_rebuild_hook(self._rebuild_worker)
         self.pool.broadcast(_w_reset, (blob, slots))
 
+    def _rebuild_worker(self, w: int) -> tuple[list, int]:
+        """Recovery program for respawned worker ``w`` (pool rebuild hook).
+
+        Returns ``(calls, replayed)``: namespace calls that re-install
+        the problem and replay, in order, every journalled operation of
+        the slots worker ``w`` owns, plus the replayed-superstep count.
+        """
+        calls: list[tuple] = [(_w_reset, self._reset_args)]
+        replayed = 0
+        for slot in self._slots:
+            if self.pool.worker_of_slot(slot) != w:
+                continue
+            for kind, payload in self._journal[slot]:
+                if kind == "spec":
+                    calls.append((_w_replay_spec, (payload,)))
+                    replayed += 1
+                else:  # "pred": redistributed predecessor vectors
+                    calls.append((_w_install_pred, (slot, payload)))
+        return calls, replayed
+
     def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
-        return self.pool.call_slots(
+        results = self.pool.call_slots(
             [(spec.proc, _w_run_spec, (spec,)) for spec in specs]
         )
+        # Journal only after the barrier: an in-flight spec must not be
+        # part of the replay that precedes its own re-send.
+        for spec in specs:
+            self._journal[spec.proc].append(("spec", spec))
+        return results
 
     def install_path(self, path: np.ndarray) -> None:
         # The driver owns the path array; workers keep their own segment
@@ -181,12 +234,18 @@ class PoolRuntime(SuperstepRuntime):
         ):
             gathered.update(chunk)
         # ...and install it on the slot whose backward range needs it.
+        installs = {
+            slot: {i: gathered[i] for i in stages}
+            for slot, stages in needs.items()
+        }
         self.pool.call_slots(
             [
-                (slot, _w_install_pred, (slot, {i: gathered[i] for i in stages}))
-                for slot, stages in needs.items()
+                (slot, _w_install_pred, (slot, mapping))
+                for slot, mapping in installs.items()
             ]
         )
+        for slot, mapping in installs.items():
+            self._journal[slot].append(("pred", mapping))
 
     # -- gathers --------------------------------------------------------
     def _gather(self, kind: str) -> list[np.ndarray | None]:
@@ -206,3 +265,9 @@ class PoolRuntime(SuperstepRuntime):
 
     def pred_vectors(self) -> list[np.ndarray | None]:
         return self._gather("pred")
+
+    def finish(self) -> None:
+        # The journal belongs to this solve; a stale hook would replay
+        # the wrong state into a worker respawned during a later solve.
+        if hasattr(self.pool, "set_rebuild_hook"):
+            self.pool.set_rebuild_hook(None)

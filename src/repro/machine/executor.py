@@ -80,8 +80,9 @@ class ThreadExecutor(Executor):
 
     Error contract (matching :class:`ProcessExecutor`): a raising task
     cancels the superstep's not-yet-started siblings, drains the ones
-    already running, and surfaces as :class:`ExecutorError` naming the
-    failing processor index, with the original exception chained.
+    already running, and surfaces as :class:`ExecutorError` naming both
+    the 0-based task index and the 1-based processor slot it maps to,
+    with the original exception chained.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
@@ -101,7 +102,7 @@ class ThreadExecutor(Executor):
                     pending.cancel()
                 futures_wait(futures)
                 raise ExecutorError(
-                    f"task for processor {idx} failed: {exc!r}"
+                    f"task {idx} (processor {idx + 1}) failed: {exc!r}"
                 ) from exc
         return results
 
@@ -171,7 +172,8 @@ class ProcessExecutor(Executor):
                     results.append(payload)
                 else:
                     errors.append(
-                        f"task for processor {start + offset} failed: {payload}"
+                        f"task {start + offset} (processor "
+                        f"{start + offset + 1}) failed: {payload}"
                     )
         if errors:
             raise ExecutorError("; ".join(errors))

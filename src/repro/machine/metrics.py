@@ -84,6 +84,12 @@ class RunMetrics:
     #: Problem-size information for throughput computation.
     num_stages: int = 0
     stage_width: int = 0
+    #: Fault-tolerance accounting (pool runtime only): dead workers
+    #: replaced mid-solve, in-flight dispatches re-sent after a crash,
+    #: and journalled supersteps replayed to rebuild resident state.
+    worker_respawns: int = 0
+    dispatch_retries: int = 0
+    replayed_supersteps: int = 0
 
     # ------------------------------------------------------------------
     def record(self, record: SuperstepRecord) -> None:
@@ -149,6 +155,9 @@ class RunMetrics:
             converged_first_iteration=self.converged_first_iteration,
             num_stages=self.num_stages,
             stage_width=self.stage_width,
+            worker_respawns=self.worker_respawns,
+            dispatch_retries=self.dispatch_retries,
+            replayed_supersteps=self.replayed_supersteps,
         )
         for other in others:
             if other.num_procs != merged.num_procs:
@@ -157,4 +166,7 @@ class RunMetrics:
             merged.forward_fixup_iterations += other.forward_fixup_iterations
             merged.backward_fixup_iterations += other.backward_fixup_iterations
             merged.converged_first_iteration &= other.converged_first_iteration
+            merged.worker_respawns += other.worker_respawns
+            merged.dispatch_retries += other.dispatch_retries
+            merged.replayed_supersteps += other.replayed_supersteps
         return merged

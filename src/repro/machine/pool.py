@@ -1,4 +1,4 @@
-"""`PoolProcessExecutor`: a persistent worker-pool process runtime.
+"""`PoolProcessExecutor`: a persistent, fault-tolerant worker-pool runtime.
 
 The legacy :class:`~repro.machine.executor.ProcessExecutor` forks one
 process *per task per superstep*, so a parallel LTDP solve with ``k``
@@ -21,29 +21,87 @@ Slots are 1-based virtual processor ids; slot ``p`` always maps to
 worker ``(p-1) % max_workers``, so per-slot state stays on one worker
 even when there are more virtual processors than OS processes.
 
-Error contract: any worker-side exception is reported per task/call and
-re-raised in the driver as :class:`ExecutorError` naming the failing
-processor; a dead worker surfaces as :class:`ExecutorError` too.
+Fault tolerance
+---------------
+Every request/reply pair is framed with a monotonically increasing
+**sequence number**, so a stale reply left in a pipe by an abandoned
+dispatch (e.g. a partial-send failure) is recognised and discarded
+instead of being attributed to the wrong superstep.  While waiting for
+a reply the driver health-checks the worker process; a crash triggers
+**automatic respawn** with bounded retry/backoff.  After a respawn the
+optional *rebuild hook* (registered by the LTDP pool runtime via
+:meth:`set_rebuild_hook`) re-ships the problem and replays the dead
+slot's journalled supersteps, reconstructing resident state
+bit-identically before the in-flight message is re-sent.  Recovery
+counters accumulate on :attr:`recovery_stats`.
+
+Fault injection for tests: pass ``fault_plan={seq: worker}`` (or set
+``REPRO_POOL_FAULTS="seq:worker,..."``) to SIGKILL a chosen worker just
+before the dispatch with that sequence number is sent.
+
+Error contract: worker-side exceptions are reported per task/call —
+with the worker's full traceback — and re-raised in the driver as
+:class:`ExecutorError` naming the failing slot; a worker that keeps
+dying past ``max_retries`` respawns, or a reply that exceeds
+``dispatch_timeout``, marks the executor broken and surfaces as
+:class:`ExecutorError` too.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
+import traceback
+import weakref
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.exceptions import ExecutorError
+from repro.exceptions import ExecutorError, WorkerCrashError
 from repro.machine.executor import Executor, Task
 
-__all__ = ["PoolProcessExecutor"]
+__all__ = ["PoolProcessExecutor", "RecoveryStats", "FAULT_PLAN_ENV"]
+
+#: Environment variable carrying a fault plan as ``"seq:worker,seq:worker"``.
+FAULT_PLAN_ENV = "REPRO_POOL_FAULTS"
+
+
+@dataclass
+class RecoveryStats:
+    """Counters of the pool's self-healing activity (monotonic per executor)."""
+
+    #: Dead workers replaced with freshly spawned processes.
+    respawns: int = 0
+    #: In-flight dispatches re-sent after a worker crash.
+    retries: int = 0
+    #: Journalled superstep specs replayed to rebuild resident state.
+    replayed_supersteps: int = 0
+
+    def snapshot(self) -> "RecoveryStats":
+        return RecoveryStats(self.respawns, self.retries, self.replayed_supersteps)
+
+
+def _parse_fault_plan(spec: str) -> dict[int, int]:
+    """``"2:0,5:1"`` → ``{2: 0, 5: 1}`` (dispatch seq → worker index)."""
+    plan: dict[int, int] = {}
+    for part in spec.replace(",", " ").split():
+        seq_text, sep, worker_text = part.partition(":")
+        if not sep:
+            raise ValueError(
+                f"malformed fault plan entry {part!r}; expected 'seq:worker'"
+            )
+        plan[int(seq_text)] = int(worker_text)
+    return plan
 
 
 def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
-    """Worker loop: request/reply over one duplex pipe.
+    """Worker loop: sequence-framed request/reply over one duplex pipe.
 
     ``ns`` is the worker's persistent namespace — it outlives individual
-    messages, which is the whole point of the pool.
+    messages, which is the whole point of the pool.  Every reply echoes
+    the request's sequence number so the driver can never attribute it
+    to the wrong dispatch.
     """
     ns: dict[str, Any] = {}
     while True:
@@ -51,26 +109,69 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
             msg = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
-        kind = msg[0]
+        kind, seq, payload = msg
         if kind == "stop":
             break
         replies: list[tuple[bool, Any]] = []
         if kind == "ping":
             replies.append((True, None))
         else:
-            for fn, args in msg[1]:
+            for fn, args in payload:
                 try:
                     if kind == "nscalls":
                         replies.append((True, fn(ns, *args)))
                     else:  # "calls": plain callables
                         replies.append((True, fn(*args)))
                 except BaseException as exc:  # noqa: BLE001 - report any failure
-                    replies.append((False, f"{type(exc).__name__}: {exc}"))
+                    replies.append(
+                        (
+                            False,
+                            (
+                                f"{type(exc).__name__}: {exc}",
+                                traceback.format_exc(),
+                            ),
+                        )
+                    )
         try:
-            conn.send((os.getpid(), replies))
+            conn.send((os.getpid(), seq, replies))
         except BrokenPipeError:
             break
     conn.close()
+
+
+def _shutdown_workers(procs: list, conns: list) -> None:
+    """Stop and reap every worker; shared by ``close()``, ``weakref.finalize``
+    and interpreter-exit cleanup (finalizers run atexit by default)."""
+    for conn in conns:
+        try:
+            conn.send(("stop", -1, None))
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    procs.clear()
+    conns.clear()
+
+
+def _failure_text(payload: Any) -> str:
+    """Render a worker failure payload — ``(summary, traceback)`` — as text."""
+    if isinstance(payload, tuple) and len(payload) == 2:
+        summary, tb = payload
+        if tb:
+            return f"{summary}\n{str(tb).rstrip()}"
+        return str(summary)
+    return str(payload)
 
 
 class PoolProcessExecutor(Executor):
@@ -79,64 +180,309 @@ class PoolProcessExecutor(Executor):
     #: Signals the LTDP engine to use the state-resident pool runtime.
     supports_resident_state = True
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        fault_plan: dict[int, int] | Sequence[tuple[int, int]] | None = None,
+        dispatch_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        health_interval: float = 0.05,
+        ping_timeout: float = 5.0,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or os.cpu_count() or 1
-        method = "fork" if hasattr(os, "fork") else "spawn"
-        self._ctx = mp.get_context(method)
-        self._procs: list[Any] | None = None
+        if start_method is None:
+            start_method = "fork" if hasattr(os, "fork") else "spawn"
+        elif start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available on this platform"
+            )
+        self.start_method = start_method
+        self._ctx = mp.get_context(start_method)
+        self.dispatch_timeout = dispatch_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.health_interval = health_interval
+        self.ping_timeout = ping_timeout
+        #: Self-healing counters; the LTDP driver folds deltas of these
+        #: into the solve's :class:`~repro.machine.metrics.RunMetrics`.
+        self.recovery_stats = RecoveryStats()
+        # Fault injection: {dispatch seq -> worker index to SIGKILL just
+        # before that dispatch is sent}.  Entries are one-shot.
+        env_plan = os.environ.get(FAULT_PLAN_ENV)
+        self._fault_plan: dict[int, int] = (
+            _parse_fault_plan(env_plan) if env_plan else {}
+        )
+        if fault_plan:
+            self._fault_plan.update(dict(fault_plan))
+        # Workers.  The lists are mutated in place (never rebound) so the
+        # weakref finalizer — which holds them, not ``self`` — always sees
+        # the live processes even after respawns.
+        self._procs: list[Any] = []
         self._conns: list[Any] = []
+        self._finalizer: weakref.finalize | None = None
+        self._seq = 0
+        #: Total ``_dispatch`` invocations; fault plans key off this.
+        self.dispatch_count = 0
+        self._broken: str | None = None
+        self._rebuild_hook: Callable[[int], tuple[list, int]] | None = None
         #: One entry per dispatched superstep: the set of worker PIDs
         #: that replied.  Tests use this to assert PID stability.
         self.pid_log: deque[frozenset[int]] = deque(maxlen=1024)
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self) -> tuple[Any, Any]:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     def _ensure_workers(self) -> None:
-        if self._procs is not None:
+        if self._procs:
             return
-        procs, conns = [], []
         for _ in range(self.max_workers):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_pool_worker_main, args=(child_conn,), daemon=True
+            proc, conn = self._spawn_worker()
+            self._procs.append(proc)
+            self._conns.append(conn)
+        if self._finalizer is None:
+            self._finalizer = weakref.finalize(
+                self, _shutdown_workers, self._procs, self._conns
             )
-            proc.start()
-            child_conn.close()
-            procs.append(proc)
-            conns.append(parent_conn)
-        self._procs, self._conns = procs, conns
 
     @property
     def num_workers(self) -> int:
         self._ensure_workers()
-        assert self._procs is not None
         return len(self._procs)
 
     def worker_pids(self) -> list[int]:
         """PIDs of the (lazily spawned) persistent workers, in slot order."""
         self._ensure_workers()
-        assert self._procs is not None
         return [p.pid for p in self._procs]
 
     def _worker_index(self, slot: int) -> int:
         return (slot - 1) % self.num_workers
 
+    def worker_of_slot(self, slot: int) -> int:
+        """Index of the persistent worker that owns 1-based ``slot``."""
+        return self._worker_index(slot)
+
+    def set_rebuild_hook(
+        self, hook: Callable[[int], tuple[list, int]] | None
+    ) -> None:
+        """Register the resident-state reconstruction hook.
+
+        ``hook(worker_index)`` must return ``(calls, replayed)``: a list
+        of ``(fn, args)`` namespace calls that rebuild every slot the
+        worker owns (run against the fresh worker before the in-flight
+        message is re-sent), and the number of journalled supersteps
+        those calls replay (for :attr:`recovery_stats` accounting).
+        Pass ``None`` to clear (the LTDP runtime does, after each solve).
+        """
+        self._rebuild_hook = hook
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- crash detection / recovery ------------------------------------
+    def _check_broken(self) -> None:
+        if self._broken is not None:
+            raise ExecutorError(
+                f"pool executor is marked broken ({self._broken}); "
+                "create a new executor"
+            )
+
+    def _mark_broken(self, reason: str) -> None:
+        self._broken = reason
+
+    def _kill_worker(self, w: int) -> None:
+        """SIGKILL worker ``w`` (fault injection)."""
+        if not (0 <= w < len(self._procs)):
+            return
+        proc = self._procs[w]
+        try:
+            proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            return
+        proc.join(timeout=5)
+
+    def _recv(self, w: int, timeout: float | None) -> tuple[int, int, list]:
+        """One framed reply from worker ``w``, health-checking while waiting.
+
+        Raises :class:`WorkerCrashError` when the worker process dies and
+        :class:`ExecutorError` (executor marked broken) on timeout.
+        """
+        conn = self._conns[w]
+        proc = self._procs[w]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = self.health_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._mark_broken(
+                        f"worker {w} did not reply within {timeout}s"
+                    )
+                    raise ExecutorError(
+                        f"pool worker {w} (pid={proc.pid}) did not reply "
+                        f"within the {timeout}s dispatch timeout"
+                    )
+                wait = min(wait, remaining)
+            try:
+                if conn.poll(wait):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"pool worker {w} (pid={proc.pid}) died: {exc!r}"
+                ) from None
+            if not proc.is_alive():
+                # Drain anything the worker managed to flush before dying.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerCrashError(
+                    f"pool worker {w} (pid={proc.pid}) died without a result"
+                )
+
+    def ping(self, w: int, timeout: float | None = None) -> bool:
+        """Health check: round-trip a ``ping`` through worker ``w``.
+
+        Stale replies queued ahead of the pong (from abandoned
+        dispatches) are discarded by sequence number.  Returns False on
+        crash or timeout instead of raising.
+        """
+        self._ensure_workers()
+        seq = self._next_seq()
+        timeout = self.ping_timeout if timeout is None else timeout
+        prior_broken = self._broken
+        try:
+            self._conns[w].send(("ping", seq, None))
+            deadline = time.monotonic() + timeout
+            while True:
+                _, rseq, _ = self._recv(
+                    w, max(1e-6, deadline - time.monotonic())
+                )
+                if rseq == seq:
+                    return True
+                if rseq > seq:  # pragma: no cover - defensive
+                    return False
+        except (WorkerCrashError, ExecutorError, BrokenPipeError, OSError):
+            self._broken = prior_broken  # a failed ping itself is not fatal
+            return False
+
+    def check_health(self) -> list[int]:
+        """Ping every worker, respawning (and rebuilding) any dead one.
+
+        Returns the post-check worker PIDs in slot order.
+        """
+        self._ensure_workers()
+        for w in range(len(self._procs)):
+            if not self.ping(w):
+                self._recover_worker(w)
+                if not self.ping(w):
+                    self._mark_broken(
+                        f"respawned worker {w} failed its health check"
+                    )
+                    raise ExecutorError(
+                        f"respawned pool worker {w} failed its health check"
+                    )
+        return self.worker_pids()
+
+    def _recover_worker(self, w: int) -> None:
+        """Replace dead worker ``w`` and reconstruct its resident state."""
+        old = self._procs[w]
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        try:
+            old.join(timeout=1)
+            if old.is_alive():
+                old.terminate()
+                old.join(timeout=1)
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+        proc, conn = self._spawn_worker()
+        self._procs[w] = proc
+        self._conns[w] = conn
+        self.recovery_stats.respawns += 1
+        if not self.ping(w):
+            self._mark_broken(f"respawned worker {w} failed its health check")
+            raise ExecutorError(
+                f"respawned pool worker {w} (pid={proc.pid}) failed its "
+                "health check"
+            )
+        hook = self._rebuild_hook
+        if hook is None:
+            return
+        calls, replayed = hook(w)
+        if calls:
+            seq = self._next_seq()
+            try:
+                self._conns[w].send(("nscalls", seq, list(calls)))
+                _, rseq, replies = self._recv(w, self.dispatch_timeout)
+            except (WorkerCrashError, BrokenPipeError, OSError) as exc:
+                self._mark_broken(
+                    f"worker {w} died again during state reconstruction"
+                )
+                raise ExecutorError(
+                    f"pool worker {w} died again while replaying resident "
+                    "state; giving up"
+                ) from exc
+            if rseq != seq:  # pragma: no cover - fresh pipe, defensive
+                self._mark_broken(f"worker {w} replay reply out of sequence")
+                raise ExecutorError(
+                    f"pool worker {w} replied out of sequence during replay"
+                )
+            for ok, payload in replies:
+                if not ok:
+                    self._mark_broken(f"worker {w} state replay failed")
+                    raise ExecutorError(
+                        f"replaying resident state on respawned pool worker "
+                        f"{w} failed: {_failure_text(payload)}"
+                    )
+        self.recovery_stats.replayed_supersteps += replayed
+
     # -- low-level request/reply ---------------------------------------
     def _dispatch(
         self, per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]]
     ) -> dict[int, list[tuple[bool, Any]]]:
-        """Send one batched message per involved worker, collect replies."""
+        """Send one batched message per involved worker, collect replies.
+
+        Crashed workers are respawned (resident state rebuilt via the
+        hook) and their message re-sent, up to ``max_retries`` times
+        each with exponential backoff.  A send that fails because the
+        *message* is unpicklable raises without poisoning the protocol:
+        workers that did receive the dispatch will answer with this
+        sequence number, and the next dispatch discards those replies
+        as stale.
+        """
         self._ensure_workers()
-        for w, (kind, calls) in per_worker.items():
+        self._check_broken()
+        seq = self._next_seq()
+        self.dispatch_count += 1
+        fault = self._fault_plan.pop(seq, None)
+        if fault is not None:
+            self._kill_worker(fault)
+        messages = {
+            w: (kind, seq, calls) for w, (kind, calls) in per_worker.items()
+        }
+        for w, msg in messages.items():
             try:
-                self._conns[w].send((kind, calls))
-            except (BrokenPipeError, OSError) as exc:
-                proc = self._procs[w] if self._procs else None
-                raise ExecutorError(
-                    f"pool worker {w} (pid={getattr(proc, 'pid', '?')}) "
-                    "is gone; cannot ship work to it"
-                ) from exc
+                self._conns[w].send(msg)
+            except (BrokenPipeError, OSError):
+                # Worker is gone; the reply loop below recovers it and
+                # re-sends.  Nothing reached the pipe.
+                pass
             except Exception as exc:
                 raise ExecutorError(
                     f"cannot ship work to pool worker {w}: {exc!r} "
@@ -144,20 +490,53 @@ class PoolProcessExecutor(Executor):
                 ) from exc
         replies: dict[int, list[tuple[bool, Any]]] = {}
         pids: set[int] = set()
-        for w in per_worker:
-            try:
-                pid, reply = self._conns[w].recv()
-            except (EOFError, OSError):
-                proc = self._procs[w] if self._procs else None
-                raise ExecutorError(
-                    f"pool worker {w} (pid={getattr(proc, 'pid', '?')}) "
-                    "died without a result"
-                ) from None
+        for w, msg in messages.items():
+            pid, reply = self._await_reply(w, msg)
             pids.add(pid)
             replies[w] = reply
         if pids:
             self.pid_log.append(frozenset(pids))
         return replies
+
+    def _await_reply(
+        self, w: int, msg: tuple[str, int, list]
+    ) -> tuple[int, list[tuple[bool, Any]]]:
+        """Reply matching ``msg``'s sequence number, recovering crashes."""
+        seq = msg[1]
+        attempts = 0
+        while True:
+            try:
+                pid, rseq, reply = self._recv(w, self.dispatch_timeout)
+            except WorkerCrashError as exc:
+                attempts += 1
+                if attempts > self.max_retries:
+                    self._mark_broken(
+                        f"worker {w} kept dying ({attempts - 1} retries)"
+                    )
+                    raise ExecutorError(
+                        f"pool worker {w} kept dying; gave up after "
+                        f"{self.max_retries} respawn attempts"
+                    ) from exc
+                self.recovery_stats.retries += 1
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                self._recover_worker(w)
+                try:
+                    self._conns[w].send(msg)
+                except (BrokenPipeError, OSError):
+                    continue  # died again already; next _recv notices
+                continue
+            if rseq == seq:
+                return pid, reply
+            if rseq < seq:
+                continue  # stale reply from an abandoned dispatch: drop
+            self._mark_broken(
+                f"worker {w} replied with future sequence {rseq}"
+            )
+            raise ExecutorError(
+                f"pool protocol error: worker {w} replied with sequence "
+                f"{rseq} while {seq} was awaited"
+            )
 
     # -- classic Executor contract -------------------------------------
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
@@ -167,7 +546,8 @@ class PoolProcessExecutor(Executor):
         closures over local state will not survive the trip; use
         module-level functions (the LTDP engine routes its work through
         :meth:`call_slots` instead, which the pool runtime feeds with
-        declarative spec objects).
+        declarative spec objects).  Tasks should be side-effect free:
+        crash recovery re-sends a dead worker's whole batch.
         """
         if not tasks:
             return []
@@ -185,7 +565,10 @@ class PoolProcessExecutor(Executor):
                 if ok:
                     results[idx] = payload
                 else:
-                    errors.append(f"task for processor {idx} failed: {payload}")
+                    errors.append(
+                        f"task {idx} (processor {idx + 1}) failed: "
+                        f"{_failure_text(payload)}"
+                    )
         if errors:
             raise ExecutorError("; ".join(sorted(errors)))
         return results
@@ -216,7 +599,9 @@ class PoolProcessExecutor(Executor):
                     results[idx] = payload
                 else:
                     slot = calls[idx][0]
-                    errors.append(f"processor {slot} failed: {payload}")
+                    errors.append(
+                        f"processor {slot} failed: {_failure_text(payload)}"
+                    )
         if errors:
             raise ExecutorError("; ".join(sorted(errors)))
         return results
@@ -235,25 +620,28 @@ class PoolProcessExecutor(Executor):
             if ok:
                 results.append(payload)
             else:
-                errors.append(f"worker {w} failed: {payload}")
+                errors.append(f"worker {w} failed: {_failure_text(payload)}")
         if errors:
             raise ExecutorError("; ".join(errors))
         return results
 
     # ------------------------------------------------------------------
+    def __enter__(self) -> "PoolProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def close(self) -> None:
-        if self._procs is None:
-            return
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=1)
-        for conn in self._conns:
-            conn.close()
-        self._procs, self._conns = None, []
+        """Stop and reap the workers.  Idempotent; the pool restarts
+        lazily if used again afterwards.
+
+        Even without an explicit ``close()`` (CLI error paths,
+        interactive sessions) the workers are reclaimed when the
+        executor is garbage-collected or the interpreter exits, via the
+        ``weakref.finalize`` registered at spawn time.
+        """
+        finalizer = self._finalizer
+        self._finalizer = None
+        if finalizer is not None:
+            finalizer()

@@ -8,6 +8,8 @@ baseline bit-for-bit — no tolerance — on the thread, fork-per-task
 process and persistent-pool runtimes alike.
 """
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,7 @@ from repro.datagen.sequences import homologous_pair, random_dna, random_series
 from repro.ltdp.matrix_problem import random_matrix_problem
 from repro.ltdp.parallel import ParallelOptions, solve_parallel
 from repro.machine.executor import get_executor
+from repro.machine.pool import PoolProcessExecutor
 from repro.problems.alignment.lcs import LCSProblem
 from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
 from repro.problems.alignment.smith_waterman import SmithWatermanProblem
@@ -102,6 +105,36 @@ def test_executor_bit_identical_to_serial(name, kind, serial_solutions):
     assert got.metrics.converged_first_iteration == (
         base.metrics.converged_first_iteration
     )
+
+
+@pytest.fixture(scope="module")
+def spawn_pool():
+    """One spawn-start-method pool shared by the whole module: workers
+    are spawned once (spawn is slow) and reused across solves, which is
+    the pool's contract anyway."""
+    if "spawn" not in mp.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    with PoolProcessExecutor(max_workers=2, start_method="spawn") as ex:
+        yield ex
+
+
+@pytest.mark.parametrize("name", list(PROBLEMS))
+def test_pool_spawn_start_method_bit_identical(name, spawn_pool, serial_solutions):
+    """The cross-executor guarantee must hold under ``spawn`` too: no
+    fork-only assumptions (inherited globals, unpicklable worker
+    payloads) may hide in the pool protocol or the spec plumbing."""
+    base = serial_solutions[name]
+    got = solve_with(PROBLEMS[name], spawn_pool)
+
+    np.testing.assert_array_equal(got.path, base.path)
+    assert got.score == base.score
+    assert got.objective_stage == base.objective_stage
+    assert got.objective_cell == base.objective_cell
+    assert (
+        got.metrics.forward_fixup_iterations
+        == base.metrics.forward_fixup_iterations
+    )
+    assert got.metrics.fixup_stages == base.metrics.fixup_stages
 
 
 def test_pool_serial_backward_and_stage_vectors_match():

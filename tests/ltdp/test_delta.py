@@ -45,6 +45,17 @@ class TestEncodeDecode:
         with pytest.raises(ValueError):
             delta_decode(0.0, np.array([np.nan]))
 
+    def test_decode_rejects_non_finite_anchor(self):
+        """Regression: a -inf/nan anchor used to silently decode into an
+        all--inf/nan vector that does not round-trip; the mask-keeping
+        contract requires rejecting it."""
+        with pytest.raises(ValueError, match="anchor.*mask"):
+            delta_decode(NEG_INF, np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="anchor"):
+            delta_decode(np.nan, np.array([1.0]))
+        with pytest.raises(ValueError, match="anchor"):
+            delta_decode(np.inf, np.array([], dtype=float))
+
 
 class TestChangeCounting:
     def test_parallel_vectors_have_zero_changes(self, rng):

@@ -43,7 +43,8 @@ class TestThreadExecutor:
 
     def test_exception_becomes_executor_error_with_index(self):
         """Matches ProcessExecutor's contract: ExecutorError naming the
-        failing processor, original exception chained."""
+        0-based task index and its 1-based processor slot, original
+        exception chained."""
 
         def ok():
             return 1
@@ -52,7 +53,9 @@ class TestThreadExecutor:
             raise ValueError("boom")
 
         with ThreadExecutor() as ex:
-            with pytest.raises(ExecutorError, match="processor 1") as excinfo:
+            with pytest.raises(
+                ExecutorError, match=r"task 1 \(processor 2\)"
+            ) as excinfo:
                 ex.run_superstep([ok, boom, ok])
         assert isinstance(excinfo.value.__cause__, ValueError)
 

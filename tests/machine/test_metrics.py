@@ -60,6 +60,18 @@ class TestRunMetrics:
         # originals untouched
         assert a.num_barriers == 2
 
+    def test_merge_sums_recovery_counters(self):
+        a = self.make()
+        a.worker_respawns = 1
+        a.dispatch_retries = 2
+        b = RunMetrics(num_procs=3)
+        b.worker_respawns = 1
+        b.replayed_supersteps = 4
+        merged = a.merged_with([b])
+        assert merged.worker_respawns == 2
+        assert merged.dispatch_retries == 2
+        assert merged.replayed_supersteps == 4
+
     def test_merge_mismatched_procs_rejected(self):
         a = self.make()
         b = RunMetrics(num_procs=2)

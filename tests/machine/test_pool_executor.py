@@ -87,10 +87,16 @@ class TestGenericTasks:
             for step_pids in ex.pid_log:
                 assert step_pids <= spawned
 
-    def test_error_contract_names_processor(self):
+    def test_error_contract_names_task_and_slot(self):
+        """Failures name the 0-based task index AND its 1-based slot,
+        and carry the worker-side traceback."""
         with PoolProcessExecutor(max_workers=2) as ex:
-            with pytest.raises(ExecutorError, match="processor 1 failed"):
+            with pytest.raises(
+                ExecutorError, match=r"task 1 \(processor 2\) failed"
+            ) as excinfo:
                 ex.run_superstep([_task_pid, _boom, _task_pid])
+            assert "Traceback (most recent call last)" in str(excinfo.value)
+            assert "_boom" in str(excinfo.value)
             # The pool survives a failed superstep.
             assert ex.run_superstep([_task_pid]) != []
 

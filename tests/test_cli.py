@@ -40,6 +40,35 @@ class TestSolve:
         assert "fix-up iterations" in out
         assert "critical work" in out
         assert "measured wall" in out
+        assert "recovery" in out
+        assert "0 worker respawns" in out
+
+    def test_solve_reports_recovery_after_injected_fault(self, capsys, monkeypatch):
+        """A worker killed mid-solve (env-driven fault plan) is healed
+        transparently: the solve still matches the sequential answer and
+        the report counts the respawn."""
+        monkeypatch.setenv("REPRO_POOL_FAULTS", "2:0")  # kill during forward
+        rc = main(
+            [
+                "solve",
+                "--problem",
+                "lcs",
+                "--size",
+                "100",
+                "--width",
+                "10",
+                "--procs",
+                "3",
+                "--executor",
+                "pool",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel == seq  : True" in out
+        assert "1 worker respawns" in out
 
     @pytest.mark.parametrize("executor", ["serial", "thread", "process", "pool"])
     def test_executor_flag(self, executor, capsys):
