@@ -1,0 +1,475 @@
+"""Reproducible perf-regression harness: problem x executor x P sweep.
+
+Standalone runner (not collected by pytest; ``testpaths = ["tests"]``)
+that times real ``solve_parallel`` wall-clock on a small grid of
+synthetic instances and emits a schema-versioned ``BENCH_pool.json`` at
+the repo root.  When a previous ``BENCH_pool.json`` exists, the runner
+compares against it cell by cell and flags regressions, so committing
+the emitted file turns every future run into a regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py --smoke
+    PYTHONPATH=src python benchmarks/bench_runner.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_runner.py --check BENCH_pool.json
+
+Besides the timing grid, the runner asserts two observability
+guarantees of the tracing layer (recorded under ``"checks"``):
+
+- ``tracing_disabled_overhead`` — a pool solve with tracing disabled
+  (either ``tracer=None`` or a ``Tracer(enabled=False)``) stays within
+  5% of the untraced baseline (best-of-N floors, which damp scheduler
+  noise the way min-based microbenchmarks do);
+- ``trace_coverage`` — an *enabled* trace of a pool solve carries
+  exactly one ``superstep`` span per recorded superstep, and every
+  ``dispatch`` span has the per-worker send/queue-wait/compute
+  breakdown plus serialized byte counts.
+
+Timings are floors (min over ``--repeats``); medians are also recorded.
+The grid is deliberately small — this is a regression tripwire, not the
+paper evaluation (that is ``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datagen.packets import make_received_packet  # noqa: E402
+from repro.datagen.sequences import homologous_pair, random_series  # noqa: E402
+from repro.ltdp.parallel import ParallelOptions, solve_parallel  # noqa: E402
+from repro.machine.executor import get_executor  # noqa: E402
+from repro.machine.trace import Tracer  # noqa: E402
+from repro.problems.alignment.lcs import LCSProblem  # noqa: E402
+from repro.problems.convolutional import STANDARD_CODES  # noqa: E402
+from repro.problems.dtw import DTWProblem  # noqa: E402
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_OUT",
+    "build_problem",
+    "compare_documents",
+    "main",
+    "run_bench",
+    "validate_bench_doc",
+]
+
+#: Bump on any incompatible change to the emitted JSON document.
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_pool.json"
+
+#: A new timing must stay under ``old * REGRESSION_RATIO`` to pass.
+#: Generous because these are single-core container floors, but tight
+#: enough to catch an accidental O(P) -> O(P^2) dispatch or a pickle
+#: blow-up.
+REGRESSION_RATIO = 1.6
+
+#: Acceptance bound for the disabled-tracer overhead check.
+OVERHEAD_RATIO = 1.05
+
+SEED = 2014  # PPoPP year; fixed so instances are bit-reproducible.
+
+
+def build_problem(name: str, smoke: bool):
+    """Synthetic instance for one grid row (seeded, reproducible)."""
+    rng = np.random.default_rng(SEED)
+    if name == "lcs":
+        size = 120 if smoke else 600
+        a, b = homologous_pair(size, rng, divergence=0.1)
+        return LCSProblem(a, b, width=24)
+    if name == "viterbi":
+        size = 60 if smoke else 240
+        _, problem = make_received_packet(
+            STANDARD_CODES["Voyager"], size, rng, error_rate=0.02
+        )
+        return problem
+    if name == "dtw":
+        size = 100 if smoke else 400
+        return DTWProblem(random_series(size, rng), random_series(size, rng), width=16)
+    raise ValueError(f"unknown benchmark problem {name!r}")
+
+
+def _grid(smoke: bool):
+    problems = ("lcs", "viterbi") if smoke else ("lcs", "viterbi", "dtw")
+    procs = (2, 4) if smoke else (2, 4, 8)
+    return [
+        (problem, executor, p)
+        for problem in problems
+        for executor in ("serial", "thread", "pool")
+        for p in procs
+    ]
+
+
+def _timed_solve(problem, executor, procs: int, tracer=None):
+    t0 = time.perf_counter()
+    solution = solve_parallel(
+        problem,
+        ParallelOptions(num_procs=procs, seed=SEED, executor=executor, tracer=tracer),
+    )
+    return time.perf_counter() - t0, solution
+
+
+def _measure(problem, executor, procs: int, repeats: int, tracer=None):
+    """Best-of-N floor + median; returns (times, last_solution)."""
+    times = []
+    solution = None
+    for _ in range(repeats):
+        elapsed, solution = _timed_solve(problem, executor, procs, tracer)
+        times.append(elapsed)
+    return times, solution
+
+
+# ----------------------------------------------------------------------
+# Sweep
+# ----------------------------------------------------------------------
+
+
+def _run_grid(smoke: bool, repeats: int) -> list[dict]:
+    results = []
+    for problem_name, executor_kind, procs in _grid(smoke):
+        problem = build_problem(problem_name, smoke)
+        with get_executor(executor_kind) as executor:
+            times, solution = _measure(problem, executor, procs, repeats)
+        m = solution.metrics
+        cells = float(m.total_work)
+        best = min(times)
+        results.append(
+            {
+                "problem": problem_name,
+                "executor": executor_kind,
+                "procs": procs,
+                "repeats": repeats,
+                "wall_seconds": best,
+                "wall_seconds_median": statistics.median(times),
+                "supersteps": len(m.supersteps),
+                "num_barriers": m.num_barriers,
+                "forward_fixup_iterations": m.forward_fixup_iterations,
+                "bytes_communicated": int(m.bytes_communicated),
+                "total_work_cells": cells,
+                "cells_per_second": cells / best if best > 0 else 0.0,
+            }
+        )
+        print(
+            f"  {problem_name:<8s} {executor_kind:<7s} P={procs:<2d} "
+            f"best {best * 1e3:8.2f} ms  "
+            f"({len(m.supersteps)} supersteps, "
+            f"{m.forward_fixup_iterations} fixups)"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Tracing checks (acceptance criteria of the observability layer)
+# ----------------------------------------------------------------------
+
+
+def _check_disabled_overhead(smoke: bool, repeats: int) -> dict:
+    """Disabled tracing must stay within OVERHEAD_RATIO of untraced."""
+    problem = build_problem("lcs", smoke)
+    procs = 4
+    off = Tracer(enabled=False)
+    base_times: list[float] = []
+    off_times: list[float] = []
+    with get_executor("pool") as executor:
+        # Warm-up removes worker-spawn cost; interleaving the two
+        # variants makes the floor comparison robust to load that
+        # drifts over the measurement window.
+        _timed_solve(problem, executor, procs)
+        for _ in range(repeats):
+            elapsed, _ = _timed_solve(problem, executor, procs)
+            base_times.append(elapsed)
+            elapsed, _ = _timed_solve(problem, executor, procs, tracer=off)
+            off_times.append(elapsed)
+    base, disabled = min(base_times), min(off_times)
+    ratio = disabled / base if base > 0 else 1.0
+    check = {
+        "baseline_seconds": base,
+        "disabled_tracer_seconds": disabled,
+        "ratio": ratio,
+        "threshold": OVERHEAD_RATIO,
+        "passed": ratio < OVERHEAD_RATIO,
+        "spans_recorded": len(off.spans) + len(off.events),
+    }
+    if off.spans or off.events:
+        check["passed"] = False  # a disabled tracer must record nothing
+    return check
+
+
+def _check_trace_coverage(smoke: bool, trace_path: str | None) -> dict:
+    """An enabled pool trace must cover every superstep and dispatch."""
+    problem = build_problem("lcs", smoke)
+    tracer = Tracer()
+    with get_executor("pool") as executor:
+        _, solution = _timed_solve(problem, executor, 4, tracer=tracer)
+    superstep_spans = [s for s in tracer.spans if s.name == "superstep"]
+    dispatch_spans = [s for s in tracer.spans if s.name == "dispatch"]
+    breakdown_keys = (
+        "worker",
+        "send_seconds",
+        "queue_wait_seconds",
+        "compute_seconds",
+        "request_bytes",
+        "reply_bytes",
+    )
+    complete = all(
+        all(k in s.attrs for k in breakdown_keys) for s in dispatch_spans
+    )
+    recorded = len(solution.metrics.supersteps)
+    check = {
+        "superstep_spans": len(superstep_spans),
+        "recorded_supersteps": recorded,
+        "dispatch_spans": len(dispatch_spans),
+        "dispatch_breakdown_complete": complete,
+        "passed": bool(
+            superstep_spans
+            and len(superstep_spans) == recorded
+            and dispatch_spans
+            and complete
+        ),
+    }
+    if trace_path:
+        tracer.dump_jsonl(trace_path)
+        check["trace_path"] = trace_path
+    return check
+
+
+# ----------------------------------------------------------------------
+# Schema validation (hand-rolled; no jsonschema dependency)
+# ----------------------------------------------------------------------
+
+_RESULT_FIELDS = {
+    "problem": str,
+    "executor": str,
+    "procs": int,
+    "repeats": int,
+    "wall_seconds": float,
+    "wall_seconds_median": float,
+    "supersteps": int,
+    "num_barriers": int,
+    "forward_fixup_iterations": int,
+    "bytes_communicated": int,
+    "total_work_cells": float,
+    "cells_per_second": float,
+}
+
+
+def validate_bench_doc(doc) -> None:
+    """Raise ``ValueError`` unless ``doc`` matches the BENCH_pool schema."""
+
+    def need(obj, key, types, where):
+        if key not in obj:
+            raise ValueError(f"{where}: missing required key {key!r}")
+        if not isinstance(obj[key], types):
+            raise ValueError(
+                f"{where}: key {key!r} has type {type(obj[key]).__name__}, "
+                f"expected {types}"
+            )
+        return obj[key]
+
+    if not isinstance(doc, dict):
+        raise ValueError(f"document must be an object, got {type(doc).__name__}")
+    version = need(doc, "schema_version", int, "document")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+        )
+    need(doc, "kind", str, "document")
+    if doc["kind"] != "repro-bench":
+        raise ValueError(f"kind {doc['kind']!r} != 'repro-bench'")
+    need(doc, "mode", str, "document")
+    need(doc, "host", dict, "document")
+    results = need(doc, "results", list, "document")
+    if not results:
+        raise ValueError("document: 'results' must be non-empty")
+    for idx, row in enumerate(results):
+        where = f"results[{idx}]"
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: must be an object")
+        for key, typ in _RESULT_FIELDS.items():
+            types = (int, float) if typ is float else typ
+            need(row, key, types, where)
+        if row["wall_seconds"] <= 0:
+            raise ValueError(f"{where}: wall_seconds must be positive")
+    checks = need(doc, "checks", dict, "document")
+    for name, check in checks.items():
+        if not isinstance(check, dict) or "passed" not in check:
+            raise ValueError(f"checks[{name!r}]: must be an object with 'passed'")
+
+
+# ----------------------------------------------------------------------
+# Comparison against the previous BENCH_pool.json
+# ----------------------------------------------------------------------
+
+
+def compare_documents(old: dict, new: dict, ratio: float = REGRESSION_RATIO) -> dict:
+    """Cell-by-cell wall-clock deltas of ``new`` against ``old``.
+
+    Only cells present in both grids (same problem/executor/procs, same
+    mode) are compared; a cell regresses when its new floor exceeds
+    ``old * ratio``.
+    """
+    comparison = {
+        "baseline_created": old.get("created"),
+        "comparable": old.get("mode") == new.get("mode"),
+        "regression_ratio": ratio,
+        "cells": [],
+        "regressions": [],
+    }
+    if not comparison["comparable"]:
+        comparison["note"] = (
+            f"baseline mode {old.get('mode')!r} != new mode {new.get('mode')!r}; "
+            "timings not compared"
+        )
+        return comparison
+    old_cells = {
+        (r["problem"], r["executor"], r["procs"]): r for r in old.get("results", [])
+    }
+    for row in new.get("results", []):
+        key = (row["problem"], row["executor"], row["procs"])
+        base = old_cells.get(key)
+        if base is None:
+            continue
+        delta = row["wall_seconds"] / base["wall_seconds"]
+        cell = {
+            "problem": key[0],
+            "executor": key[1],
+            "procs": key[2],
+            "old_seconds": base["wall_seconds"],
+            "new_seconds": row["wall_seconds"],
+            "ratio": delta,
+            "regressed": delta > ratio,
+        }
+        comparison["cells"].append(cell)
+        if cell["regressed"]:
+            comparison["regressions"].append(cell)
+    return comparison
+
+
+def _print_comparison(comparison: dict) -> None:
+    if not comparison["comparable"]:
+        print(f"comparison: {comparison['note']}")
+        return
+    print(f"comparison vs previous file ({len(comparison['cells'])} cells):")
+    for cell in comparison["cells"]:
+        mark = "REGRESSION" if cell["regressed"] else "ok"
+        print(
+            f"  {cell['problem']:<8s} {cell['executor']:<7s} "
+            f"P={cell['procs']:<2d} "
+            f"{cell['old_seconds'] * 1e3:8.2f} -> {cell['new_seconds'] * 1e3:8.2f} ms "
+            f"(x{cell['ratio']:.2f})  {mark}"
+        )
+    n = len(comparison["regressions"])
+    print(f"  {n} regression(s) flagged" if n else "  no regressions")
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def run_bench(
+    smoke: bool,
+    repeats: int,
+    out: pathlib.Path,
+    trace_path: str | None = None,
+) -> tuple[dict, int]:
+    """Run the sweep + checks, emit ``out``, return (document, exit code)."""
+    mode = "smoke" if smoke else "full"
+    print(f"bench runner: mode={mode} repeats={repeats}")
+    results = _run_grid(smoke, repeats)
+
+    print("checks:")
+    checks = {
+        "tracing_disabled_overhead": _check_disabled_overhead(smoke, repeats + 2),
+        "trace_coverage": _check_trace_coverage(smoke, trace_path),
+    }
+    for name, check in checks.items():
+        print(f"  {name}: {'pass' if check['passed'] else 'FAIL'} {check}")
+
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": mode,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "checks": checks,
+    }
+
+    exit_code = 0 if all(c["passed"] for c in checks.values()) else 1
+
+    if out.exists():
+        try:
+            old = json.loads(out.read_text())
+            validate_bench_doc(old)
+        except (ValueError, OSError) as exc:
+            print(f"previous {out.name} unusable ({exc}); skipping comparison")
+        else:
+            doc["comparison"] = compare_documents(old, doc)
+            _print_comparison(doc["comparison"])
+            if doc["comparison"]["regressions"]:
+                exit_code = 1
+
+    validate_bench_doc(doc)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return doc, exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instances / reduced grid (CI-sized, ~seconds)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per cell"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output document (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also dump the coverage check's JSONL trace here (CI artifact)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help="validate an existing document against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        doc = json.loads(pathlib.Path(args.check).read_text())
+        validate_bench_doc(doc)
+        print(f"{args.check}: valid repro-bench document (schema v{doc['schema_version']}, "
+              f"{len(doc['results'])} cells, mode={doc['mode']})")
+        return 0
+
+    _, exit_code = run_bench(args.smoke, args.repeats, args.out, args.trace)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,7 @@ from repro.ltdp.sequential import solve_sequential
 from repro.machine.cluster import SimCluster
 from repro.machine.executor import EXECUTOR_KINDS, Executor, get_executor
 from repro.machine.cost_model import CostModel, calibrate_cell_cost
-from repro.machine.trace import render_gantt
+from repro.machine.trace import Tracer, render_gantt
 from repro.problems.alignment.lcs import LCSProblem
 from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
 from repro.problems.alignment.smith_waterman import SmithWatermanProblem
@@ -151,11 +151,12 @@ def cmd_info(_args: argparse.Namespace) -> int:
 def cmd_solve(args: argparse.Namespace) -> int:
     problem = build_problem(args)
     seq = solve_sequential(problem)
+    tracer = Tracer() if args.trace else None
     # The with-block guarantees pool workers are reaped on every exit
     # path, including solver errors and ^C.
     with _build_executor(args) as executor:
         options = ParallelOptions(
-            num_procs=args.procs, seed=args.seed, executor=executor
+            num_procs=args.procs, seed=args.seed, executor=executor, tracer=tracer
         )
         par = solve_parallel(problem, options)
     ok = bool(np.array_equal(seq.path, par.path)) and abs(seq.score - par.score) < 1e-9
@@ -175,6 +176,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
         f"{m.dispatch_retries} dispatch retries, "
         f"{m.replayed_supersteps} supersteps replayed"
     )
+    if tracer is not None:
+        tracer.dump_jsonl(args.trace)
+        print(f"trace            : {args.trace}")
+        print(tracer.format_summary())
     return 0 if ok else 1
 
 
@@ -249,6 +254,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_problem_args(p_solve)
     _add_runtime_args(p_solve)
     p_solve.add_argument("--procs", type=int, default=8)
+    p_solve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a JSONL span trace of the parallel solve (per-superstep "
+        "and, on the pool executor, per-worker dispatch/compute breakdown) "
+        "and print its summary",
+    )
 
     p_conv = sub.add_parser("convergence", help="Table-1 convergence protocol")
     _add_problem_args(p_conv)

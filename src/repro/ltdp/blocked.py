@@ -68,6 +68,7 @@ def _tree_prefix_boundaries(
             SuperstepRecord(
                 label=f"tree-scan[{round_idx}]",
                 work=work_row,
+                phase="forward",
                 comm=[
                     CommEvent(
                         src=p - offset + 1, dst=p + 1, num_bytes=8 * prefix[p].size
@@ -83,7 +84,7 @@ def _tree_prefix_boundaries(
     for p, M in enumerate(prefix):
         apply_row[p] = float(M.shape[0] * M.shape[1])
         boundaries.append(tropical_matvec(M, initial))
-    records.append(SuperstepRecord(label="tree-scan-apply", work=apply_row))
+    records.append(SuperstepRecord(label="tree-scan-apply", work=apply_row, phase="forward"))
     return boundaries, records
 
 
@@ -134,7 +135,9 @@ def solve_blocked(
     results = executor.run_superstep([make_product_task(rg) for rg in ranges])
     products = [r[0] for r in results]
     metrics.record(
-        SuperstepRecord(label="partial-products", work=[r[1] for r in results])
+        SuperstepRecord(
+            label="partial-products", work=[r[1] for r in results], phase="forward"
+        )
     )
 
     # Superstep 2: prefix over the P products to get boundary vectors.
@@ -158,6 +161,7 @@ def solve_blocked(
             SuperstepRecord(
                 label="prefix-scan",
                 work=scan_row,
+                phase="forward",
                 comm=[
                     CommEvent(src=p, dst=p + 1, num_bytes=8 * boundaries[p].size)
                     for p in range(1, P)
@@ -194,7 +198,9 @@ def solve_blocked(
         for i, p in out_pred.items():
             pred_store[i] = p
         work_row.append(work)
-    metrics.record(SuperstepRecord(label="re-sweep", work=work_row))
+    metrics.record(
+        SuperstepRecord(label="re-sweep", work=work_row, phase="forward")
+    )
 
     final = np.asarray(s_store[n])
     if problem.tracks_stage_objective:
@@ -209,7 +215,9 @@ def solve_blocked(
         path = backward_sequential(pred_store)
     bwd_row = [0.0] * P
     bwd_row[0] = float(n)
-    metrics.record(SuperstepRecord(label="backward", work=bwd_row))
+    metrics.record(
+        SuperstepRecord(label="backward", work=bwd_row, phase="backward")
+    )
 
     return LTDPSolution(
         path=path,

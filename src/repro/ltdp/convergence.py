@@ -14,6 +14,7 @@ rank collapses to *small* values much faster than to exactly 1.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,11 +72,16 @@ class ConvergenceStudy:
         return self._stat(min)
 
     @property
-    def median_steps(self) -> int | None:
-        xs = sorted(self.converged_steps)
+    def median_steps(self) -> int | float | None:
+        """True median (``statistics.median`` semantics): the mean of the
+        two middle elements for even-length samples, not the upper one.
+        Integral medians are returned as ``int`` to keep Table 1 rows tidy.
+        """
+        xs = self.converged_steps
         if not xs:
             return None
-        return int(xs[len(xs) // 2])
+        med = statistics.median(xs)
+        return int(med) if float(med).is_integer() else float(med)
 
     @property
     def max_steps(self) -> int | None:

@@ -50,13 +50,14 @@ def objective_phase(
         for rg in ranges
     ]
     t0 = time.perf_counter()
-    results = runtime.run(specs)
+    results = runtime.run(specs, label="objective")
     wall = time.perf_counter() - t0
     metrics.record(
         SuperstepRecord(
             label="objective",
             work=[r.work for r in results],
             wall_seconds=wall,
+            phase="forward",
         )
     )
     best_val, best_stage, best_cell = None, 0, 0
@@ -119,7 +120,7 @@ def backward_parallel_phase(
         for rg in b_ranges
     ]
     t0 = time.perf_counter()
-    results = runtime.run(specs)
+    results = runtime.run(specs, label="backward")
     wall = time.perf_counter() - t0
     for result in results:
         for idx, val in result.path_updates.items():
@@ -129,6 +130,7 @@ def backward_parallel_phase(
             label="backward",
             work=pad([float(rg.num_stages) for rg in b_ranges]),
             wall_seconds=wall,
+            phase="backward",
         )
     )
 
@@ -161,8 +163,9 @@ def backward_parallel_phase(
         comm = [
             CommEvent(src=sp.proc + 1, dst=sp.proc, num_bytes=8) for sp in specs
         ]
+        label = f"bwd-fixup[{iteration}]"
         t0 = time.perf_counter()
-        results = runtime.run(specs)
+        results = runtime.run(specs, label=label)
         wall = time.perf_counter() - t0
         work_row = [0.0] * total_procs  # the last processor idles
         all_conv = True
@@ -173,10 +176,11 @@ def backward_parallel_phase(
             all_conv &= result.converged
         metrics.record(
             SuperstepRecord(
-                label=f"bwd-fixup[{iteration}]",
+                label=label,
                 work=work_row,
                 comm=comm,
                 wall_seconds=wall,
+                phase="backward",
             )
         )
         if all_conv:
@@ -215,6 +219,8 @@ def backward_serial_phase(
     work_row = [0.0] * num_procs
     work_row[0] = float(start_stage)
     metrics.record(
-        SuperstepRecord(label="backward", work=work_row, wall_seconds=wall)
+        SuperstepRecord(
+            label="backward", work=work_row, wall_seconds=wall, phase="backward"
+        )
     )
     return path

@@ -28,6 +28,7 @@ path edge weights are offset-free.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,9 +46,13 @@ from repro.ltdp.problem import LTDPProblem, LTDPSolution
 from repro.ltdp.sequential import solve_sequential
 from repro.machine.executor import Executor, SerialExecutor
 from repro.machine.metrics import RunMetrics
+from repro.machine.trace import Tracer
 from repro.semiring.tropical import NEG_INF
 
 __all__ = ["ParallelOptions", "solve_parallel", "edge_weight_by_probe"]
+
+#: Shared no-op context for untraced phase blocks (nullcontext is stateless).
+_NULL_CTX = nullcontext()
 
 
 @dataclass
@@ -85,6 +90,13 @@ class ParallelOptions:
     keep_stage_vectors:
         Return the stored per-stage vectors (each parallel to the true
         one) on the solution object.
+    tracer:
+        Optional :class:`~repro.machine.trace.Tracer` collecting real
+        wall-clock spans of the solve (per-superstep, and per-worker
+        dispatch breakdown on the pool runtime).  ``None`` (default)
+        keeps every instrumentation site on its one-check fast path.
+        Only multi-processor solves are traced; ``num_procs=1``
+        devolves to the sequential solver.
     """
 
     num_procs: int = 2
@@ -98,6 +110,7 @@ class ParallelOptions:
     exact_score: bool = True
     parallel_backward: bool = True
     keep_stage_vectors: bool = False
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if self.num_procs < 1:
@@ -134,13 +147,18 @@ def _price_path(problem: LTDPProblem, path: np.ndarray) -> float:
     return total
 
 
-def _make_runtime(executor: Executor, problem: LTDPProblem, ranges) -> SuperstepRuntime:
+def _make_runtime(
+    executor: Executor,
+    problem: LTDPProblem,
+    ranges,
+    tracer: Tracer | None = None,
+) -> SuperstepRuntime:
     """Runtime selection: resident-state executors get the pool runtime."""
     if getattr(executor, "supports_resident_state", False):
         from repro.ltdp.engine.poolrt import PoolRuntime
 
-        return PoolRuntime(executor, problem, ranges)
-    return LocalRuntime(executor, problem)
+        return PoolRuntime(executor, problem, ranges, tracer=tracer)
+    return LocalRuntime(executor, problem, tracer=tracer)
 
 
 def solve_parallel(
@@ -180,44 +198,59 @@ def solve_parallel(
     metrics = RunMetrics(
         num_procs=num_procs,
         num_stages=n,
-        stage_width=problem.stage_width(n),
+        # The *max* stage width, matching the Table 1 convention
+        # (convergence.py): the final stage of selector-terminated
+        # problems has width 1, which would misreport throughput.
+        stage_width=max(problem.stage_width(i) for i in range(n + 1)),
     )
     # Snapshot the pool's self-healing counters (if any) before the
     # runtime touches the workers, so the metrics report exactly the
     # respawns/retries/replays this solve caused.
     recovery = getattr(options.executor, "recovery_stats", None)
     recovery_base = recovery.snapshot() if recovery is not None else None
-    runtime = _make_runtime(options.executor, problem, ranges)
+    tracer = options.tracer
+    if tracer:
+        tracer.event(
+            "solve-start",
+            problem=type(problem).__name__,
+            num_stages=n,
+            num_procs=num_procs,
+            executor=type(options.executor).__name__,
+        )
+    runtime = _make_runtime(options.executor, problem, ranges, tracer)
     try:
-        finals = forward_phase(problem, ranges, options, runtime, metrics)
+        with tracer.span("phase", phase="forward") if tracer else _NULL_CTX:
+            finals = forward_phase(problem, ranges, options, runtime, metrics)
 
         obj_stage: int | None = None
         obj_cell: int | None = None
         obj_value: float | None = None
         if problem.tracks_stage_objective:
-            obj_value, obj_stage, obj_cell = objective_phase(
-                problem, ranges, options, runtime, metrics
-            )
+            with tracer.span("phase", phase="objective") if tracer else _NULL_CTX:
+                obj_value, obj_stage, obj_cell = objective_phase(
+                    problem, ranges, options, runtime, metrics
+                )
 
-        if options.parallel_backward:
-            path = backward_parallel_phase(
-                problem,
-                ranges,
-                options,
-                runtime,
-                metrics,
-                start_stage=obj_stage,
-                start_cell=obj_cell or 0,
-            )
-        else:
-            path = backward_serial_phase(
-                problem,
-                runtime,
-                metrics,
-                num_procs,
-                start_stage=obj_stage,
-                start_cell=obj_cell or 0,
-            )
+        with tracer.span("phase", phase="backward") if tracer else _NULL_CTX:
+            if options.parallel_backward:
+                path = backward_parallel_phase(
+                    problem,
+                    ranges,
+                    options,
+                    runtime,
+                    metrics,
+                    start_stage=obj_stage,
+                    start_cell=obj_cell or 0,
+                )
+            else:
+                path = backward_serial_phase(
+                    problem,
+                    runtime,
+                    metrics,
+                    num_procs,
+                    start_stage=obj_stage,
+                    start_cell=obj_cell or 0,
+                )
 
         final = np.asarray(finals[ranges[-1].proc])
         if obj_value is not None:

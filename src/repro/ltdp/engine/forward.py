@@ -93,7 +93,7 @@ def forward_phase(
     # -- initial pass (one superstep) ----------------------------------
     specs = plan_initial_pass(ranges, opts)
     t0 = time.perf_counter()
-    results = runtime.run(specs)
+    results = runtime.run(specs, label="forward")
     wall = time.perf_counter() - t0
     finals: dict[int, np.ndarray] = {}
     work_row = []
@@ -101,7 +101,9 @@ def forward_phase(
         finals[rg.proc] = result.boundary
         work_row.append(result.work)
     metrics.record(
-        SuperstepRecord(label="forward", work=work_row, wall_seconds=wall)
+        SuperstepRecord(
+            label="forward", work=work_row, wall_seconds=wall, phase="forward"
+        )
     )
 
     # -- fix-up loop (Fig 4 lines 13-27) -------------------------------
@@ -121,8 +123,9 @@ def forward_phase(
                 f"forward fix-up did not converge within {max_iters} iterations"
             )
         specs, comm = plan_fixup_round(ranges, finals, opts, tol)
+        label = f"fixup[{iteration}]"
         t0 = time.perf_counter()
-        results = runtime.run(specs)
+        results = runtime.run(specs, label=label)
         wall = time.perf_counter() - t0
         work_row = [0.0] * num_procs  # processor 1 idles in fix-up
         all_conv = True
@@ -135,10 +138,11 @@ def forward_phase(
             all_conv &= result.converged
         metrics.record(
             SuperstepRecord(
-                label=f"fixup[{iteration}]",
+                label=label,
                 work=work_row,
                 comm=comm,
                 wall_seconds=wall,
+                phase="forward",
             )
         )
         if all_conv:

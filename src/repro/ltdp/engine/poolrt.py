@@ -28,6 +28,7 @@ reference.
 from __future__ import annotations
 
 import pickle
+import time
 from typing import Sequence
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.ltdp.engine.runtime import SuperstepRuntime
 from repro.ltdp.engine.specs import SpecResult, SuperstepSpec
 from repro.ltdp.partition import StageRange
 from repro.ltdp.problem import LTDPProblem
+from repro.machine.trace import Tracer
 
 __all__ = ["PoolRuntime"]
 
@@ -127,12 +129,23 @@ class PoolRuntime(SuperstepRuntime):
     """Plan executor backed by persistent, state-resident pool workers."""
 
     def __init__(
-        self, pool, problem: LTDPProblem, ranges: Sequence[StageRange]
+        self,
+        pool,
+        problem: LTDPProblem,
+        ranges: Sequence[StageRange],
+        tracer: Tracer | None = None,
     ) -> None:
         self.pool = pool
         self.problem = problem
         self.num_stages = problem.num_stages
         self.forward_ranges = list(ranges)
+        self.tracer = tracer
+        self._step_no = 0
+        # The pool emits per-worker dispatch spans and recovery events
+        # into the same tracer; cleared again in finish() so later
+        # untraced solves on a shared pool stay untraced.
+        if tracer and hasattr(pool, "set_tracer"):
+            pool.set_tracer(tracer)
         try:
             blob = pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -179,10 +192,28 @@ class PoolRuntime(SuperstepRuntime):
                     calls.append((_w_install_pred, (slot, payload)))
         return calls, replayed
 
-    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
-        results = self.pool.call_slots(
-            [(spec.proc, _w_run_spec, (spec,)) for spec in specs]
-        )
+    def run(
+        self, specs: Sequence[SuperstepSpec], label: str = ""
+    ) -> list[SpecResult]:
+        tracer = self.tracer
+        calls = [(spec.proc, _w_run_spec, (spec,)) for spec in specs]
+        if not tracer:
+            results = self.pool.call_slots(calls)
+        else:
+            self._step_no += 1
+            t0 = time.perf_counter()
+            # The context tags the pool's per-worker dispatch spans with
+            # this superstep's identity.
+            with tracer.context(superstep=self._step_no, label=label):
+                results = self.pool.call_slots(calls)
+            tracer.add_span(
+                "superstep",
+                t0,
+                time.perf_counter(),
+                superstep=self._step_no,
+                label=label,
+                procs=len(specs),
+            )
         # Journal only after the barrier: an in-flight spec must not be
         # part of the replay that precedes its own re-send.
         for spec in specs:
@@ -271,3 +302,5 @@ class PoolRuntime(SuperstepRuntime):
         # the wrong state into a worker respawned during a later solve.
         if hasattr(self.pool, "set_rebuild_hook"):
             self.pool.set_rebuild_hook(None)
+        if self.tracer and hasattr(self.pool, "set_tracer"):
+            self.pool.set_tracer(None)

@@ -21,6 +21,7 @@ are identical either way.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -31,6 +32,7 @@ from repro.ltdp.engine.state import EngineState
 from repro.ltdp.partition import StageRange
 from repro.ltdp.problem import LTDPProblem
 from repro.machine.executor import Executor
+from repro.machine.trace import Tracer
 
 __all__ = ["SuperstepRuntime", "LocalRuntime"]
 
@@ -38,9 +40,19 @@ __all__ = ["SuperstepRuntime", "LocalRuntime"]
 class SuperstepRuntime(ABC):
     """Executes superstep specs and owns the per-stage state between them."""
 
+    #: Optional span tracer; ``None`` (the default) costs one check per
+    #: superstep.  Set via the runtime constructors from
+    #: ``ParallelOptions.tracer``.
+    tracer: Tracer | None = None
+
     @abstractmethod
-    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
+    def run(
+        self, specs: Sequence[SuperstepSpec], label: str = ""
+    ) -> list[SpecResult]:
         """Execute one superstep (one spec per participating processor).
+
+        ``label`` is the superstep's metrics label (``"forward"``,
+        ``"fixup[2]"``, …), used only to tag trace spans.
 
         Returns results in spec order with all stage-resident updates
         already applied to the runtime's store.  ``path_updates`` are
@@ -77,15 +89,63 @@ class SuperstepRuntime(ABC):
 class LocalRuntime(SuperstepRuntime):
     """Driver-resident state + any closure-running executor."""
 
-    def __init__(self, executor: Executor, problem: LTDPProblem) -> None:
+    def __init__(
+        self,
+        executor: Executor,
+        problem: LTDPProblem,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.executor = executor
         self.problem = problem
         self.state = EngineState(problem)
+        self.tracer = tracer
+        self._step_no = 0
 
-    def run(self, specs: Sequence[SuperstepSpec]) -> list[SpecResult]:
+    def run(
+        self, specs: Sequence[SuperstepSpec], label: str = ""
+    ) -> list[SpecResult]:
         problem, store = self.problem, self.state
-        tasks = [lambda spec=spec: spec.execute(problem, store) for spec in specs]
-        results = self.executor.run_superstep(tasks)
+        tracer = self.tracer
+        if not tracer:
+            tasks = [
+                lambda spec=spec: spec.execute(problem, store) for spec in specs
+            ]
+            results = self.executor.run_superstep(tasks)
+        else:
+            self._step_no += 1
+            step_no = self._step_no
+
+            def timed(spec: SuperstepSpec):
+                # Per-task compute spans land in the tracer for in-process
+                # executors (serial / thread).  Under the fork-per-task
+                # executor the closure runs in a child and its span is
+                # lost with the fork; the superstep span below — recorded
+                # driver-side — still covers the barrier-to-barrier time.
+                def task():
+                    c0 = time.perf_counter()
+                    result = spec.execute(problem, store)
+                    tracer.add_span(
+                        "compute",
+                        c0,
+                        time.perf_counter(),
+                        superstep=step_no,
+                        label=label,
+                        proc=spec.proc,
+                    )
+                    return result
+
+                return task
+
+            t0 = time.perf_counter()
+            results = self.executor.run_superstep([timed(s) for s in specs])
+            tracer.add_span(
+                "superstep",
+                t0,
+                time.perf_counter(),
+                superstep=step_no,
+                label=label,
+                procs=len(specs),
+            )
         for result in results:
             store.apply(result)
         return results

@@ -137,13 +137,21 @@ def solve_sequential(
         metrics = RunMetrics(
             num_procs=1,
             num_stages=problem.num_stages,
-            stage_width=problem.stage_width(problem.num_stages),
+            stage_width=max(
+                problem.stage_width(i) for i in range(problem.num_stages + 1)
+            ),
         )
         metrics.record(
-            SuperstepRecord(label="forward", work=[problem.total_cells()])
+            SuperstepRecord(
+                label="forward", work=[problem.total_cells()], phase="forward"
+            )
         )
         metrics.record(
-            SuperstepRecord(label="backward", work=[float(problem.num_stages)])
+            SuperstepRecord(
+                label="backward",
+                work=[float(problem.num_stages)],
+                phase="backward",
+            )
         )
     return LTDPSolution(
         path=path,

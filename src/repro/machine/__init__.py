@@ -16,7 +16,10 @@ provides:
   with per-processor state resident in the workers so only boundary
   vectors cross process boundaries (the paper's BSP cost model);
 - :mod:`repro.machine.cluster` — :class:`SimCluster`, the machine
-  description (processor count + cost parameters) benchmarks sweep over.
+  description (processor count + cost parameters) benchmarks sweep over;
+- :mod:`repro.machine.trace` — :class:`Tracer`, the opt-in structured
+  span tracer (JSONL export) recording real per-superstep and
+  per-worker timing of a parallel solve.
 
 Crucially the *algorithm* is always executed faithfully — every virtual
 processor runs the true fix-up loop with real data — only the mapping
@@ -38,6 +41,7 @@ from repro.machine.executor import (
     get_executor,
 )
 from repro.machine.pool import PoolProcessExecutor
+from repro.machine.trace import TRACE_SCHEMA_VERSION, Tracer
 from repro.machine.cluster import SimCluster
 
 __all__ = [
@@ -54,4 +58,6 @@ __all__ = [
     "get_executor",
     "EXECUTOR_KINDS",
     "SimCluster",
+    "Tracer",
+    "TRACE_SCHEMA_VERSION",
 ]

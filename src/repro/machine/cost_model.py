@@ -75,11 +75,17 @@ class CostModel:
         return t
 
     def run_time(self, metrics: RunMetrics) -> float:
-        """Simulated wall-clock time of a recorded run."""
+        """Simulated wall-clock time of a recorded run.
+
+        Each superstep is priced by its explicit
+        :attr:`~repro.machine.metrics.SuperstepRecord.phase`; records
+        without one fall back to label classification, which raises on
+        unknown labels rather than silently pricing them as forward work.
+        """
         total = 0.0
         for s in metrics.supersteps:
             total += self.superstep_time(
-                s.critical_work, s.comm, backward=s.label.startswith(("backward", "bwd"))
+                s.critical_work, s.comm, backward=s.resolved_phase() == "backward"
             )
         return total
 

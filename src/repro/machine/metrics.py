@@ -17,7 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["CommEvent", "SuperstepRecord", "RunMetrics"]
+__all__ = ["CommEvent", "SuperstepRecord", "RunMetrics", "PHASE_FORWARD", "PHASE_BACKWARD"]
+
+#: Canonical phase tags.  ``phase`` decides which per-cell cost the cost
+#: model applies (forward ``cell_cost`` vs backward ``traceback_cell_cost``).
+PHASE_FORWARD = "forward"
+PHASE_BACKWARD = "backward"
+
+#: Label prefixes with a known phase, used only as a fallback for records
+#: built without an explicit ``phase`` (hand-rolled metrics in tests/demos).
+_FORWARD_LABEL_PREFIXES = (
+    "forward",
+    "fixup",
+    "objective",
+    "partial-products",
+    "prefix-scan",
+    "tree-scan",
+    "re-sweep",
+)
+_BACKWARD_LABEL_PREFIXES = ("backward", "bwd")
 
 
 @dataclass(frozen=True)
@@ -48,12 +66,44 @@ class SuperstepRecord:
         ``work`` — which feeds the simulated BSP clock — this is actual
         wall-clock, so benchmark files can track genuine speedup and
         per-superstep runtime overhead.  0.0 when not measured.
+    phase:
+        ``"forward"`` (priced at ``cell_cost``) or ``"backward"``
+        (priced at ``traceback_cell_cost``).  The engine always sets
+        this explicitly; an empty value falls back to classifying the
+        label by prefix and **raises** on labels it does not recognise —
+        an unanticipated superstep kind must never be priced silently.
     """
 
     label: str
     work: list[float]
     comm: list[CommEvent] = field(default_factory=list)
     wall_seconds: float = 0.0
+    phase: str = ""
+
+    def resolved_phase(self) -> str:
+        """The record's phase, validated; inferred from the label if unset.
+
+        Raises :class:`ValueError` on an unknown phase value or — when
+        ``phase`` is empty — on a label whose prefix is not in the known
+        forward/backward tables, so miscounted work is loud, not silent.
+        """
+        if self.phase:
+            if self.phase not in (PHASE_FORWARD, PHASE_BACKWARD):
+                raise ValueError(
+                    f"superstep {self.label!r} has unknown phase "
+                    f"{self.phase!r}; expected {PHASE_FORWARD!r} or "
+                    f"{PHASE_BACKWARD!r}"
+                )
+            return self.phase
+        if self.label.startswith(_BACKWARD_LABEL_PREFIXES):
+            return PHASE_BACKWARD
+        if self.label.startswith(_FORWARD_LABEL_PREFIXES):
+            return PHASE_FORWARD
+        raise ValueError(
+            f"superstep label {self.label!r} carries no explicit phase and "
+            "matches no known label prefix; set SuperstepRecord.phase to "
+            "'forward' or 'backward' so the cost model prices it correctly"
+        )
 
     @property
     def critical_work(self) -> float:
@@ -165,6 +215,8 @@ class RunMetrics:
             merged.supersteps.extend(other.supersteps)
             merged.forward_fixup_iterations += other.forward_fixup_iterations
             merged.backward_fixup_iterations += other.backward_fixup_iterations
+            for p, stages in other.fixup_stages.items():
+                merged.fixup_stages[p] = merged.fixup_stages.get(p, 0) + stages
             merged.converged_first_iteration &= other.converged_first_iteration
             merged.worker_respawns += other.worker_respawns
             merged.dispatch_retries += other.dispatch_retries

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 import traceback
 import weakref
@@ -101,7 +102,9 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
     ``ns`` is the worker's persistent namespace — it outlives individual
     messages, which is the whole point of the pool.  Every reply echoes
     the request's sequence number so the driver can never attribute it
-    to the wrong dispatch.
+    to the wrong dispatch, plus a timing meta dict (perf_counter stamps
+    of receive and completion) from which the driver derives queue-wait
+    and compute breakdowns when tracing is on.
     """
     ns: dict[str, Any] = {}
     while True:
@@ -109,6 +112,7 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
             msg = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
+        recv_t = time.perf_counter()
         kind, seq, payload = msg
         if kind == "stop":
             break
@@ -132,8 +136,9 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
                             ),
                         )
                     )
+        meta = {"recv_t": recv_t, "done_t": time.perf_counter()}
         try:
-            conn.send((os.getpid(), seq, replies))
+            conn.send((os.getpid(), seq, replies, meta))
         except BrokenPipeError:
             break
     conn.close()
@@ -230,6 +235,10 @@ class PoolProcessExecutor(Executor):
         self.dispatch_count = 0
         self._broken: str | None = None
         self._rebuild_hook: Callable[[int], tuple[list, int]] | None = None
+        # Optional span tracer (set by the LTDP pool runtime while a
+        # traced solve is in flight).  ``None`` keeps every dispatch on
+        # the zero-overhead path.
+        self._tracer = None
         #: One entry per dispatched superstep: the set of worker PIDs
         #: that replied.  Tests use this to assert PID stability.
         self.pid_log: deque[frozenset[int]] = deque(maxlen=1024)
@@ -287,6 +296,17 @@ class PoolProcessExecutor(Executor):
         """
         self._rebuild_hook = hook
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.machine.trace.Tracer` (or ``None``).
+
+        While attached, every dispatch emits one ``"dispatch"`` span per
+        involved worker — send / queue-wait / compute seconds plus
+        request/reply byte counts — and recovery paths emit
+        ``worker-respawn`` / ``dispatch-retry`` / ``superstep-replay``
+        events.  Cleared (``None``) the pool takes the untraced path.
+        """
+        self._tracer = tracer
+
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
@@ -313,8 +333,12 @@ class PoolProcessExecutor(Executor):
             return
         proc.join(timeout=5)
 
-    def _recv(self, w: int, timeout: float | None) -> tuple[int, int, list]:
+    def _recv(self, w: int, timeout: float | None) -> tuple[int, int, list, dict]:
         """One framed reply from worker ``w``, health-checking while waiting.
+
+        Returns ``(pid, seq, replies, meta)``; ``meta`` carries the
+        worker's receive/completion perf_counter stamps plus the reply's
+        on-the-wire size (``reply_bytes``, added here).
 
         Raises :class:`WorkerCrashError` when the worker process dies and
         :class:`ExecutorError` (executor marked broken) on timeout.
@@ -337,7 +361,7 @@ class PoolProcessExecutor(Executor):
                 wait = min(wait, remaining)
             try:
                 if conn.poll(wait):
-                    return conn.recv()
+                    return self._decode_reply(conn.recv_bytes())
             except (EOFError, OSError) as exc:
                 raise WorkerCrashError(
                     f"pool worker {w} (pid={proc.pid}) died: {exc!r}"
@@ -346,12 +370,19 @@ class PoolProcessExecutor(Executor):
                 # Drain anything the worker managed to flush before dying.
                 try:
                     if conn.poll(0):
-                        return conn.recv()
+                        return self._decode_reply(conn.recv_bytes())
                 except (EOFError, OSError):
                     pass
                 raise WorkerCrashError(
                     f"pool worker {w} (pid={proc.pid}) died without a result"
                 )
+
+    @staticmethod
+    def _decode_reply(buf: bytes) -> tuple[int, int, list, dict]:
+        """Unpickle one framed reply, recording its wire size in the meta."""
+        pid, seq, replies, meta = pickle.loads(buf)
+        meta["reply_bytes"] = len(buf)
+        return pid, seq, replies, meta
 
     def ping(self, w: int, timeout: float | None = None) -> bool:
         """Health check: round-trip a ``ping`` through worker ``w``.
@@ -368,7 +399,7 @@ class PoolProcessExecutor(Executor):
             self._conns[w].send(("ping", seq, None))
             deadline = time.monotonic() + timeout
             while True:
-                _, rseq, _ = self._recv(
+                _, rseq, _, _ = self._recv(
                     w, max(1e-6, deadline - time.monotonic())
                 )
                 if rseq == seq:
@@ -415,6 +446,8 @@ class PoolProcessExecutor(Executor):
         self._procs[w] = proc
         self._conns[w] = conn
         self.recovery_stats.respawns += 1
+        if self._tracer:
+            self._tracer.event("worker-respawn", worker=w, pid=proc.pid)
         if not self.ping(w):
             self._mark_broken(f"respawned worker {w} failed its health check")
             raise ExecutorError(
@@ -429,7 +462,7 @@ class PoolProcessExecutor(Executor):
             seq = self._next_seq()
             try:
                 self._conns[w].send(("nscalls", seq, list(calls)))
-                _, rseq, replies = self._recv(w, self.dispatch_timeout)
+                _, rseq, replies, _ = self._recv(w, self.dispatch_timeout)
             except (WorkerCrashError, BrokenPipeError, OSError) as exc:
                 self._mark_broken(
                     f"worker {w} died again during state reconstruction"
@@ -451,6 +484,8 @@ class PoolProcessExecutor(Executor):
                         f"{w} failed: {_failure_text(payload)}"
                     )
         self.recovery_stats.replayed_supersteps += replayed
+        if self._tracer and replayed:
+            self._tracer.event("superstep-replay", worker=w, replayed=replayed)
 
     # -- low-level request/reply ---------------------------------------
     def _dispatch(
@@ -468,6 +503,7 @@ class PoolProcessExecutor(Executor):
         """
         self._ensure_workers()
         self._check_broken()
+        tracer = self._tracer
         seq = self._next_seq()
         self.dispatch_count += 1
         fault = self._fault_plan.pop(seq, None)
@@ -476,9 +512,19 @@ class PoolProcessExecutor(Executor):
         messages = {
             w: (kind, seq, calls) for w, (kind, calls) in per_worker.items()
         }
+        # When tracing, pickle explicitly so the request's wire size and
+        # serialization time are measurable; send_bytes produces the
+        # identical wire format Connection.send would.
+        send_info: dict[int, tuple[float, float, int]] = {}
         for w, msg in messages.items():
             try:
-                self._conns[w].send(msg)
+                if tracer:
+                    s0 = time.perf_counter()
+                    blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+                    self._conns[w].send_bytes(blob)
+                    send_info[w] = (s0, time.perf_counter(), len(blob))
+                else:
+                    self._conns[w].send(msg)
             except (BrokenPipeError, OSError):
                 # Worker is gone; the reply loop below recovers it and
                 # re-sends.  Nothing reached the pipe.
@@ -491,22 +537,46 @@ class PoolProcessExecutor(Executor):
         replies: dict[int, list[tuple[bool, Any]]] = {}
         pids: set[int] = set()
         for w, msg in messages.items():
-            pid, reply = self._await_reply(w, msg)
+            pid, reply, meta = self._await_reply(w, msg)
             pids.add(pid)
             replies[w] = reply
+            if tracer:
+                t_end = time.perf_counter()
+                s0, s1, nbytes = send_info.get(w, (t_end, t_end, 0))
+                # perf_counter shares its epoch across processes on
+                # Linux, so the worker's receive stamp minus our send
+                # completion approximates pipe/queue wait.
+                recv_t = meta.get("recv_t", s1)
+                tracer.add_span(
+                    "dispatch",
+                    s0,
+                    t_end,
+                    worker=w,
+                    pid=pid,
+                    seq=seq,
+                    kind=msg[0],
+                    calls=len(msg[2]) if msg[2] else 0,
+                    send_seconds=s1 - s0,
+                    queue_wait_seconds=max(0.0, recv_t - s1),
+                    compute_seconds=max(
+                        0.0, meta.get("done_t", recv_t) - recv_t
+                    ),
+                    request_bytes=nbytes,
+                    reply_bytes=meta.get("reply_bytes", 0),
+                )
         if pids:
             self.pid_log.append(frozenset(pids))
         return replies
 
     def _await_reply(
         self, w: int, msg: tuple[str, int, list]
-    ) -> tuple[int, list[tuple[bool, Any]]]:
+    ) -> tuple[int, list[tuple[bool, Any]], dict]:
         """Reply matching ``msg``'s sequence number, recovering crashes."""
         seq = msg[1]
         attempts = 0
         while True:
             try:
-                pid, rseq, reply = self._recv(w, self.dispatch_timeout)
+                pid, rseq, reply, meta = self._recv(w, self.dispatch_timeout)
             except WorkerCrashError as exc:
                 attempts += 1
                 if attempts > self.max_retries:
@@ -518,6 +588,10 @@ class PoolProcessExecutor(Executor):
                         f"{self.max_retries} respawn attempts"
                     ) from exc
                 self.recovery_stats.retries += 1
+                if self._tracer:
+                    self._tracer.event(
+                        "dispatch-retry", worker=w, seq=seq, attempt=attempts
+                    )
                 if self.retry_backoff:
                     time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
                 self._recover_worker(w)
@@ -527,7 +601,7 @@ class PoolProcessExecutor(Executor):
                     continue  # died again already; next _recv notices
                 continue
             if rseq == seq:
-                return pid, reply
+                return pid, reply, meta
             if rseq < seq:
                 continue  # stale reply from an abandoned dispatch: drop
             self._mark_broken(

@@ -90,6 +90,30 @@ class TestMeasureConvergence:
         assert study.convergence_fraction == 0.5
 
 
+class TestMedianSteps:
+    def test_odd_sample_is_middle_element(self):
+        study = ConvergenceStudy("x", 4, [9, 3, 5])
+        assert study.median_steps == 5
+
+    def test_even_sample_averages_the_middle_pair(self):
+        # Regression: even-length samples used to return the *upper*
+        # middle element (here 6) instead of the true median.
+        study = ConvergenceStudy("x", 4, [2, 100, 4, 6])
+        assert study.median_steps == 5
+        assert isinstance(study.median_steps, int)
+
+    def test_even_sample_half_integer_median(self):
+        study = ConvergenceStudy("x", 4, [2, 3])
+        assert study.median_steps == 2.5
+
+    def test_ignores_non_converged_trials(self):
+        study = ConvergenceStudy("x", 4, [None, 7, None, 1, 3])
+        assert study.median_steps == 3
+
+    def test_empty_sample_is_none(self):
+        assert ConvergenceStudy("x", 4, [None, None]).median_steps is None
+
+
 class TestRankProfile:
     def test_profile_reaches_one_on_random_chains(self, rng):
         p = random_matrix_problem(30, 4, rng, integer=True)

@@ -107,6 +107,32 @@ def test_executor_bit_identical_to_serial(name, kind, serial_solutions):
     )
 
 
+@pytest.mark.parametrize("kind", ["thread", "pool"])
+@pytest.mark.parametrize("name", list(PROBLEMS))
+def test_metrics_accounting_invariant_across_executors(name, kind, serial_solutions):
+    """Work/communication accounting is a property of the *plan*, not of
+    where it runs: every executor must report the same barrier count,
+    per-processor work, fix-up recomputation stages and boundary bytes
+    as the serial baseline.  (The fork-per-task executor is covered for
+    path/score above; its work ledger is recorded driver-side too, so
+    thread + pool pin both state-placement strategies.)"""
+    base = serial_solutions[name].metrics
+    ex = get_executor(kind, max_workers=2)
+    try:
+        got = solve_with(PROBLEMS[name], ex).metrics
+    finally:
+        ex.close()
+
+    assert got.num_barriers == base.num_barriers
+    assert got.work_by_processor() == base.work_by_processor()
+    assert got.fixup_stages == base.fixup_stages
+    assert got.bytes_communicated == base.bytes_communicated
+    assert [s.label for s in got.supersteps] == [s.label for s in base.supersteps]
+    assert [s.resolved_phase() for s in got.supersteps] == [
+        s.resolved_phase() for s in base.supersteps
+    ]
+
+
 @pytest.fixture(scope="module")
 def spawn_pool():
     """One spawn-start-method pool shared by the whole module: workers

@@ -216,6 +216,26 @@ class TestMetrics:
         )
         assert d_fix <= f_fix
 
+    def test_stage_width_reports_max_width(self, rng):
+        # Regression: stage_width used to be the *final* stage's width,
+        # which is 1 on selector-terminated problems — Table 1 reports
+        # the (max) working width, so throughput was wildly misstated.
+        width = 5
+        mats = [
+            rng.integers(-4, 5, size=(width, width)).astype(float) for _ in range(11)
+        ]
+        selector = np.full((1, width), NEG_INF)
+        selector[0, 0] = 0.0
+        mats.append(selector)
+        init = rng.integers(-5, 6, size=width).astype(float)
+        p = MatrixLTDPProblem(init, mats)
+        assert p.stage_width(p.num_stages) == 1
+
+        par = solve_parallel(p, num_procs=3)
+        assert par.metrics.stage_width == width
+        seq = solve_sequential(p, with_metrics=True)
+        assert seq.metrics.stage_width == width
+
     def test_keep_stage_vectors(self, rng):
         p = random_matrix_problem(10, 4, rng, integer=True)
         par = solve_parallel(p, num_procs=3, keep_stage_vectors=True)

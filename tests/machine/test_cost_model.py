@@ -36,6 +36,23 @@ class TestCostModel:
         m.record(SuperstepRecord(label="fixup[1]", work=[0.0, 2.0]))
         assert cm.run_time(m) == pytest.approx(6.0)
 
+    def test_explicit_phase_overrides_label(self):
+        # Regression: run_time used to classify by label prefix alone,
+        # so a backward-phase record with a non-standard label was
+        # priced at the (much larger) forward cell cost.
+        cm = CostModel(cell_cost=1.0, traceback_cell_cost=0.25, barrier_latency=0.0)
+        m = RunMetrics(num_procs=1)
+        m.record(SuperstepRecord(label="epilogue-walk", work=[8.0], phase="backward"))
+        assert cm.run_time(m) == pytest.approx(2.0)
+
+    def test_unknown_label_without_phase_raises(self):
+        # Regression: unknown labels were silently priced as forward work.
+        cm = CostModel(cell_cost=1.0, barrier_latency=0.0)
+        m = RunMetrics(num_procs=1)
+        m.record(SuperstepRecord(label="epilogue-walk", work=[8.0]))
+        with pytest.raises(ValueError, match="no explicit phase"):
+            cm.run_time(m)
+
     def test_negative_parameters_rejected(self):
         with pytest.raises(ValueError):
             CostModel(cell_cost=-1.0)

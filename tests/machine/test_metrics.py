@@ -77,3 +77,36 @@ class TestRunMetrics:
         b = RunMetrics(num_procs=2)
         with pytest.raises(ValueError):
             a.merged_with([b])
+
+    def test_merge_sums_fixup_stages(self):
+        # Regression: merged_with used to drop other.fixup_stages
+        # entirely, so backward-phase recomputation stages vanished from
+        # the merged per-processor counts.
+        a = self.make()
+        a.fixup_stages = {0: 2, 1: 1}
+        b = RunMetrics(num_procs=3, fixup_stages={1: 4, 2: 5})
+        merged = a.merged_with([b])
+        assert merged.fixup_stages == {0: 2, 1: 5, 2: 5}
+        # originals untouched
+        assert a.fixup_stages == {0: 2, 1: 1}
+        assert b.fixup_stages == {1: 4, 2: 5}
+
+
+class TestResolvedPhase:
+    def test_explicit_phase_wins_over_label(self):
+        s = SuperstepRecord(label="backward", work=[1.0], phase="forward")
+        assert s.resolved_phase() == "forward"
+
+    def test_known_label_prefixes_classify(self):
+        assert SuperstepRecord(label="fixup[3]", work=[]).resolved_phase() == "forward"
+        assert SuperstepRecord(label="bwd-fixup[1]", work=[]).resolved_phase() == "backward"
+
+    def test_unknown_label_without_phase_raises(self):
+        # Regression: an unrecognised label used to be silently priced
+        # as forward work by the cost model.
+        with pytest.raises(ValueError, match="no explicit phase"):
+            SuperstepRecord(label="epilogue-walk", work=[]).resolved_phase()
+
+    def test_invalid_phase_value_raises(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            SuperstepRecord(label="forward", work=[], phase="sideways").resolved_phase()

@@ -1,0 +1,173 @@
+"""Tests for the perf-regression harness (``benchmarks/bench_runner.py``).
+
+The runner is a standalone script outside the package (pytest's
+``testpaths`` excludes ``benchmarks/``), so it is loaded here by path.
+The end-to-end test runs the real smoke sweep — it is the regression
+gate for the BENCH_pool.json contract: schema-versioned document at the
+repo root, comparison against the previous file, tracing checks.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_RUNNER = pathlib.Path(__file__).parent.parent / "benchmarks" / "bench_runner.py"
+
+
+@pytest.fixture(scope="module")
+def runner():
+    spec = importlib.util.spec_from_file_location("bench_runner", _RUNNER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_runner", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def valid_doc(runner):
+    return {
+        "schema_version": runner.BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "created": "2026-01-01T00:00:00Z",
+        "mode": "smoke",
+        "host": {"platform": "x", "python": "3", "cpu_count": 1},
+        "results": [
+            {
+                "problem": "lcs",
+                "executor": "pool",
+                "procs": 2,
+                "repeats": 2,
+                "wall_seconds": 0.01,
+                "wall_seconds_median": 0.012,
+                "supersteps": 4,
+                "num_barriers": 4,
+                "forward_fixup_iterations": 1,
+                "bytes_communicated": 1000,
+                "total_work_cells": 5000.0,
+                "cells_per_second": 500000.0,
+            }
+        ],
+        "checks": {"tracing_disabled_overhead": {"passed": True}},
+    }
+
+
+class TestSchemaValidation:
+    def test_valid_document_passes(self, runner):
+        runner.validate_bench_doc(valid_doc(runner))
+
+    def test_rejects_non_object(self, runner):
+        with pytest.raises(ValueError, match="must be an object"):
+            runner.validate_bench_doc([])
+
+    def test_rejects_wrong_schema_version(self, runner):
+        doc = valid_doc(runner)
+        doc["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            runner.validate_bench_doc(doc)
+
+    def test_rejects_wrong_kind(self, runner):
+        doc = valid_doc(runner)
+        doc["kind"] = "other"
+        with pytest.raises(ValueError, match="kind"):
+            runner.validate_bench_doc(doc)
+
+    def test_rejects_missing_result_field(self, runner):
+        doc = valid_doc(runner)
+        del doc["results"][0]["wall_seconds"]
+        with pytest.raises(ValueError, match="wall_seconds"):
+            runner.validate_bench_doc(doc)
+
+    def test_rejects_empty_results(self, runner):
+        doc = valid_doc(runner)
+        doc["results"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            runner.validate_bench_doc(doc)
+
+    def test_rejects_check_without_passed(self, runner):
+        doc = valid_doc(runner)
+        doc["checks"] = {"broken": {}}
+        with pytest.raises(ValueError, match="passed"):
+            runner.validate_bench_doc(doc)
+
+    def test_committed_bench_file_is_valid(self, runner):
+        committed = runner.DEFAULT_OUT
+        assert committed.exists(), "BENCH_pool.json must be committed at repo root"
+        runner.validate_bench_doc(json.loads(committed.read_text()))
+
+
+class TestComparison:
+    def test_flags_regressions(self, runner):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"][0]["wall_seconds"] = old["results"][0]["wall_seconds"] * 10
+        cmp = runner.compare_documents(old, new)
+        assert cmp["comparable"]
+        assert len(cmp["cells"]) == 1
+        assert cmp["regressions"] == cmp["cells"]
+        assert cmp["cells"][0]["ratio"] == pytest.approx(10.0)
+
+    def test_within_threshold_is_clean(self, runner):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"][0]["wall_seconds"] = old["results"][0]["wall_seconds"] * 1.1
+        cmp = runner.compare_documents(old, new)
+        assert cmp["regressions"] == []
+
+    def test_mode_mismatch_not_compared(self, runner):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["mode"] = "full"
+        cmp = runner.compare_documents(old, new)
+        assert not cmp["comparable"]
+        assert cmp["cells"] == []
+
+    def test_new_cells_are_skipped(self, runner):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"][0]["procs"] = 64  # no matching baseline cell
+        cmp = runner.compare_documents(old, new)
+        assert cmp["cells"] == []
+
+
+class TestEndToEnd:
+    def test_smoke_run_emits_valid_doc_then_compares(self, runner, tmp_path, capsys):
+        out = tmp_path / "BENCH_pool.json"
+        doc, code = runner.run_bench(True, 1, out, trace_path=None)
+        assert code == 0
+        runner.validate_bench_doc(doc)
+        on_disk = json.loads(out.read_text())
+        assert on_disk["schema_version"] == runner.BENCH_SCHEMA_VERSION
+        assert on_disk["mode"] == "smoke"
+        assert {(r["problem"], r["executor"]) for r in on_disk["results"]} >= {
+            ("lcs", "pool"),
+            ("viterbi", "serial"),
+        }
+        for check in on_disk["checks"].values():
+            assert check["passed"]
+        assert "comparison" not in on_disk  # first run: nothing to compare
+
+        # Second run compares cell-by-cell against the first.  (Whether
+        # any cell is *flagged* depends on real timing noise — the
+        # runner's own exit code carries that verdict; here we pin the
+        # comparison mechanics.)
+        doc2, _ = runner.run_bench(True, 1, out, trace_path=None)
+        cmp = doc2["comparison"]
+        assert cmp["comparable"]
+        assert len(cmp["cells"]) == len(doc["results"])
+        for cell in cmp["cells"]:
+            assert cell["regressed"] == (
+                cell["ratio"] > runner.REGRESSION_RATIO
+            )
+        assert "comparison vs previous file" in capsys.readouterr().out
+
+    def test_trace_artifact_written(self, runner, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        check = runner._check_trace_coverage(True, str(trace))
+        assert check["passed"]
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert any(
+            r["type"] == "span" and r["name"] == "dispatch" for r in lines[1:]
+        )

@@ -70,6 +70,38 @@ class TestSolve:
         assert "parallel == seq  : True" in out
         assert "1 worker respawns" in out
 
+    def test_trace_flag_writes_jsonl_and_prints_summary(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "solve.jsonl"
+        rc = main(
+            [
+                "solve",
+                "--problem",
+                "lcs",
+                "--size",
+                "100",
+                "--width",
+                "10",
+                "--procs",
+                "3",
+                "--executor",
+                "pool",
+                "--workers",
+                "2",
+                "--trace",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"trace            : {path}" in out
+        assert "superstep" in out  # the printed trace summary
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "header"
+        names = {r.get("name") for r in records[1:]}
+        assert {"superstep", "dispatch", "solve-start"} <= names
+
     @pytest.mark.parametrize("executor", ["serial", "thread", "process", "pool"])
     def test_executor_flag(self, executor, capsys):
         rc = main(
