@@ -15,6 +15,9 @@ Commands
     cost model (the Fig 7-10 machinery, one instance at a time).
 ``trace``
     ASCII Gantt chart of one parallel run's BSP schedule.
+``lint``
+    Static analysis: enforce the semiring, determinism and protocol
+    contracts (rules REP001-REP005, see ``docs/static_analysis.md``).
 
 All instances are generated from seeded synthetic workloads, so every
 invocation is reproducible via ``--seed``.
@@ -230,6 +233,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import execute_lint
+
+    return execute_lint(args)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     problem = build_problem(args)
     with _build_executor(args) as executor:
@@ -278,6 +287,29 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--procs", type=int, default=8)
     p_trace.add_argument("--columns", type=int, default=100)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: semiring / determinism / protocol contracts",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text"
+    )
+    p_lint.add_argument(
+        "--select", default=None, metavar="CODES", help="rule codes to run"
+    )
+    p_lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply autofixable findings (REP001) in place",
+    )
+    p_lint.add_argument("--list-rules", action="store_true")
+
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -285,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
         "convergence": cmd_convergence,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

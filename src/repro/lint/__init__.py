@@ -1,0 +1,51 @@
+"""``repro lint`` — static analysis for the engine's unwritten contracts.
+
+The type system cannot see that the tropical zero must be spelled
+``NEG_INF``, that code running inside pool workers must be deterministic
+for superstep replay, or that the cost model only understands the
+canonical phase vocabulary.  This package checks those contracts
+mechanically, pre-merge:
+
+========  ===========================  =========================================
+code      name                         enforces
+========  ===========================  =========================================
+REP001    raw-tropical-zero            ``NEG_INF`` is the only spelling of 0̄
+                                       outside ``repro/semiring/`` (autofix)
+REP002    identity-unsafe-reduction    ``max()`` / ``np.maximum.reduce`` in
+                                       tropical kernels carry an explicit
+                                       ``NEG_INF`` identity
+REP003    worker-determinism           no RNG / wall clock / env mutation /
+                                       global writes reachable from pool workers
+REP004    phase-discipline             superstep phases, tracer span phases and
+                                       record labels use the canonical sets
+                                       from ``repro.machine.metrics``
+REP005    executor-exception-contract  executor failures are ``ExecutorError``
+                                       subclasses; broad excepts need reasons
+========  ===========================  =========================================
+
+Run it as ``repro lint [paths]`` or ``python -m repro.lint``; suppress a
+finding with ``# repro: noqa[REPxxx]: reason`` (the reason is required).
+See ``docs/static_analysis.md`` for the full catalog and how to add a
+rule.
+"""
+
+from repro.lint.core import Finding, Rule
+from repro.lint.runner import (
+    LintResult,
+    apply_fixes,
+    lint_paths,
+    lint_sources,
+    run_lint_command,
+)
+from repro.lint.rules import default_rules
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "LintResult",
+    "apply_fixes",
+    "lint_paths",
+    "lint_sources",
+    "run_lint_command",
+    "default_rules",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` — standalone entry point for the linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.runner import run_lint_command
+
+if __name__ == "__main__":
+    sys.exit(run_lint_command(prog="python -m repro.lint"))

@@ -1,0 +1,230 @@
+"""Best-effort project call graph for reachability-based rules.
+
+Python is too dynamic for a sound call graph, so this one is built for a
+specific job — deciding which functions can run *inside a pool worker
+process* — and over-approximates on purpose:
+
+- ``Name`` calls resolve to same-module functions and ``from m import f``
+  targets when ``m`` is a project module;
+- ``mod.f(...)`` calls resolve through ``import`` aliases to project
+  modules;
+- ``obj.method(...)`` calls on objects of unknown type resolve to *every*
+  project class method with that name (this is what carries reachability
+  from ``spec.execute(...)`` in the worker hooks into each
+  ``SuperstepSpec`` subclass and onward into every problem kernel).
+
+Over-approximation errs toward flagging: code that *might* run in a
+worker is held to the worker determinism contract.  Dynamic dispatch the
+graph cannot see (callables shipped as data) must be covered by naming
+the entry points as roots — which is exactly how the pool protocol's
+``_pool_worker_main`` / ``_w_*`` hooks are declared in
+:class:`repro.lint.rules.WorkerDeterminismRule`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import ProjectContext, dotted_name
+
+__all__ = ["FunctionUnit", "ModuleInfo", "CallGraph", "build_call_graph"]
+
+
+@dataclass
+class FunctionUnit:
+    """One analyzable unit: a module-level function or a class method.
+
+    Nested ``def``s are *not* split out — they are scanned as part of
+    their enclosing unit, which matches how they become reachable.
+    """
+
+    key: str  #: ``"<module>:<qualname>"`` — globally unique
+    module: str  #: dotted module name, e.g. ``repro.machine.pool``
+    qualname: str  #: ``"f"`` or ``"Cls.m"``
+    name: str  #: bare name (``"f"`` / ``"m"``)
+    is_method: bool
+    node: ast.AST
+    relpath: str
+    path: str
+
+
+@dataclass
+class ModuleInfo:
+    """Import tables of one module, for name resolution."""
+
+    module: str
+    #: ``import x.y as z`` → ``{"z": "x.y"}`` (and ``{"x": "x"}`` for bare).
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: ``from m import a as b`` → ``{"b": ("m", "a")}``.
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: bare name → unit key, for module-level functions of this module.
+    functions: dict[str, str] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Units, import tables, and resolved call edges of one project."""
+
+    def __init__(self) -> None:
+        self.units: dict[str, FunctionUnit] = {}
+        self.modules: dict[str, ModuleInfo] = {}
+        self.edges: dict[str, set[str]] = {}
+        #: method name → unit keys, for unknown-receiver resolution.
+        self._methods_by_name: dict[str, set[str]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_unit(self, unit: FunctionUnit) -> None:
+        self.units[unit.key] = unit
+        self.edges.setdefault(unit.key, set())
+        if unit.is_method:
+            self._methods_by_name.setdefault(unit.name, set()).add(unit.key)
+        else:
+            self.modules[unit.module].functions[unit.name] = unit.key
+
+    def resolve_calls(self) -> None:
+        """Populate ``edges`` from every unit's call sites."""
+        for unit in self.units.values():
+            info = self.modules[unit.module]
+            targets = self.edges[unit.key]
+            for node in ast.walk(unit.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    self._resolve_name_call(info, func.id, targets)
+                elif isinstance(func, ast.Attribute):
+                    self._resolve_attr_call(info, func, targets)
+
+    def _resolve_name_call(
+        self, info: ModuleInfo, name: str, targets: set[str]
+    ) -> None:
+        if name in info.functions:
+            targets.add(info.functions[name])
+            return
+        if name in info.from_imports:
+            mod, orig = info.from_imports[name]
+            other = self.modules.get(mod)
+            if other and orig in other.functions:
+                targets.add(other.functions[orig])
+
+    def _resolve_attr_call(
+        self, info: ModuleInfo, func: ast.Attribute, targets: set[str]
+    ) -> None:
+        chain = dotted_name(func)
+        if chain is None:
+            # Receiver is an expression (call result, subscript, ...):
+            # fall back to method-name matching on the final attribute.
+            targets.update(self._methods_by_name.get(func.attr, ()))
+            return
+        head, rest = chain[0], chain[1:]
+        base = info.aliases.get(head)
+        if base is None and head in info.from_imports:
+            mod, orig = info.from_imports[head]
+            base = f"{mod}.{orig}"
+        if base is not None:
+            # Module-qualified call: project module function, or external.
+            for split in range(len(rest), 0, -1):
+                mod = ".".join([base, *rest[: split - 1]])
+                other = self.modules.get(mod)
+                if other and rest[split - 1] in other.functions:
+                    targets.add(other.functions[rest[split - 1]])
+                    return
+            return  # external module — no project edge
+        # Unknown receiver (self.x, spec.execute, store.apply, ...).
+        targets.update(self._methods_by_name.get(chain[-1], ()))
+
+    # -- queries --------------------------------------------------------
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Transitive closure of ``edges`` from ``roots`` (unit keys)."""
+        seen: set[str] = set()
+        stack = [k for k in roots if k in self.units]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.edges.get(key, ()))
+        return seen
+
+    def units_matching(
+        self, *, module_suffix: str, name_predicate
+    ) -> set[str]:
+        """Keys of units whose module ends with ``module_suffix`` and whose
+        bare name satisfies ``name_predicate``."""
+        return {
+            key
+            for key, unit in self.units.items()
+            if unit.module.endswith(module_suffix) and name_predicate(unit.name)
+        }
+
+
+def module_name_of(relpath: str) -> str:
+    """``repro/ltdp/engine/poolrt.py`` → ``repro.ltdp.engine.poolrt``."""
+    parts = relpath.split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    return ".".join(parts)
+
+
+def build_call_graph(project: ProjectContext) -> CallGraph:
+    graph = CallGraph()
+    # First pass: modules + import tables + units (so cross-module edges
+    # can resolve regardless of file order).
+    for ctx in project.files:
+        module = module_name_of(ctx.relpath)
+        info = ModuleInfo(module=module)
+        graph.modules[module] = info
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        info.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import x.y`` binds ``x`` to the package root.
+                        root = alias.name.split(".")[0]
+                        info.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    info.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+    for ctx in project.files:
+        module = module_name_of(ctx.relpath)
+        _collect_units(graph, ctx, module)
+    graph.resolve_calls()
+    return graph
+
+
+def _collect_units(graph: CallGraph, ctx, module: str) -> None:
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            graph.add_unit(
+                FunctionUnit(
+                    key=f"{module}:{node.name}",
+                    module=module,
+                    qualname=node.name,
+                    name=node.name,
+                    is_method=False,
+                    node=node,
+                    relpath=ctx.relpath,
+                    path=ctx.path,
+                )
+            )
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    graph.add_unit(
+                        FunctionUnit(
+                            key=f"{module}:{node.name}.{item.name}",
+                            module=module,
+                            qualname=f"{node.name}.{item.name}",
+                            name=item.name,
+                            is_method=True,
+                            node=item,
+                            relpath=ctx.relpath,
+                            path=ctx.path,
+                        )
+                    )

@@ -1,0 +1,270 @@
+"""Core datatypes of the ``repro lint`` static-analysis framework.
+
+The framework is deliberately small: a :class:`Rule` is an object with a
+``REPxxx`` code that inspects either one file's AST (:meth:`Rule.check_file`)
+or the whole project at once (:meth:`Rule.check_project` — used by the
+call-graph determinism pass), and yields :class:`Finding` records.  The
+:mod:`repro.lint.runner` collects files, runs the registered rules, filters
+findings through in-source suppressions, and renders text or JSON.
+
+Suppressions
+------------
+A finding is silenced by an in-line comment on the flagged line::
+
+    metrics = np.full(S, -np.inf)  # repro: noqa[REP001]: legacy table kept raw
+
+The reason after the closing bracket is **mandatory** — a suppression
+without one (or with an empty code list) is itself reported as ``REP000``
+so waivers stay auditable.  Multiple codes separate with commas:
+``# repro: noqa[REP001,REP004]: reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "TextEdit",
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "Suppression",
+    "collect_suppressions",
+    "is_suppressed",
+    "CODE_BAD_SUPPRESSION",
+]
+
+#: Meta-code for malformed suppression comments (not a registrable rule).
+CODE_BAD_SUPPRESSION = "REP000"
+
+#: ``# repro: noqa[REP001,REP003]: reason`` (reason required, any separator).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*\[(?P<codes>[^\]]*)\](?P<rest>.*)$"
+)
+_CODE_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """One source replacement an autofix wants to make.
+
+    Positions are 0-based columns on 1-based lines, matching the AST's
+    ``lineno`` / ``col_offset`` conventions.  ``requires_import`` names a
+    symbol the edited file must import (``module:name``) for the
+    replacement text to resolve; the runner inserts the import once per
+    file when needed.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    requires_import: str | None = None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    fix: TextEdit | None = None
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        tail = "  [fixable]" if self.fix is not None else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{tail}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "fixable": self.fix is not None,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule may look at for one source file."""
+
+    path: str  #: display path (as given on the command line)
+    relpath: str  #: package-relative posix path, e.g. ``repro/ltdp/delta.py``
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        *,
+        fix: TextEdit | None = None,
+    ) -> Finding:
+        return Finding(
+            code=rule.code,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            fix=fix,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """All files of one lint invocation, for whole-project rules."""
+
+    files: list[FileContext]
+
+    def by_relpath(self, relpath: str) -> FileContext | None:
+        for ctx in self.files:
+            if ctx.relpath == relpath:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``summary`` and override
+    exactly one of :meth:`check_file` (per-file AST pass) or
+    :meth:`check_project` (one pass over every file, e.g. for reachability).
+    """
+
+    code: str = "REP999"
+    name: str = "unnamed"
+    summary: str = ""
+    #: Whether :meth:`check_project` should be called instead of per-file.
+    project_wide: bool = False
+
+    def applies_to(self, relpath: str) -> bool:
+        """Per-file scope filter (package-relative posix path)."""
+        return True
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+
+def collect_suppressions(
+    source: str, *, path: str = "<source>"
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Parse every suppression comment in ``source``.
+
+    Returns ``(by_line, problems)`` where ``problems`` are ``REP000``
+    findings for malformed suppressions (no reason, no/invalid codes).
+    Scanning is tokenize-based so only *real* comments count — docstrings
+    and string literals that merely mention the suppression syntax (rule
+    messages, documentation examples) are never parsed as waivers.
+    """
+    by_line: dict[int, Suppression] = {}
+    problems: list[Finding] = []
+    for lineno, col, text in _iter_comments(source):
+        m = _SUPPRESSION_RE.search(text)
+        if not m:
+            continue
+        raw_codes = [c.strip() for c in m.group("codes").split(",") if c.strip()]
+        bad = [c for c in raw_codes if not _CODE_RE.match(c)]
+        reason = m.group("rest").strip().lstrip(":-—– ").strip()
+        if not raw_codes or bad:
+            problems.append(
+                Finding(
+                    code=CODE_BAD_SUPPRESSION,
+                    message=(
+                        "suppression lists no valid REPxxx codes: "
+                        f"{m.group('codes')!r}"
+                    ),
+                    path=path,
+                    line=lineno,
+                    col=col + m.start(),
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Finding(
+                    code=CODE_BAD_SUPPRESSION,
+                    message=(
+                        f"suppression for {', '.join(raw_codes)} has no reason; "
+                        "write `# repro: noqa[REPxxx]: why this is safe`"
+                    ),
+                    path=path,
+                    line=lineno,
+                    col=col + m.start(),
+                )
+            )
+            continue
+        by_line[lineno] = Suppression(
+            line=lineno, codes=frozenset(raw_codes), reason=reason
+        )
+    return by_line, problems
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real comment token in ``source``.
+
+    Tokenization errors (which :func:`ast.parse` would have surfaced
+    already) simply end the scan — suppressions in the unreadable tail
+    are moot because the file cannot be linted anyway.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, Suppression]) -> bool:
+    sup = suppressions.get(finding.line)
+    return sup is not None and finding.code in sup.codes
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """All Call nodes under ``tree`` (convenience for rules)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` attribute/name chain as ``["a","b","c"]``, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None

@@ -1,0 +1,348 @@
+"""File collection, rule execution, suppression filtering and reporting.
+
+This is the driver behind ``repro lint`` (and ``python -m repro.lint``):
+
+- :func:`lint_sources` — lint in-memory ``(path, source)`` pairs (what
+  the test-suite uses for fixtures);
+- :func:`lint_paths` — lint real files/directories;
+- :func:`apply_fixes` — rewrite sources with every autofixable finding
+  (currently REP001), inserting required imports;
+- :func:`run_lint_command` — the CLI entry point shared by
+  ``repro lint`` and ``python -m repro.lint``.
+
+Exit status: 0 when clean, 1 when findings remain, 2 on usage errors
+(unreadable path, syntax error in a linted file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    Rule,
+    collect_suppressions,
+    is_suppressed,
+)
+from repro.lint.rules import default_rules
+
+__all__ = [
+    "LintResult",
+    "lint_sources",
+    "lint_paths",
+    "apply_fixes",
+    "run_lint_command",
+    "execute_lint",
+    "build_arg_parser",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"error: {e}" for e in self.errors)
+        counts = self.counts()
+        summary = (
+            ", ".join(f"{code}×{n}" for code, n in counts.items())
+            if counts
+            else "clean"
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"file(s) [{summary}; {self.suppressed} suppressed]"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "schema_version": JSON_SCHEMA_VERSION,
+                "findings": [f.to_json() for f in self.findings],
+                "counts": self.counts(),
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "errors": list(self.errors),
+            },
+            indent=2,
+        )
+
+
+def package_relpath(path: str) -> str:
+    """Map any spelling of a repo path to a ``repro/...`` posix path.
+
+    Rule scopes are expressed against the package layout, so
+    ``/abs/src/repro/ltdp/delta.py``, ``src/repro/ltdp/delta.py`` and
+    ``repro/ltdp/delta.py`` must all scope identically.
+    """
+    norm = path.replace(os.sep, "/")
+    parts = norm.split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro") :])
+    return norm.lstrip("/")
+
+
+def _make_context(path: str, source: str) -> FileContext:
+    tree = ast.parse(source, filename=path)
+    return FileContext(
+        path=path, relpath=package_relpath(path), source=source, tree=tree
+    )
+
+
+def lint_sources(
+    sources: Sequence[tuple[str, str]],
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint in-memory ``(path, source)`` pairs."""
+    result = LintResult()
+    contexts: list[FileContext] = []
+    suppressions_by_path: dict[str, dict] = {}
+    raw: list[Finding] = []
+    for path, source in sources:
+        try:
+            ctx = _make_context(path, source)
+        except SyntaxError as exc:
+            result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        contexts.append(ctx)
+        sups, problems = collect_suppressions(source, path=path)
+        suppressions_by_path[path] = sups
+        raw.extend(problems)  # malformed suppressions are REP000 findings
+    result.files_checked = len(contexts)
+
+    active = list(rules) if rules is not None else default_rules()
+    if select is not None:
+        wanted = set(select)
+        active = [r for r in active if r.code in wanted]
+
+    project = ProjectContext(files=contexts)
+    for rule in active:
+        if rule.project_wide:
+            raw.extend(rule.check_project(project))
+        else:
+            for ctx in contexts:
+                if rule.applies_to(ctx.relpath):
+                    raw.extend(rule.check_file(ctx))
+
+    for finding in raw:
+        sups = suppressions_by_path.get(finding.path, {})
+        if is_suppressed(finding, sups):
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def collect_python_files(paths: Sequence[str]) -> tuple[list[str], list[str]]:
+    """Expand files/directories into a sorted ``.py`` file list."""
+    files: list[str] = []
+    errors: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in filenames
+                    if f.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            errors.append(f"no such file or directory: {path}")
+    return sorted(set(files)), errors
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint real files and/or directories."""
+    files, errors = collect_python_files(paths)
+    sources = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            sources.append((path, fh.read()))
+    result = lint_sources(sources, rules=rules, select=select)
+    result.errors = errors + result.errors
+    return result
+
+
+# -- autofix -----------------------------------------------------------
+
+
+def _has_import(tree: ast.Module, module: str, name: str) -> bool:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == module
+            and any((a.asname or a.name) == name for a in node.names)
+        ):
+            return True
+    return False
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """1-based line *after* which to insert a new import."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, node.end_lineno or node.lineno)
+        elif (
+            last == 0
+            and isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            last = node.end_lineno or node.lineno  # module docstring
+    return last
+
+
+def apply_fixes(path: str, source: str, findings: Sequence[Finding]) -> tuple[str, int]:
+    """Apply every single-line fix among ``findings`` to ``source``.
+
+    Returns ``(new_source, applied_count)``.  Required imports are
+    inserted once, after the existing import block.
+    """
+    edits = [
+        f.fix
+        for f in findings
+        if f.fix is not None and f.path == path and f.fix.line == f.fix.end_line
+    ]
+    if not edits:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    needed_imports: set[str] = set()
+    for edit in sorted(edits, key=lambda e: (e.line, e.col), reverse=True):
+        idx = edit.line - 1
+        if idx >= len(lines):  # pragma: no cover - stale finding
+            continue
+        line = lines[idx]
+        lines[idx] = line[: edit.col] + edit.replacement + line[edit.end_col :]
+        if edit.requires_import:
+            needed_imports.add(edit.requires_import)
+    tree = ast.parse(source, filename=path)
+    insert_at = _import_insert_line(tree)
+    stmts = []
+    for spec in sorted(needed_imports):
+        module, _, name = spec.partition(":")
+        if not _has_import(tree, module, name):
+            stmts.append(f"from {module} import {name}\n")
+    if stmts:
+        prefix = lines[:insert_at]
+        suffix = lines[insert_at:]
+        block = stmts if insert_at == 0 else ["\n"] + stmts
+        lines = prefix + block + suffix
+    return "".join(lines), len(edits)
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def build_arg_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Static analysis for the repro engine: semiring, determinism "
+            "and protocol contracts (REP001-REP005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite files, applying autofixable findings (REP001)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def run_lint_command(argv: Sequence[str] | None = None, *, prog: str = "repro lint") -> int:
+    args = build_arg_parser(prog).parse_args(argv)
+    return execute_lint(args)
+
+
+def execute_lint(args: argparse.Namespace) -> int:
+    """Run the lint described by parsed arguments (shared with ``repro.cli``)."""
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    result = lint_paths(args.paths, select=select)
+    if args.fix:
+        fixable: dict[str, list[Finding]] = {}
+        for f in result.findings:
+            if f.fix is not None:
+                fixable.setdefault(f.path, []).append(f)
+        fixed_total = 0
+        for path, path_findings in fixable.items():
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            new_source, applied = apply_fixes(path, source, path_findings)
+            if applied:
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(new_source)
+                fixed_total += applied
+        if fixed_total:
+            print(f"fixed {fixed_total} finding(s); re-linting")
+        result = lint_paths(args.paths, select=select)
+    print(result.render_json() if args.fmt == "json" else result.render_text())
+    if result.errors:
+        return 2
+    return 0 if not result.findings else 1

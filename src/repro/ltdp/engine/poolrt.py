@@ -148,7 +148,7 @@ class PoolRuntime(SuperstepRuntime):
             pool.set_tracer(tracer)
         try:
             blob = pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
             raise ExecutorError(
                 "the pool runtime ships the problem to persistent workers "
                 f"once per solve, but this problem is not picklable: {exc!r}"

@@ -15,6 +15,7 @@ import numpy as np
 from repro.exceptions import ZeroVectorError
 from repro.ltdp.problem import LTDPProblem, LTDPSolution
 from repro.machine.metrics import RunMetrics, SuperstepRecord
+from repro.semiring.tropical import NEG_INF
 from repro.semiring.vector import is_zero_vector
 
 __all__ = ["forward_sequential", "backward_sequential", "solve_sequential"]
@@ -101,7 +102,7 @@ def best_stage_objective(
     Tie-break: earliest stage, then the cell the problem's own
     (shift-invariant) ``stage_objective`` reports.
     """
-    best_val = float("-inf")
+    best_val = NEG_INF
     best_stage = 0
     best_cell = 0
     for i, v in indexed_vectors:

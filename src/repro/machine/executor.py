@@ -94,7 +94,7 @@ class ThreadExecutor(Executor):
         for idx, future in enumerate(futures):
             try:
                 results.append(future.result())
-            except Exception as exc:
+            except Exception as exc:  # repro: noqa[REP005]: any task error must become ExecutorError below, preserving barrier semantics
                 # Cancel whatever has not started, then drain the rest so
                 # no sibling task is still mutating state when we raise
                 # (the barrier must stay a barrier even on failure).
@@ -114,10 +114,10 @@ def _child_main(conn, task: Task) -> None:  # pragma: no cover - runs in fork
     try:
         result = task()
         conn.send_bytes(pickle.dumps((True, result), protocol=pickle.HIGHEST_PROTOCOL))
-    except BaseException as exc:  # noqa: BLE001 - must report any failure
+    except BaseException as exc:  # repro: noqa[REP005]: forked child must report every failure (incl. KeyboardInterrupt) over the pipe
         try:
             conn.send_bytes(pickle.dumps((False, repr(exc))))
-        except Exception:
+        except Exception:  # repro: noqa[REP005]: parent may already have closed the pipe; child exits either way
             pass
     finally:
         conn.close()

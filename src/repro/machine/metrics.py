@@ -17,12 +17,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["CommEvent", "SuperstepRecord", "RunMetrics", "PHASE_FORWARD", "PHASE_BACKWARD"]
+__all__ = [
+    "CommEvent",
+    "SuperstepRecord",
+    "RunMetrics",
+    "PHASE_FORWARD",
+    "PHASE_BACKWARD",
+    "PHASE_OBJECTIVE",
+    "RECORD_PHASES",
+    "TRACE_PHASES",
+    "KNOWN_LABEL_PREFIXES",
+]
 
 #: Canonical phase tags.  ``phase`` decides which per-cell cost the cost
 #: model applies (forward ``cell_cost`` vs backward ``traceback_cell_cost``).
 PHASE_FORWARD = "forward"
 PHASE_BACKWARD = "backward"
+#: Tracer-only phase: the objective scan between forward and backward.
+#: It never appears on a :class:`SuperstepRecord` (objective supersteps
+#: are forward-priced) but is a legal ``phase`` span attribute.
+PHASE_OBJECTIVE = "objective"
+
+#: Legal values of :attr:`SuperstepRecord.phase`.  This set — not ad-hoc
+#: string literals — is the vocabulary the cost model prices; the static
+#: checker (``repro lint``, rule REP004) enforces membership at the
+#: construction sites.
+RECORD_PHASES = frozenset({PHASE_FORWARD, PHASE_BACKWARD})
+
+#: Legal ``phase`` attributes on tracer spans (superset of
+#: :data:`RECORD_PHASES`: the objective scan is traced but not priced).
+TRACE_PHASES = frozenset({PHASE_FORWARD, PHASE_OBJECTIVE, PHASE_BACKWARD})
 
 #: Label prefixes with a known phase, used only as a fallback for records
 #: built without an explicit ``phase`` (hand-rolled metrics in tests/demos).
@@ -36,6 +60,11 @@ _FORWARD_LABEL_PREFIXES = (
     "re-sweep",
 )
 _BACKWARD_LABEL_PREFIXES = ("backward", "bwd")
+
+#: Every label prefix :meth:`SuperstepRecord.resolved_phase` can classify.
+#: A record whose label matches none of these MUST set ``phase``
+#: explicitly, or pricing raises (and REP004 flags it statically).
+KNOWN_LABEL_PREFIXES = _FORWARD_LABEL_PREFIXES + _BACKWARD_LABEL_PREFIXES
 
 
 @dataclass(frozen=True)
@@ -88,7 +117,7 @@ class SuperstepRecord:
         forward/backward tables, so miscounted work is loud, not silent.
         """
         if self.phase:
-            if self.phase not in (PHASE_FORWARD, PHASE_BACKWARD):
+            if self.phase not in RECORD_PHASES:
                 raise ValueError(
                     f"superstep {self.label!r} has unknown phase "
                     f"{self.phase!r}; expected {PHASE_FORWARD!r} or "

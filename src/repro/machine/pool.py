@@ -126,7 +126,7 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - runs in the worker
                         replies.append((True, fn(ns, *args)))
                     else:  # "calls": plain callables
                         replies.append((True, fn(*args)))
-                except BaseException as exc:  # noqa: BLE001 - report any failure
+                except BaseException as exc:  # repro: noqa[REP005]: worker loop must survive and report every task failure, not die on it
                     replies.append(
                         (
                             False,
@@ -529,7 +529,7 @@ class PoolProcessExecutor(Executor):
                 # Worker is gone; the reply loop below recovers it and
                 # re-sends.  Nothing reached the pipe.
                 pass
-            except Exception as exc:
+            except Exception as exc:  # repro: noqa[REP005]: arbitrary user tasks can fail pickling in arbitrary ways; rewrapped as ExecutorError below
                 raise ExecutorError(
                     f"cannot ship work to pool worker {w}: {exc!r} "
                     "(tasks and their arguments must be picklable)"

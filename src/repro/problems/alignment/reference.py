@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.problems.alignment.scoring import ScoringScheme
+from repro.semiring.tropical import NEG_INF
 
 __all__ = [
     "lcs_table",
@@ -22,8 +23,6 @@ __all__ = [
     "banded_nw_score_reference",
     "banded_lcs_length_reference",
 ]
-
-NEG_INF = float("-inf")
 
 
 def lcs_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:

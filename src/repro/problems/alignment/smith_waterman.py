@@ -47,6 +47,7 @@ import numpy as np
 from repro.exceptions import ProblemDefinitionError
 from repro.ltdp.problem import LTDPProblem, LTDPSolution
 from repro.problems.alignment.scoring import ScoringScheme
+from repro.semiring.tropical import NEG_INF
 
 __all__ = ["SmithWatermanProblem", "LocalAlignmentSummary"]
 
@@ -107,7 +108,7 @@ class SmithWatermanProblem(LTDPProblem):
         return 2 * self._q + 1
 
     def initial_vector(self) -> np.ndarray:
-        v = np.full(2 * self._q + 1, float("-inf"))
+        v = np.full(2 * self._q + 1, NEG_INF)
         v[0] = 0.0  # Z: the zero line
         v[self._h_slice] = 0.0  # H[i, 0] = 0 (local alignments restart freely)
         return v  # E[i, 0] = -inf: no database-side gap before the start
@@ -161,7 +162,7 @@ class SmithWatermanProblem(LTDPProblem):
             newmax[0] = True
             newmax[1:] = t[1:] > cm[:-1]
             run_arg = np.maximum.accumulate(np.where(newmax, np.arange(q), -1))
-            gap_val = np.full(q, float("-inf"))
+            gap_val = np.full(q, NEG_INF)
             if q > 1:
                 gap_val[1:] = cm[:-1] + (ge - go) - ge * self._idx[1:]
             take_gap = gap_val > entry  # tie -> no gap (enter at own row)

@@ -17,10 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.problems.alignment.scoring import ScoringScheme
+from repro.semiring.tropical import NEG_INF
 
 __all__ = ["sw_score_striped", "build_query_profile"]
-
-NEG_INF = float("-inf")
 
 
 def build_query_profile(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.exceptions import ProblemDefinitionError
 from repro.problems.convolutional import ConvolutionalCode
+from repro.semiring.tropical import NEG_INF
 
 __all__ = ["StreamingViterbiDecoder"]
 
@@ -73,7 +74,7 @@ class StreamingViterbiDecoder:
         S = self.code.num_states
         kbits = self.code.constraint_length - 2
 
-        metrics = np.full(S, -np.inf)
+        metrics = np.full(S, NEG_INF)
         metrics[0] = 0.0
         # Ring buffer of survivor choices: survivors[t % depth][s] = the
         # predecessor state of s at stage t.

@@ -1,0 +1,29 @@
+"""Shared helpers for the ``repro lint`` tests.
+
+Fixtures are linted *in memory* via :func:`repro.lint.runner.lint_sources`
+with virtual paths — rule scoping only looks at the package-relative
+path, so ``src/repro/ltdp/fake.py`` scopes exactly like a real engine
+file without touching the working tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.runner import lint_sources
+
+
+def run_lint(path: str, source: str, **kwargs):
+    """Lint one dedented in-memory file; return the LintResult."""
+    return lint_sources([(path, textwrap.dedent(source))], **kwargs)
+
+
+def run_lint_files(files: dict[str, str], **kwargs):
+    """Lint several in-memory files (path -> source) as one project."""
+    return lint_sources(
+        [(path, textwrap.dedent(src)) for path, src in files.items()], **kwargs
+    )
+
+
+def codes(result) -> list[str]:
+    return [f.code for f in result.findings]

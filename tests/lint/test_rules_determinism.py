@@ -1,0 +1,154 @@
+"""REP003: nondeterminism reachable from the pool worker entry points.
+
+Fixtures build a virtual project whose paths mirror the real layout —
+``src/repro/machine/pool.py`` (worker loop root) and helper modules the
+loop calls — so the call-graph reachability matches production scoping.
+"""
+
+from tests.lint.conftest import codes, run_lint_files
+
+POOL = "src/repro/machine/pool.py"
+HELPER = "src/repro/ltdp/engine/helper.py"
+
+
+def worker_calling(helper_import: str, call: str) -> str:
+    return f"""\
+    {helper_import}
+
+    def _pool_worker_main(conn):
+        while True:
+            {call}
+    """
+
+
+class TestTriggers:
+    def test_stdlib_random_in_worker_loop(self):
+        r = run_lint_files(
+            {POOL: worker_calling("import random", "x = random.random()")}
+        )
+        assert codes(r) == ["REP003"]
+        assert "process-global stdlib RNG" in r.findings[0].message
+
+    def test_wall_clock_read_reached_through_helper(self):
+        # Nondeterminism two hops away: worker -> helper -> time.time().
+        r = run_lint_files(
+            {
+                HELPER: """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+                POOL: worker_calling(
+                    "from repro.ltdp.engine.helper import stamp", "t = stamp()"
+                ),
+            }
+        )
+        assert codes(r) == ["REP003"]
+        assert "wall clock" in r.findings[0].message
+        assert r.findings[0].path == HELPER
+
+    def test_datetime_now(self):
+        r = run_lint_files(
+            {
+                POOL: worker_calling(
+                    "import datetime", "t = datetime.datetime.now()"
+                )
+            }
+        )
+        assert codes(r) == ["REP003"]
+
+    def test_environ_mutation(self):
+        r = run_lint_files(
+            {POOL: worker_calling("import os", 'os.environ["X"] = "1"')}
+        )
+        assert codes(r) == ["REP003"]
+
+    def test_module_global_write(self):
+        r = run_lint_files(
+            {
+                POOL: """\
+                _CACHE = None
+
+                def _pool_worker_main(conn):
+                    global _CACHE
+                    _CACHE = conn.recv()
+                """
+            }
+        )
+        assert codes(r) == ["REP003"]
+        assert "_CACHE" in r.findings[0].message
+
+    def test_unseeded_numpy_rng(self):
+        r = run_lint_files(
+            {
+                POOL: worker_calling(
+                    "import numpy as np", "rng = np.random.default_rng()"
+                )
+            }
+        )
+        assert codes(r) == ["REP003"]
+
+    def test_legacy_global_numpy_rng(self):
+        r = run_lint_files(
+            {
+                POOL: worker_calling(
+                    "import numpy as np", "x = np.random.rand(3)"
+                )
+            }
+        )
+        assert codes(r) == ["REP003"]
+
+
+class TestNearMisses:
+    def test_perf_counter_is_allowlisted(self):
+        # Trace stamps are fine: they never feed computed values.
+        r = run_lint_files(
+            {POOL: worker_calling("import time", "t = time.perf_counter()")}
+        )
+        assert codes(r) == []
+
+    def test_seeded_numpy_rng(self):
+        r = run_lint_files(
+            {
+                POOL: worker_calling(
+                    "import numpy as np", "rng = np.random.default_rng(seed)"
+                )
+            }
+        )
+        assert codes(r) == []
+
+    def test_unreachable_code_not_flagged(self):
+        # random in a module the worker never calls into is out of scope.
+        r = run_lint_files(
+            {
+                HELPER: """\
+                import random
+
+                def unused():
+                    return random.random()
+                """,
+                POOL: worker_calling("import time", "t = time.perf_counter()"),
+            }
+        )
+        assert codes(r) == []
+
+    def test_driver_side_code_not_flagged(self):
+        # The same call outside any worker root is driver-side and legal.
+        r = run_lint_files(
+            {
+                "src/repro/analysis/fake.py": """\
+                import random
+
+                def shuffle_trials(xs):
+                    random.shuffle(xs)
+                """
+            }
+        )
+        assert codes(r) == []
+
+    def test_environ_read_is_fine(self):
+        r = run_lint_files(
+            {POOL: worker_calling("import os", 'x = os.environ.get("X")')}
+        )
+        assert codes(r) == []

@@ -1,0 +1,70 @@
+"""REP005: the executor exception contract."""
+
+from tests.lint.conftest import codes, run_lint
+
+EXECUTOR = "src/repro/machine/executor.py"
+POOLRT = "src/repro/ltdp/engine/poolrt.py"
+
+
+class TestRaiseSites:
+    def test_raw_runtime_error_flagged(self):
+        r = run_lint(EXECUTOR, 'raise RuntimeError("worker died")\n')
+        assert codes(r) == ["REP005"]
+        assert "RuntimeError" in r.findings[0].message
+
+    def test_executor_error_accepted(self):
+        src = (
+            "from repro.exceptions import ExecutorError\n"
+            'raise ExecutorError("worker died")\n'
+        )
+        assert codes(run_lint(EXECUTOR, src)) == []
+
+    def test_executor_error_subclass_accepted(self):
+        src = (
+            "from repro.exceptions import WorkerCrashError\n"
+            'raise WorkerCrashError("gone")\n'
+        )
+        assert codes(run_lint(EXECUTOR, src)) == []
+
+    def test_validation_errors_exempt(self):
+        src = 'raise ValueError("max_workers must be >= 1")\n'
+        assert codes(run_lint(EXECUTOR, src)) == []
+
+    def test_bare_reraise_accepted(self):
+        src = "try:\n    f()\nexcept OSError:\n    raise\n"
+        assert codes(run_lint(EXECUTOR, src)) == []
+
+    def test_raises_outside_scope_not_checked(self):
+        r = run_lint("src/repro/analysis/fake.py", 'raise RuntimeError("x")\n')
+        assert codes(r) == []
+
+
+class TestExceptHandlers:
+    def test_except_exception_flagged(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        r = run_lint(POOLRT, src)
+        assert codes(r) == ["REP005"]
+        assert "narrow the exception types" in r.findings[0].message
+
+    def test_bare_except_flagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert codes(run_lint(EXECUTOR, src)) == ["REP005"]
+
+    def test_base_exception_in_tuple_flagged(self):
+        src = "try:\n    f()\nexcept (OSError, BaseException):\n    pass\n"
+        assert codes(run_lint(EXECUTOR, src)) == ["REP005"]
+
+    def test_narrow_handler_accepted(self):
+        src = "try:\n    f()\nexcept (BrokenPipeError, OSError):\n    pass\n"
+        assert codes(run_lint(POOLRT, src)) == []
+
+    def test_reasoned_suppression_honored(self):
+        src = (
+            "try:\n"
+            "    f()\n"
+            "except Exception:  # repro: noqa[REP005]: child must report all\n"
+            "    pass\n"
+        )
+        r = run_lint(EXECUTOR, src)
+        assert codes(r) == []
+        assert r.suppressed == 1

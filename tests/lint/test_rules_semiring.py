@@ -1,0 +1,133 @@
+"""REP001 (raw tropical zero) and REP002 (identity-unsafe reductions)."""
+
+import textwrap
+
+from repro.lint.runner import apply_fixes, lint_sources
+
+from tests.lint.conftest import codes, run_lint
+
+
+class TestRep001Triggers:
+    def test_float_neg_inf(self):
+        r = run_lint("src/repro/ltdp/fake.py", 'v = float("-inf")\n')
+        assert codes(r) == ["REP001"]
+        assert r.findings[0].fix is not None
+
+    def test_neg_math_inf(self):
+        r = run_lint("src/repro/ltdp/fake.py", "import math\nv = -math.inf\n")
+        assert codes(r) == ["REP001"]
+
+    def test_neg_np_inf(self):
+        r = run_lint(
+            "src/repro/ltdp/fake.py", "import numpy as np\nv = -np.inf\n"
+        )
+        assert codes(r) == ["REP001"]
+
+    def test_negated_float_inf(self):
+        r = run_lint("src/repro/ltdp/fake.py", 'v = -float("inf")\n')
+        assert codes(r) == ["REP001"]
+
+
+class TestRep001NearMisses:
+    def test_semiring_package_is_exempt(self):
+        r = run_lint("src/repro/semiring/fake.py", 'v = float("-inf")\n')
+        assert codes(r) == []
+
+    def test_positive_inf_is_fine(self):
+        r = run_lint("src/repro/ltdp/fake.py", 'v = float("inf")\n')
+        assert codes(r) == []
+
+    def test_unrelated_float_call(self):
+        r = run_lint("src/repro/ltdp/fake.py", 'v = float("3.5")\n')
+        assert codes(r) == []
+
+    def test_plain_math_inf_attribute(self):
+        r = run_lint("src/repro/ltdp/fake.py", "import math\nv = math.inf\n")
+        assert codes(r) == []
+
+
+class TestRep001Autofix:
+    def test_fix_replaces_literal_and_adds_import(self):
+        path = "src/repro/ltdp/fake.py"
+        source = textwrap.dedent(
+            '''\
+            """Doc."""
+
+            import numpy as np
+
+            def f():
+                return np.full(3, float("-inf"))
+            '''
+        )
+        result = lint_sources([(path, source)])
+        fixed, applied = apply_fixes(path, source, result.findings)
+        assert applied == 1
+        assert 'float("-inf")' not in fixed
+        assert "np.full(3, NEG_INF)" in fixed
+        assert "from repro.semiring.tropical import NEG_INF" in fixed
+        # The rewritten file is clean.
+        assert lint_sources([(path, fixed)]).findings == []
+
+    def test_fix_does_not_duplicate_existing_import(self):
+        path = "src/repro/ltdp/fake.py"
+        source = (
+            "from repro.semiring.tropical import NEG_INF\n"
+            'v = float("-inf")\n'
+        )
+        result = lint_sources([(path, source)])
+        fixed, applied = apply_fixes(path, source, result.findings)
+        assert applied == 1
+        assert fixed.count("from repro.semiring.tropical import NEG_INF") == 1
+
+
+class TestRep002Triggers:
+    def test_bare_max_over_list(self):
+        r = run_lint("src/repro/ltdp/fake.py", "m = max(values)\n")
+        assert codes(r) == ["REP002"]
+
+    def test_max_over_generic_comprehension(self):
+        r = run_lint(
+            "src/repro/ltdp/fake.py", "m = max(v for v in candidates)\n"
+        )
+        assert codes(r) == ["REP002"]
+
+    def test_np_maximum_reduce_without_initial(self):
+        r = run_lint(
+            "src/repro/semiring/fake.py",
+            "import numpy as np\nm = np.maximum.reduce(rows)\n",
+        )
+        assert codes(r) == ["REP002"]
+
+
+class TestRep002NearMisses:
+    def test_max_with_default(self):
+        r = run_lint(
+            "src/repro/ltdp/fake.py",
+            "from repro.semiring.tropical import NEG_INF\n"
+            "m = max(values, default=NEG_INF)\n",
+        )
+        assert codes(r) == []
+
+    def test_two_argument_max(self):
+        r = run_lint("src/repro/ltdp/fake.py", "m = max(a, b)\n")
+        assert codes(r) == []
+
+    def test_range_comprehension_is_exempt(self):
+        # Stage-index ranges are non-empty by the LTDP problem contract.
+        r = run_lint(
+            "src/repro/ltdp/fake.py", "m = max(w(i) for i in range(n))\n"
+        )
+        assert codes(r) == []
+
+    def test_reduce_with_initial(self):
+        r = run_lint(
+            "src/repro/ltdp/fake.py",
+            "import numpy as np\n"
+            "from repro.semiring.tropical import NEG_INF\n"
+            "m = np.maximum.reduce(rows, initial=NEG_INF)\n",
+        )
+        assert codes(r) == []
+
+    def test_out_of_scope_package_is_exempt(self):
+        r = run_lint("src/repro/analysis/fake.py", "m = max(values)\n")
+        assert codes(r) == []

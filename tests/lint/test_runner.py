@@ -1,0 +1,104 @@
+"""Runner plumbing: CLI entry points, reports, exit codes, self-lint."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.runner import run_lint_command
+
+from tests.lint.conftest import run_lint
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "fake.py"
+    path.write_text('v = float("-inf")\n')
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "fake.py"
+    path.write_text("v = 1\n")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, clean_file, capsys):
+        assert run_lint_command([clean_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_are_one(self, dirty_file, capsys):
+        assert run_lint_command([dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "[fixable]" in out
+
+    def test_missing_path_is_two(self, tmp_path, capsys):
+        assert run_lint_command([str(tmp_path / "nope.py")]) == 2
+
+    def test_syntax_error_is_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(:\n")
+        assert run_lint_command([str(bad)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_select_restricts_rules(self, dirty_file, capsys):
+        assert run_lint_command([dirty_file, "--select", "REP004"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert run_lint_command(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+    def test_json_report(self, dirty_file, capsys):
+        assert run_lint_command([dirty_file, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert report["counts"] == {"REP001": 1}
+        assert report["findings"][0]["fixable"] is True
+
+    def test_fix_rewrites_file_to_clean(self, dirty_file, capsys):
+        assert run_lint_command([dirty_file, "--fix"]) == 0
+        with open(dirty_file) as fh:
+            fixed = fh.read()
+        assert "NEG_INF" in fixed and 'float("-inf")' not in fixed
+        assert run_lint_command([dirty_file]) == 0
+
+
+class TestCliIntegration:
+    def test_repro_lint_subcommand(self, dirty_file, capsys):
+        assert repro_main(["lint", dirty_file]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_repro_lint_list_rules(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+
+
+class TestReportShape:
+    def test_text_summary_counts_by_code(self):
+        result = run_lint(
+            "src/repro/ltdp/fake.py",
+            'a = float("-inf")\nb = max(xs)\nc = max(ys)\n',
+        )
+        summary = result.render_text().splitlines()[-1]
+        assert "REP001×1" in summary and "REP002×2" in summary
+
+    def test_findings_sorted_by_location(self):
+        result = run_lint(
+            "src/repro/ltdp/fake.py", 'b = max(xs)\na = float("-inf")\n'
+        )
+        assert [f.line for f in result.findings] == [1, 2]
+
+
+class TestSelfLint:
+    def test_package_lints_clean(self, capsys):
+        # The CI gate: the shipped package must satisfy its own rules.
+        assert run_lint_command([REPO_SRC]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Suppression comments: honored waivers, mandatory reasons, REP000."""
+
+from repro.lint.core import collect_suppressions
+
+from tests.lint.conftest import codes, run_lint
+
+# A REP001 trigger usable from any non-semiring path.
+TRIGGER = 'x = float("-inf")\n'
+
+
+class TestParsing:
+    def test_parses_codes_and_reason(self):
+        sups, problems = collect_suppressions(
+            "x = 1  # repro: noqa[REP001,REP004]: legacy table kept raw\n"
+        )
+        assert problems == []
+        assert sups[1].codes == frozenset({"REP001", "REP004"})
+        assert sups[1].reason == "legacy table kept raw"
+
+    def test_missing_reason_is_rep000(self):
+        _, problems = collect_suppressions("x = 1  # repro: noqa[REP001]\n")
+        assert [p.code for p in problems] == ["REP000"]
+        assert "no reason" in problems[0].message
+
+    def test_invalid_code_is_rep000(self):
+        _, problems = collect_suppressions(
+            "x = 1  # repro: noqa[BLE001]: wrong linter\n"
+        )
+        assert [p.code for p in problems] == ["REP000"]
+
+    def test_empty_code_list_is_rep000(self):
+        _, problems = collect_suppressions("x = 1  # repro: noqa[]: because\n")
+        assert [p.code for p in problems] == ["REP000"]
+
+    def test_docstrings_and_strings_are_not_suppressions(self):
+        # Only real comment tokens count: mentioning the syntax in a
+        # docstring or string literal must neither waive nor REP000.
+        sups, problems = collect_suppressions(
+            '"""Use # repro: noqa[REP001]: reason to waive."""\n'
+            's = "# repro: noqa[REP001]"\n'
+        )
+        assert sups == {}
+        assert problems == []
+
+
+class TestFiltering:
+    def test_suppression_silences_matching_code(self):
+        result = run_lint(
+            "src/repro/demo.py",
+            TRIGGER[:-1] + "  # repro: noqa[REP001]: raw literal needed here\n",
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_suppression_for_other_code_does_not_silence(self):
+        result = run_lint(
+            "src/repro/demo.py",
+            TRIGGER[:-1] + "  # repro: noqa[REP004]: wrong code\n",
+        )
+        assert codes(result) == ["REP001"]
+        assert result.suppressed == 0
+
+    def test_reasonless_suppression_reports_rep000_and_finding(self):
+        result = run_lint(
+            "src/repro/demo.py", TRIGGER[:-1] + "  # repro: noqa[REP001]\n"
+        )
+        assert sorted(codes(result)) == ["REP000", "REP001"]
+
+    def test_suppression_only_applies_to_its_line(self):
+        result = run_lint(
+            "src/repro/demo.py",
+            "y = 0  # repro: noqa[REP001]: wrong line\n" + TRIGGER,
+        )
+        assert codes(result) == ["REP001"]
