@@ -21,7 +21,10 @@ guarantees of the tracing layer (recorded under ``"checks"``):
 - ``trace_coverage`` — an *enabled* trace of a pool solve carries
   exactly one ``superstep`` span per recorded superstep, and every
   ``dispatch`` span has the per-worker send/queue-wait/compute
-  breakdown plus serialized byte counts.
+  breakdown plus serialized byte counts;
+- ``delta_fixup_reduction`` — on the sparse-kernel problems (LCS, NW)
+  the §4.7 delta-mode fix-up must touch no more cells than dense mode
+  on any grid cell, and strictly fewer on at least one.
 
 Timings are floors (min over ``--repeats``); medians are also recorded.
 The grid is deliberately small — this is a regression tripwire, not the
@@ -50,6 +53,7 @@ from repro.ltdp.parallel import ParallelOptions, solve_parallel  # noqa: E402
 from repro.machine.executor import get_executor  # noqa: E402
 from repro.machine.trace import Tracer  # noqa: E402
 from repro.problems.alignment.lcs import LCSProblem  # noqa: E402
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem  # noqa: E402
 from repro.problems.convolutional import STANDARD_CODES  # noqa: E402
 from repro.problems.dtw import DTWProblem  # noqa: E402
 
@@ -87,6 +91,10 @@ def build_problem(name: str, smoke: bool):
         size = 120 if smoke else 600
         a, b = homologous_pair(size, rng, divergence=0.1)
         return LCSProblem(a, b, width=24)
+    if name == "nw":
+        size = 120 if smoke else 600
+        a, b = homologous_pair(size, rng, divergence=0.1)
+        return NeedlemanWunschProblem(a, b, width=24)
     if name == "viterbi":
         size = 60 if smoke else 240
         _, problem = make_received_packet(
@@ -99,34 +107,58 @@ def build_problem(name: str, smoke: bool):
     raise ValueError(f"unknown benchmark problem {name!r}")
 
 
+#: Problems benchmarked in both dense and §4.7 delta fix-up mode — the
+#: two with a sparse stage kernel, where delta mode changes the cells
+#: actually computed (not just the accounting).
+DELTA_PROBLEMS = ("lcs", "nw")
+
+
 def _grid(smoke: bool):
-    problems = ("lcs", "viterbi") if smoke else ("lcs", "viterbi", "dtw")
+    problems = ("lcs", "nw", "viterbi") if smoke else ("lcs", "nw", "viterbi", "dtw")
     procs = (2, 4) if smoke else (2, 4, 8)
     return [
-        (problem, executor, p)
+        (problem, executor, p, use_delta)
         for problem in problems
         for executor in ("serial", "thread", "pool")
         for p in procs
+        for use_delta in ((False, True) if problem in DELTA_PROBLEMS else (False,))
     ]
 
 
-def _timed_solve(problem, executor, procs: int, tracer=None):
+def _timed_solve(problem, executor, procs: int, tracer=None, use_delta=False):
     t0 = time.perf_counter()
     solution = solve_parallel(
         problem,
-        ParallelOptions(num_procs=procs, seed=SEED, executor=executor, tracer=tracer),
+        ParallelOptions(
+            num_procs=procs,
+            seed=SEED,
+            executor=executor,
+            tracer=tracer,
+            use_delta=use_delta,
+        ),
     )
     return time.perf_counter() - t0, solution
 
 
-def _measure(problem, executor, procs: int, repeats: int, tracer=None):
+def _measure(problem, executor, procs: int, repeats: int, tracer=None, use_delta=False):
     """Best-of-N floor + median; returns (times, last_solution)."""
     times = []
     solution = None
     for _ in range(repeats):
-        elapsed, solution = _timed_solve(problem, executor, procs, tracer)
+        elapsed, solution = _timed_solve(problem, executor, procs, tracer, use_delta)
         times.append(elapsed)
     return times, solution
+
+
+def _fixup_cells(metrics) -> float:
+    """Cells actually computed across forward fix-up supersteps."""
+    return float(
+        sum(
+            s.total_work
+            for s in metrics.supersteps
+            if s.label.startswith("fixup")
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -136,10 +168,12 @@ def _measure(problem, executor, procs: int, repeats: int, tracer=None):
 
 def _run_grid(smoke: bool, repeats: int) -> list[dict]:
     results = []
-    for problem_name, executor_kind, procs in _grid(smoke):
+    for problem_name, executor_kind, procs, use_delta in _grid(smoke):
         problem = build_problem(problem_name, smoke)
         with get_executor(executor_kind) as executor:
-            times, solution = _measure(problem, executor, procs, repeats)
+            times, solution = _measure(
+                problem, executor, procs, repeats, use_delta=use_delta
+            )
         m = solution.metrics
         cells = float(m.total_work)
         best = min(times)
@@ -148,6 +182,7 @@ def _run_grid(smoke: bool, repeats: int) -> list[dict]:
                 "problem": problem_name,
                 "executor": executor_kind,
                 "procs": procs,
+                "use_delta": use_delta,
                 "repeats": repeats,
                 "wall_seconds": best,
                 "wall_seconds_median": statistics.median(times),
@@ -156,16 +191,58 @@ def _run_grid(smoke: bool, repeats: int) -> list[dict]:
                 "forward_fixup_iterations": m.forward_fixup_iterations,
                 "bytes_communicated": int(m.bytes_communicated),
                 "total_work_cells": cells,
+                "fixup_cells": _fixup_cells(m),
                 "cells_per_second": cells / best if best > 0 else 0.0,
             }
         )
+        mode_tag = "delta" if use_delta else "dense"
         print(
             f"  {problem_name:<8s} {executor_kind:<7s} P={procs:<2d} "
-            f"best {best * 1e3:8.2f} ms  "
+            f"{mode_tag:<5s} best {best * 1e3:8.2f} ms  "
             f"({len(m.supersteps)} supersteps, "
-            f"{m.forward_fixup_iterations} fixups)"
+            f"{m.forward_fixup_iterations} fixups, "
+            f"{results[-1]['fixup_cells']:.0f} fixup cells)"
         )
     return results
+
+
+def _check_delta_fixup_reduction(results: list[dict]) -> dict:
+    """§4.7 acceptance: on the sparse-kernel problems, delta-mode fix-up
+    must never touch more cells than dense mode on the same cell of the
+    grid, and must touch strictly fewer wherever fix-up work exists."""
+    pairs = []
+    dense = {
+        (r["problem"], r["executor"], r["procs"]): r
+        for r in results
+        if not r.get("use_delta", False)
+    }
+    for row in results:
+        if not row.get("use_delta", False):
+            continue
+        base = dense.get((row["problem"], row["executor"], row["procs"]))
+        if base is None:
+            continue
+        pairs.append(
+            {
+                "problem": row["problem"],
+                "executor": row["executor"],
+                "procs": row["procs"],
+                "dense_fixup_cells": base["fixup_cells"],
+                "delta_fixup_cells": row["fixup_cells"],
+            }
+        )
+    never_worse = all(
+        p["delta_fixup_cells"] <= p["dense_fixup_cells"] for p in pairs
+    )
+    strictly_better = [
+        p for p in pairs if p["delta_fixup_cells"] < p["dense_fixup_cells"]
+    ]
+    return {
+        "pairs": pairs,
+        "never_worse": never_worse,
+        "strictly_better_cells": len(strictly_better),
+        "passed": bool(pairs) and never_worse and bool(strictly_better),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +377,11 @@ def validate_bench_doc(doc) -> None:
             need(row, key, types, where)
         if row["wall_seconds"] <= 0:
             raise ValueError(f"{where}: wall_seconds must be positive")
+        # Optional fields (schema v1 compatible: absent in older docs).
+        if "use_delta" in row and not isinstance(row["use_delta"], bool):
+            raise ValueError(f"{where}: use_delta must be a bool")
+        if "fixup_cells" in row and not isinstance(row["fixup_cells"], (int, float)):
+            raise ValueError(f"{where}: fixup_cells must be numeric")
     checks = need(doc, "checks", dict, "document")
     for name, check in checks.items():
         if not isinstance(check, dict) or "passed" not in check:
@@ -331,11 +413,19 @@ def compare_documents(old: dict, new: dict, ratio: float = REGRESSION_RATIO) -> 
             "timings not compared"
         )
         return comparison
+    # ``use_delta`` joins the key via .get so documents written before
+    # the delta-mode cells existed still compare their dense cells.
     old_cells = {
-        (r["problem"], r["executor"], r["procs"]): r for r in old.get("results", [])
+        (r["problem"], r["executor"], r["procs"], r.get("use_delta", False)): r
+        for r in old.get("results", [])
     }
     for row in new.get("results", []):
-        key = (row["problem"], row["executor"], row["procs"])
+        key = (
+            row["problem"],
+            row["executor"],
+            row["procs"],
+            row.get("use_delta", False),
+        )
         base = old_cells.get(key)
         if base is None:
             continue
@@ -344,6 +434,7 @@ def compare_documents(old: dict, new: dict, ratio: float = REGRESSION_RATIO) -> 
             "problem": key[0],
             "executor": key[1],
             "procs": key[2],
+            "use_delta": key[3],
             "old_seconds": base["wall_seconds"],
             "new_seconds": row["wall_seconds"],
             "ratio": delta,
@@ -362,9 +453,10 @@ def _print_comparison(comparison: dict) -> None:
     print(f"comparison vs previous file ({len(comparison['cells'])} cells):")
     for cell in comparison["cells"]:
         mark = "REGRESSION" if cell["regressed"] else "ok"
+        mode_tag = "delta" if cell.get("use_delta") else "dense"
         print(
             f"  {cell['problem']:<8s} {cell['executor']:<7s} "
-            f"P={cell['procs']:<2d} "
+            f"P={cell['procs']:<2d} {mode_tag:<5s} "
             f"{cell['old_seconds'] * 1e3:8.2f} -> {cell['new_seconds'] * 1e3:8.2f} ms "
             f"(x{cell['ratio']:.2f})  {mark}"
         )
@@ -392,6 +484,7 @@ def run_bench(
     checks = {
         "tracing_disabled_overhead": _check_disabled_overhead(smoke, repeats + 2),
         "trace_coverage": _check_trace_coverage(smoke, trace_path),
+        "delta_fixup_reduction": _check_delta_fixup_reduction(results),
     }
     for name, check in checks.items():
         print(f"  {name}: {'pass' if check['passed'] else 'FAIL'} {check}")

@@ -1,7 +1,8 @@
 """Ablations backing the paper's design arguments (DESIGN.md experiment index).
 
-A. §4.7 delta computation: fix-up work with vs without delta accounting
-   on banded NW — delta must cut fix-up cost by a large factor.
+A. §4.7 delta computation: fix-up cells actually touched with vs
+   without sparse delta propagation on banded NW/LCS — the sparse
+   kernels must cut real fix-up work, and must never do more.
 B. §4.5 nz initial vector: the result is invariant to the arbitrary
    start vectors (different seeds/ranges), and convergence behaviour is
    statistically stable.
@@ -21,6 +22,7 @@ from repro.ltdp.convergence import measure_convergence_steps
 from repro.ltdp.matrix_problem import random_matrix_problem
 from repro.ltdp.parallel import ParallelOptions, solve_parallel
 from repro.ltdp.sequential import solve_sequential
+from repro.problems.alignment.lcs import LCSProblem
 from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
 
 
@@ -40,29 +42,52 @@ def nw_instance():
 
 
 def test_ablation_delta_computation(nw_instance, report, benchmark):
-    """A: delta accounting slashes fix-up work on nearly-parallel stages."""
+    """A: sparse §4.7 fix-up touches measurably fewer cells than dense.
+
+    Work here is *cells actually computed* by the sparse kernels (not a
+    modeled delta count): a fix-up sweep runs dense until the incoming
+    boundary delta-converges against the resident stage state, then
+    repairs only changed-delta neighbourhoods.  The achievable saving is
+    therefore bounded by how quickly each sweep's input becomes
+    delta-sparse — ~1.5x on NW (affine entries keep the scan churning)
+    and ~2x on LCS (zero gap costs realign almost immediately).
+    """
     rows = []
-    ratios = []
+    nw_ratios = []
     for procs in (4, 8, 16, 32):
         full = solve_parallel(nw_instance, num_procs=procs, seed=1, use_delta=False)
         delta = solve_parallel(nw_instance, num_procs=procs, seed=1, use_delta=True)
         np.testing.assert_array_equal(full.path, delta.path)
         fw, dw = fixup_work(full), fixup_work(delta)
         ratio = fw / dw if dw else float("inf")
-        ratios.append(ratio)
-        rows.append([procs, f"{fw:.0f}", f"{dw:.0f}", f"{ratio:.1f}x"])
+        nw_ratios.append(ratio)
+        rows.append(["NW", procs, f"{fw:.0f}", f"{dw:.0f}", f"{ratio:.2f}x"])
+    rng = np.random.default_rng(42)
+    a, b = homologous_pair(3000, rng, divergence=0.05)
+    lcs = LCSProblem(a, b, width=64)
+    lcs_ratios = []
+    for procs in (8, 32):
+        full = solve_parallel(lcs, num_procs=procs, seed=1, use_delta=False)
+        delta = solve_parallel(lcs, num_procs=procs, seed=1, use_delta=True)
+        np.testing.assert_array_equal(full.path, delta.path)
+        fw, dw = fixup_work(full), fixup_work(delta)
+        ratio = fw / dw if dw else float("inf")
+        lcs_ratios.append(ratio)
+        rows.append(["LCS", procs, f"{fw:.0f}", f"{dw:.0f}", f"{ratio:.2f}x"])
     report(
         "ablation_delta",
         format_table(
-            ["P", "fixup cells (full)", "fixup cells (delta)", "reduction"],
+            ["problem", "P", "fixup cells (full)", "fixup cells (delta)", "reduction"],
             rows,
-            title="Ablation A — §4.7 delta computation (banded NW, width 64)",
+            title="Ablation A — §4.7 sparse delta fix-up (banded, width 64)",
         ),
     )
     benchmark(lambda: solve_parallel(nw_instance, num_procs=8, seed=1, use_delta=True))
-    # Delta must never be worse, and should win clearly somewhere.
-    assert all(r >= 1.0 for r in ratios)
-    assert max(ratios) > 2.0
+    # Sparse fix-up must never touch more cells than dense (the kernel
+    # caps repair cost at the dense stage cost), and must win clearly.
+    assert all(r >= 1.0 for r in nw_ratios + lcs_ratios)
+    assert max(nw_ratios) > 1.3
+    assert max(lcs_ratios) > 1.6
 
 
 def test_ablation_nz_invariance(nw_instance, report, benchmark):

@@ -11,15 +11,40 @@ such as LCS and Needleman-Wunsch, for which the number of solutions in
 a stage is large and the convergence to low-rank is much faster than
 the convergence to rank 1".
 
-Our parallel solver recomputes stage vectors with the full vectorized
-kernel (NumPy makes the dense sweep the fast path) but, in delta mode,
-*accounts* fix-up work as ``changed-delta count + 1`` per stage — the
-cell count a sparse delta implementation would touch.  The recorded
-work drives the simulated clock; results are unchanged either way.
-DESIGN.md documents this substitution.
+In delta mode (``use_delta=True``) the fix-up supersteps run this as
+*actual computation*, not an accounting substitution:
+
+- the planner ships each re-dispatched processor a
+  :class:`BoundaryDiff` — the anchor offset plus the positions of its
+  left neighbour's boundary that changed since the previous round —
+  instead of the full boundary vector, whenever the diff is smaller
+  (:func:`encode_boundary_diff`); the processor reconstructs the new
+  boundary bit-exactly from its resident copy;
+- problems that implement a sparse stage kernel
+  (:meth:`~repro.ltdp.problem.LTDPProblem.apply_stage_sparse` — the
+  banded LCS / Needleman–Wunsch kernel does) repair each resident
+  stage by diffing in *delta* space — one changed delta shifts a whole
+  suffix, so the kernel tracks the piecewise-constant offset between
+  new and cached input, recomputes exactly only the entries straddling
+  an offset step and shifts the rest — reusing the cached evaluation
+  state from the stage's previous computation and falling back to the
+  dense kernel when the changed-delta fraction exceeds the
+  ``delta_crossover`` threshold;
+- a stage short-circuits the moment its recomputed vector is
+  tropically parallel to the stored one, exactly as in dense mode.
+
+Results are bit-identical to the dense sweep by construction (the
+sparse kernel is only enabled on integral-score instances, where every
+float64 operation it reorders is exact).  Problems without a sparse
+kernel fall back to the dense kernel and charge the *modeled* delta
+cost :func:`delta_fixup_work` (``changed-delta count + 1`` — the cell
+count a sparse implementation would touch), which keeps the cost-model
+ablations meaningful for non-banded instances.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,6 +55,8 @@ __all__ = [
     "delta_decode",
     "changed_delta_count",
     "delta_fixup_work",
+    "BoundaryDiff",
+    "encode_boundary_diff",
 ]
 
 
@@ -102,3 +129,69 @@ def changed_delta_count(old: np.ndarray, new: np.ndarray) -> int:
 def delta_fixup_work(old: np.ndarray, new: np.ndarray) -> float:
     """Work charged to a delta-mode fix-up stage: changed deltas + the anchor."""
     return float(changed_delta_count(old, new) + 1)
+
+
+@dataclass(frozen=True)
+class BoundaryDiff:
+    """Sparse update turning a processor's resident input boundary into
+    the new one: an anchor offset plus explicit ``(index, value)``
+    overrides for the positions the offset does not explain.
+
+    Reconstruction (:meth:`apply`) is bit-exact by construction: the
+    encoder keeps an explicit override for every position where
+    ``old + offset`` is not *numerically equal* to ``new``, so applying
+    the diff to the same resident ``old`` reproduces ``new`` (up to the
+    sign of zero, which no tropical operation can observe).
+    """
+
+    offset: float
+    idx: np.ndarray  # int64 positions of the explicit overrides
+    values: np.ndarray  # float64 new values at those positions
+    size: int  # length of the boundary vector (sanity check)
+
+    def apply(self, old: np.ndarray) -> np.ndarray:
+        """Reconstruct the new boundary from the resident ``old`` copy."""
+        old = np.asarray(old, dtype=np.float64)
+        if old.shape != (self.size,):
+            raise DimensionError(
+                f"boundary diff encoded for size {self.size}, got {old.shape}"
+            )
+        # ``old + 0.0`` flips -0.0 to +0.0; skip the add so the common
+        # no-offset case is a bitwise copy.
+        out = old.copy() if self.offset == 0.0 else old + self.offset
+        if self.idx.size:
+            out[self.idx] = self.values
+        return out
+
+    @property
+    def num_bytes(self) -> int:
+        """Modeled wire size: offset + length + (index, value) pairs."""
+        return 8 * (2 + 2 * int(self.idx.size))
+
+
+def encode_boundary_diff(old: np.ndarray, new: np.ndarray) -> BoundaryDiff:
+    """Diff ``new`` against ``old`` as an anchor offset + sparse overrides.
+
+    The offset is the first-entry difference when both anchors are
+    finite (the §4.7 anchor), else 0; every position where
+    ``old + offset != new`` becomes an explicit override.  Always
+    succeeds — callers compare :attr:`BoundaryDiff.num_bytes` against
+    the dense ``8 * size`` to decide whether shipping the diff is
+    actually cheaper.
+    """
+    old = np.asarray(old, dtype=np.float64)
+    new = np.asarray(new, dtype=np.float64)
+    if old.shape != new.shape or old.ndim != 1:
+        raise DimensionError(f"incompatible shapes {old.shape} and {new.shape}")
+    offset = 0.0
+    if np.isfinite(old[0]) and np.isfinite(new[0]):
+        offset = float(new[0] - old[0])
+    aligned = old if offset == 0.0 else old + offset
+    # -inf == -inf is True, so stable masked positions need no override;
+    # a position whose mask changed compares unequal and gets one.
+    with np.errstate(invalid="ignore"):
+        changed = aligned != new
+    idx = np.flatnonzero(changed).astype(np.int64)
+    return BoundaryDiff(
+        offset=offset, idx=idx, values=new[idx].copy(), size=int(new.size)
+    )

@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConvergenceError, ProblemDefinitionError
 from repro.ltdp.engine.runtime import SuperstepRuntime
 from repro.ltdp.engine.specs import (
     BackwardFixupSpec,
@@ -67,7 +67,15 @@ def objective_phase(
         val, stage, cell = result.objective
         if best_val is None or val > best_val or (val == best_val and stage < best_stage):
             best_val, best_stage, best_cell = val, stage, cell
-    assert best_val is not None
+    if best_val is None:
+        raise ProblemDefinitionError(
+            "objective reduction over "
+            f"{len(results)} processors covering stages 0..{ranges[-1].hi} "
+            "produced no candidate: every ObjectiveSpec returned None, so "
+            f"{type(problem).__name__}.stage_objective yielded no value for "
+            "any stage — a tracks_stage_objective problem must define the "
+            "objective on at least one stage"
+        )
     return best_val, best_stage, best_cell
 
 
@@ -128,7 +136,9 @@ def backward_parallel_phase(
     metrics.record(
         SuperstepRecord(
             label="backward",
-            work=pad([float(rg.num_stages) for rg in b_ranges]),
+            # The runtime's reported work, not the planned stage count —
+            # the same convention every other superstep record follows.
+            work=pad([result.work for result in results]),
             wall_seconds=wall,
             phase="backward",
         )
@@ -143,6 +153,12 @@ def backward_parallel_phase(
         else num_procs + 1
     )
     iteration = 0
+    # Convergence-aware scheduling, mirroring the forward loop: a
+    # processor whose last traversal converged and whose boundary index
+    # is unchanged would deterministically reproduce its stored path
+    # segment, so it is dropped from the superstep entirely.
+    last_bidx: dict[int, int] = {}
+    last_bconv: dict[int, bool] = {}
     while True:
         iteration += 1
         if iteration > max_iters:
@@ -151,15 +167,21 @@ def backward_parallel_phase(
             )
         # Processors 1..P-1 re-traverse from the boundary index owned by
         # their right neighbour's region (snapshot = barrier semantics).
-        specs = [
-            BackwardFixupSpec(
-                proc=rg.proc,
-                lo=rg.lo,
-                hi=rg.hi,
-                boundary_index=int(path[rg.hi]),
+        specs = []
+        for rg in b_ranges[:-1]:
+            bidx = int(path[rg.hi])
+            if last_bconv.get(rg.proc, False) and last_bidx.get(rg.proc) == bidx:
+                continue
+            specs.append(
+                BackwardFixupSpec(
+                    proc=rg.proc, lo=rg.lo, hi=rg.hi, boundary_index=bidx
+                )
             )
-            for rg in b_ranges[:-1]
-        ]
+            last_bidx[rg.proc] = bidx
+        if not specs:
+            # Defensive: the loop normally exits via all_conv below.
+            iteration -= 1
+            break
         comm = [
             CommEvent(src=sp.proc + 1, dst=sp.proc, num_bytes=8) for sp in specs
         ]
@@ -167,13 +189,15 @@ def backward_parallel_phase(
         t0 = time.perf_counter()
         results = runtime.run(specs, label=label)
         wall = time.perf_counter() - t0
-        work_row = [0.0] * total_procs  # the last processor idles
+        work_row = [0.0] * total_procs  # non-dispatched processors idle
         all_conv = True
         for result in results:
             for idx, val in result.path_updates.items():
                 path[idx] = val
             work_row[result.proc - 1] = result.work
+            last_bconv[result.proc] = result.converged
             all_conv &= result.converged
+        metrics.bwd_fixup_dispatched.append(len(specs))
         metrics.record(
             SuperstepRecord(
                 label=label,

@@ -76,9 +76,21 @@ class ParallelOptions:
         Draw integer ``nz`` entries (default) so that integer-scored
         problems stay bit-exact; set False for continuous entries.
     use_delta:
-        Account fix-up work with the §4.7 delta-computation cost
-        (changed adjacent differences + 1) instead of full stage cost.
-        Results are unchanged; only the recorded work differs.
+        Run fix-up supersteps in §4.7 delta mode.  Boundary messages
+        become sparse diffs (anchor offset + changed positions) against
+        the receiver's resident copy whenever that is smaller, and
+        problems with a sparse stage kernel (``supports_sparse_fixup``
+        — banded LCS / Needleman–Wunsch) repair their resident stage
+        vectors sparsely, diffing in delta space so only changed-delta
+        neighbourhoods are recomputed, falling back to the dense kernel
+        past ``delta_crossover``.  Results are
+        bit-identical to dense mode; the recorded work is the cells
+        actually touched (or the modeled delta cost for problems
+        without a sparse kernel).
+    delta_crossover:
+        Changed-input fraction above which a sparse fix-up stage defers
+        to the dense kernel (the crossover point where repairing the
+        scan stops being cheaper than recomputing it).
     max_fixup_iterations:
         Safety bound; default ``P + 1`` (the loop provably terminates
         within ``P`` iterations — worst case it devolves to sequential).
@@ -106,6 +118,7 @@ class ParallelOptions:
     nz_high: float = 10.0
     nz_integer: bool = True
     use_delta: bool = False
+    delta_crossover: float = 0.25
     max_fixup_iterations: int | None = None
     exact_score: bool = True
     parallel_backward: bool = True
@@ -117,6 +130,10 @@ class ParallelOptions:
             raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
         if not self.nz_low < self.nz_high:
             raise ValueError("require nz_low < nz_high")
+        if not 0.0 < self.delta_crossover <= 1.0:
+            raise ValueError(
+                f"delta_crossover must be in (0, 1], got {self.delta_crossover}"
+            )
 
 
 def edge_weight_by_probe(problem: LTDPProblem, i: int, j: int, k: int) -> float:

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConvergenceError
+from repro.ltdp.delta import changed_delta_count, encode_boundary_diff
 from repro.ltdp.engine.runtime import SuperstepRuntime
 from repro.ltdp.engine.specs import ForwardFixupSpec, ForwardInitSpec
 from repro.ltdp.partition import StageRange
@@ -31,7 +32,7 @@ __all__ = ["plan_initial_pass", "plan_fixup_round", "forward_phase"]
 
 
 def plan_initial_pass(
-    ranges: Sequence[StageRange], opts
+    ranges: Sequence[StageRange], opts, *, capture_state: bool = False
 ) -> list[ForwardInitSpec]:
     """Fig 4 lines 6-11: every processor sweeps its range from s0 / nz."""
     seed_seq = np.random.SeedSequence(opts.seed)
@@ -45,6 +46,7 @@ def plan_initial_pass(
             nz_low=opts.nz_low,
             nz_high=opts.nz_high,
             nz_integer=opts.nz_integer,
+            capture_state=capture_state,
         )
         for rg, child in zip(ranges, child_seeds)
     ]
@@ -55,29 +57,75 @@ def plan_fixup_round(
     finals: dict[int, np.ndarray],
     opts,
     tol: float,
-) -> tuple[list[ForwardFixupSpec], list[CommEvent]]:
+    *,
+    sparse: bool = False,
+    last_input: dict[int, np.ndarray] | None = None,
+    last_converged: dict[int, bool] | None = None,
+) -> tuple[list[ForwardFixupSpec], list[CommEvent], int]:
     """One fix-up superstep: snapshot boundaries, emit specs + comm events.
 
     Barrier semantics: every processor reads its left neighbour's final
     stage vector *as stored at the start of the iteration* — the copy
     here is that snapshot.
+
+    Convergence-aware scheduling (Fig 4's early exit): a processor that
+    converged last round *and* whose input boundary is bit-identical to
+    the one it already consumed is dropped from the superstep entirely —
+    no spec, no message.  Its re-run would deterministically reproduce
+    its stored state and converge again, so skipping it cannot change
+    any result.
+
+    In delta mode, a re-dispatched processor is shipped a
+    :class:`~repro.ltdp.delta.BoundaryDiff` against its resident input
+    copy whenever the diff is smaller than the dense vector.
+
+    Returns ``(specs, comm, changed_deltas)`` where ``changed_deltas``
+    is the round's total §4.7 changed-delta count over the dispatched
+    boundaries (dense first dispatches count their full width).
+    ``last_input`` is updated in place with the dispatched snapshots.
     """
-    specs = [
-        ForwardFixupSpec(
-            proc=rg.proc,
-            lo=rg.lo,
-            hi=rg.hi,
-            boundary=np.array(finals[rg.proc - 1], copy=True),
-            tol=tol,
-            use_delta=opts.use_delta,
+    last_input = {} if last_input is None else last_input
+    last_converged = {} if last_converged is None else last_converged
+    specs: list[ForwardFixupSpec] = []
+    comm: list[CommEvent] = []
+    changed_total = 0
+    crossover = getattr(opts, "delta_crossover", 0.25)
+    for rg in ranges[1:]:
+        new_in = np.array(finals[rg.proc - 1], copy=True)
+        prev = last_input.get(rg.proc)
+        diffable = prev is not None and prev.shape == new_in.shape
+        if (
+            last_converged.get(rg.proc, False)
+            and diffable
+            and np.array_equal(prev, new_in)
+        ):
+            continue  # converged, nothing new arrived: stays correct
+        boundary: np.ndarray | None = new_in
+        diff = None
+        num_bytes = 8 * new_in.size
+        if opts.use_delta and diffable:
+            changed_total += changed_delta_count(prev, new_in)
+            cand = encode_boundary_diff(prev, new_in)
+            if cand.num_bytes < num_bytes:
+                diff, boundary, num_bytes = cand, None, cand.num_bytes
+        elif opts.use_delta:
+            changed_total += int(new_in.size)  # first dispatch ships dense
+        specs.append(
+            ForwardFixupSpec(
+                proc=rg.proc,
+                lo=rg.lo,
+                hi=rg.hi,
+                boundary=boundary,
+                boundary_diff=diff,
+                tol=tol,
+                use_delta=opts.use_delta,
+                sparse=sparse,
+                crossover=crossover,
+            )
         )
-        for rg in ranges[1:]
-    ]
-    comm = [
-        CommEvent(src=sp.proc - 1, dst=sp.proc, num_bytes=8 * sp.boundary.size)
-        for sp in specs
-    ]
-    return specs, comm
+        comm.append(CommEvent(src=rg.proc - 1, dst=rg.proc, num_bytes=num_bytes))
+        last_input[rg.proc] = new_in
+    return specs, comm, changed_total
 
 
 def forward_phase(
@@ -89,9 +137,12 @@ def forward_phase(
 ) -> dict[int, np.ndarray]:
     """Run the full forward phase; returns each processor's final vector."""
     num_procs = len(ranges)
+    # Sparse fix-up kernels run only where they are bit-exact: the
+    # problem must advertise support (integral scores).
+    sparse = opts.use_delta and getattr(problem, "supports_sparse_fixup", False)
 
     # -- initial pass (one superstep) ----------------------------------
-    specs = plan_initial_pass(ranges, opts)
+    specs = plan_initial_pass(ranges, opts, capture_state=sparse)
     t0 = time.perf_counter()
     results = runtime.run(specs, label="forward")
     wall = time.perf_counter() - t0
@@ -116,18 +167,36 @@ def forward_phase(
     )
     tol = problem.parallel_tol
     iteration = 0
+    # Scheduling state: the input boundary each processor consumed at
+    # its last dispatch, and whether it converged there.
+    last_input: dict[int, np.ndarray] = {}
+    last_converged: dict[int, bool] = {}
     while True:
         iteration += 1
         if iteration > max_iters:
             raise ConvergenceError(
                 f"forward fix-up did not converge within {max_iters} iterations"
             )
-        specs, comm = plan_fixup_round(ranges, finals, opts, tol)
+        specs, comm, changed = plan_fixup_round(
+            ranges,
+            finals,
+            opts,
+            tol,
+            sparse=sparse,
+            last_input=last_input,
+            last_converged=last_converged,
+        )
+        if not specs:
+            # Every processor is converged on an unchanged input —
+            # only reachable defensively; the loop normally exits via
+            # all_conv below before planning an empty round.
+            iteration -= 1
+            break
         label = f"fixup[{iteration}]"
         t0 = time.perf_counter()
         results = runtime.run(specs, label=label)
         wall = time.perf_counter() - t0
-        work_row = [0.0] * num_procs  # processor 1 idles in fix-up
+        work_row = [0.0] * num_procs  # non-dispatched processors idle
         all_conv = True
         for result in results:
             finals[result.proc] = result.boundary
@@ -135,7 +204,11 @@ def forward_phase(
             metrics.fixup_stages[result.proc] = (
                 metrics.fixup_stages.get(result.proc, 0) + result.stages_done
             )
+            last_converged[result.proc] = result.converged
             all_conv &= result.converged
+        metrics.fixup_dispatched.append(len(specs))
+        if opts.use_delta:
+            metrics.fixup_changed_deltas.append(changed)
         metrics.record(
             SuperstepRecord(
                 label=label,

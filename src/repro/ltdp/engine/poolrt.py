@@ -51,6 +51,14 @@ class _WorkerStore:
         self.s: dict[int, np.ndarray] = {}
         self.pred: dict[int, np.ndarray] = {}
         self.path: dict[int, int] = {}
+        #: Resident §4.7 delta state (stage → cached kernel evaluation)
+        #: and the last fix-up input boundary per range-lo — the bases
+        #: sparse fix-up and boundary diffs apply against.  These never
+        #: cross the wire: specs write them via SpecResult and
+        #: :meth:`~repro.ltdp.engine.specs.SpecResult.stripped` drops
+        #: them from the reply.
+        self.fixup_state: dict[int, object] = {}
+        self.fixup_input: dict[int, np.ndarray] = {}
 
     # -- StageStore protocol -------------------------------------------
     def get_s(self, i: int) -> np.ndarray:
@@ -64,10 +72,20 @@ class _WorkerStore:
     def get_path(self, i: int) -> int:
         return self.path[i]
 
+    def get_fixup_state(self, i: int):
+        return self.fixup_state.get(i)
+
+    def get_fixup_input(self, lo: int) -> np.ndarray | None:
+        return self.fixup_input.get(lo)
+
     def apply(self, result: SpecResult) -> None:
         self.s.update(result.s_updates)
         self.pred.update(result.pred_updates)
         self.path.update(result.path_updates)
+        self.fixup_state.update(result.fixup_state_updates)
+        if result.fixup_input is not None:
+            lo, vec = result.fixup_input
+            self.fixup_input[lo] = vec
 
 
 # ----------------------------------------------------------------------

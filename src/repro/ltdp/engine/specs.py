@@ -32,7 +32,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.exceptions import ZeroVectorError
-from repro.ltdp.delta import delta_fixup_work
+from repro.ltdp.delta import BoundaryDiff, delta_fixup_work
 from repro.ltdp.problem import LTDPProblem
 from repro.semiring.vector import are_parallel, is_zero_vector, random_nonzero_vector
 
@@ -63,6 +63,18 @@ class StageStore(Protocol):
         """Stored backward-path entry at stage ``i`` (as of the last barrier)."""
         ...
 
+    def get_fixup_state(self, i: int):
+        """Resident §4.7 delta state: stage ``i``'s cached kernel
+        evaluation (``None`` when the stage has not been evaluated with
+        state capture yet)."""
+        ...
+
+    def get_fixup_input(self, lo: int) -> np.ndarray | None:
+        """The input boundary last consumed by a fix-up sweep starting
+        at stage ``lo`` — the resident base a :class:`BoundaryDiff`
+        applies to.  ``None`` before the first fix-up dispatch."""
+        ...
+
 
 @dataclass
 class SpecResult:
@@ -89,10 +101,17 @@ class SpecResult:
     boundary: np.ndarray | None = None
     #: ``(value, stage, cell)`` candidate from an :class:`ObjectiveSpec`.
     objective: tuple[float, int, int] | None = None
+    #: Resident §4.7 delta state: per-stage cached kernel evaluations
+    #: produced by this spec (stage-resident, stripped on the pool wire).
+    fixup_state_updates: dict[int, object] = field(default_factory=dict)
+    #: ``(lo, boundary)`` — the input boundary this fix-up sweep
+    #: consumed, stored resident so the next round's
+    #: :class:`~repro.ltdp.delta.BoundaryDiff` can apply against it.
+    fixup_input: tuple[int, np.ndarray] | None = None
 
     def stripped(self) -> "SpecResult":
         """Copy with the stage-resident payloads removed (pool wire format)."""
-        return replace(self, s_updates={}, pred_updates={})
+        return replace(self, s_updates={}, pred_updates={}, fixup_state_updates={}, fixup_input=None)
 
 
 @dataclass(frozen=True)
@@ -123,6 +142,10 @@ class ForwardInitSpec(SuperstepSpec):
     nz_low: float = -10.0
     nz_high: float = 10.0
     nz_integer: bool = True
+    #: Cache each stage's kernel evaluation state for later sparse
+    #: fix-up (set when the problem has a sparse kernel and delta mode
+    #: is on).  Costs memory, never changes the computed vectors.
+    capture_state: bool = False
 
     def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
         if self.proc == 1:
@@ -138,9 +161,14 @@ class ForwardInitSpec(SuperstepSpec):
             )
         out_s: dict[int, np.ndarray] = {}
         out_pred: dict[int, np.ndarray] = {}
+        out_states: dict[int, object] = {}
         work = 0.0
         for i in self.stages():
-            v, p = problem.apply_stage_with_pred(i, v)
+            if self.capture_state:
+                v, p, st = problem.apply_stage_with_state(i, v)
+                out_states[i] = st
+            else:
+                v, p = problem.apply_stage_with_pred(i, v)
             if is_zero_vector(v):
                 raise ZeroVectorError(
                     f"stage {i} produced an all--inf vector during the "
@@ -155,6 +183,7 @@ class ForwardInitSpec(SuperstepSpec):
             s_updates=out_s,
             pred_updates=out_pred,
             boundary=out_s[self.hi],
+            fixup_state_updates=out_states,
         )
 
 
@@ -163,35 +192,85 @@ class ForwardFixupSpec(SuperstepSpec):
     """Fig 4 lines 13-27: re-sweep from the left neighbour's boundary.
 
     ``boundary`` is the neighbour's range-final vector as advertised at
-    the barrier; the convergence predicate is tropical parallelism
-    against the stored vectors (:meth:`is_converged`), with the
-    problem's tolerance baked into the spec.
+    the barrier — shipped either dense or, in delta mode, as a
+    :class:`~repro.ltdp.delta.BoundaryDiff` against the input boundary
+    the processor consumed last round (resident in its store).  The
+    convergence predicate is tropical parallelism against the stored
+    vectors (:meth:`is_converged`), with the problem's tolerance baked
+    into the spec.
+
+    In delta mode (``use_delta``), problems with a sparse kernel
+    (``sparse``) propagate only the changed positions through each
+    resident stage via
+    :meth:`~repro.ltdp.problem.LTDPProblem.apply_stage_sparse`, falling
+    back to the dense kernel past the ``crossover`` changed fraction;
+    the charged work is the cells actually touched either way.
+    Problems without a sparse kernel run dense and charge the modeled
+    §4.7 cost (:func:`~repro.ltdp.delta.delta_fixup_work`).
     """
 
-    boundary: np.ndarray = None  # type: ignore[assignment]
+    boundary: np.ndarray | None = None
     tol: float = 0.0
     use_delta: bool = False
+    #: Sparse alternative to ``boundary``: applied to the resident copy
+    #: of last round's input boundary (``store.get_fixup_input(lo)``).
+    boundary_diff: BoundaryDiff | None = None
+    #: Run the problem's sparse fix-up kernel (delta mode + the problem
+    #: advertises ``supports_sparse_fixup``).
+    sparse: bool = False
+    #: Changed-input fraction above which the sparse kernel defers to
+    #: the dense one.
+    crossover: float = 0.25
 
     def is_converged(self, new: np.ndarray, stored: np.ndarray) -> bool:
         """The fix-up convergence predicate (§4.2 rank convergence)."""
         return are_parallel(new, stored, tol=self.tol)
 
     def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
-        v = self.boundary
+        if self.boundary_diff is not None:
+            base = store.get_fixup_input(self.lo)
+            if base is None:
+                raise ZeroVectorError(
+                    f"processor {self.proc} received a boundary diff but "
+                    "has no resident input boundary to apply it to"
+                )
+            v = self.boundary_diff.apply(base)
+        else:
+            v = np.asarray(self.boundary, dtype=np.float64)
+        in_boundary = v
         new_s: dict[int, np.ndarray] = {}
         new_pred: dict[int, np.ndarray] = {}
+        new_states: dict[int, object] = {}
         work = 0.0
         stages_done = 0
         converged = False
         for i in self.stages():
-            v, p = problem.apply_stage_with_pred(i, v)
+            sparse_cells: float | None = None
+            if self.sparse:
+                res = problem.apply_stage_sparse(
+                    i, v, store.get_fixup_state(i), self.crossover
+                )
+                if res is not None:
+                    v, p, st, sparse_cells = res
+                    new_states[i] = st
+            if sparse_cells is None:
+                if self.sparse:
+                    # Dense fallback (no cache yet, or past crossover):
+                    # recapture state so the next round can go sparse.
+                    v, p, st = problem.apply_stage_with_state(i, v)
+                    new_states[i] = st
+                else:
+                    v, p = problem.apply_stage_with_pred(i, v)
             if is_zero_vector(v):
                 raise ZeroVectorError(
                     f"stage {i} produced an all--inf vector in fix-up"
                 )
             new_pred[i] = p
             old = store.get_s(i)
-            if self.use_delta:
+            if sparse_cells is not None:
+                work += sparse_cells
+            elif self.use_delta and not self.sparse:
+                # Modeled §4.7 cost for problems without a sparse kernel.
                 work += delta_fixup_work(old, v)
             else:
                 work += problem.stage_cost(i)
@@ -212,6 +291,8 @@ class ForwardFixupSpec(SuperstepSpec):
             stages_done=stages_done,
             converged=converged,
             boundary=boundary,
+            fixup_state_updates=new_states,
+            fixup_input=(self.lo, in_boundary) if self.use_delta else None,
         )
 
 

@@ -31,6 +31,11 @@ class EngineState:
         #: The backward path array; installed by the driver when the
         #: backward phase starts (it owns path assembly for all runtimes).
         self.path: np.ndarray | None = None
+        #: Resident §4.7 delta state: stage → cached kernel evaluation.
+        self.fixup_state: dict[int, object] = {}
+        #: Range-lo → input boundary last consumed by a fix-up sweep
+        #: there (the base vector boundary diffs apply against).
+        self.fixup_input: dict[int, np.ndarray] = {}
 
     # -- StageStore protocol -------------------------------------------
     def get_s(self, i: int) -> np.ndarray:
@@ -47,6 +52,12 @@ class EngineState:
         assert self.path is not None, "backward phase not started"
         return int(self.path[i])
 
+    def get_fixup_state(self, i: int):
+        return self.fixup_state.get(i)
+
+    def get_fixup_input(self, lo: int) -> np.ndarray | None:
+        return self.fixup_input.get(lo)
+
     # -- post-barrier application --------------------------------------
     def apply(self, result: SpecResult) -> None:
         """Install a spec's stage-resident writes.
@@ -59,3 +70,8 @@ class EngineState:
             self.s[i] = v
         for i, p in result.pred_updates.items():
             self.pred[i] = p
+        if result.fixup_state_updates:
+            self.fixup_state.update(result.fixup_state_updates)
+        if result.fixup_input is not None:
+            lo, vec = result.fixup_input
+            self.fixup_input[lo] = vec

@@ -89,6 +89,43 @@ class LTDPProblem(ABC):
         """
         return matvec_with_pred(self.stage_matrix(i), v)
 
+    # -- sparse delta fix-up (§4.7) ---------------------------------------
+    #: Problems with a real sparse fix-up kernel (LCS / Needleman–Wunsch)
+    #: set this True.  The kernel must be *bit-identical* to the dense
+    #: one, so implementations only advertise support when every float64
+    #: operation they reorder is exact — in practice, when all scores and
+    #: base-case values are integral.
+    supports_sparse_fixup: bool = False
+
+    def apply_stage_with_state(
+        self, i: int, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, Any]:
+        """Dense ``apply_stage_with_pred`` that also returns an opaque
+        evaluation-state cache for :meth:`apply_stage_sparse`.
+
+        The state captures whatever intermediates the sparse kernel
+        needs to repair a later evaluation of the same stage from a
+        slightly different input (the §4.7 resident delta state).  The
+        default returns ``None`` state — no sparse repair possible.
+        """
+        out, pred = self.apply_stage_with_pred(i, v)
+        return out, pred, None
+
+    def apply_stage_sparse(
+        self, i: int, v: np.ndarray, state: Any, crossover: float
+    ) -> tuple[np.ndarray, np.ndarray, Any, float] | None:
+        """Sparse re-evaluation of stage ``i`` at input ``v``.
+
+        ``state`` is the cache returned by the stage's previous
+        evaluation (:meth:`apply_stage_with_state` or a previous sparse
+        call).  Returns ``(out, pred, new_state, cells_touched)`` with
+        ``out``/``pred`` bit-identical to ``apply_stage_with_pred(i, v)``,
+        or ``None`` to request the dense kernel (no usable state, or the
+        changed-input fraction exceeds ``crossover``).  The default has
+        no sparse kernel and always returns ``None``.
+        """
+        return None
+
     # -- costs ------------------------------------------------------------
     def stage_cost(self, i: int) -> float:
         """DP cells computed by one application of stage ``i`` (cost-model units).

@@ -160,6 +160,15 @@ class RunMetrics:
     #: True when every processor converged in the first fix-up iteration
     #: (the paper's "filled data point" condition in Figs 7, 9, 10).
     converged_first_iteration: bool = True
+    #: Per forward fix-up round: processors actually dispatched (the
+    #: convergence-aware scheduler drops converged processors whose
+    #: input boundary did not change — they do no work, send nothing).
+    fixup_dispatched: list[int] = field(default_factory=list)
+    #: Per forward fix-up round in delta mode: total §4.7 changed-delta
+    #: count across the dispatched boundary messages.
+    fixup_changed_deltas: list[int] = field(default_factory=list)
+    #: Per backward fix-up round: processors actually dispatched.
+    bwd_fixup_dispatched: list[int] = field(default_factory=list)
     #: Problem-size information for throughput computation.
     num_stages: int = 0
     stage_width: int = 0
@@ -232,6 +241,9 @@ class RunMetrics:
             backward_fixup_iterations=self.backward_fixup_iterations,
             fixup_stages=dict(self.fixup_stages),
             converged_first_iteration=self.converged_first_iteration,
+            fixup_dispatched=list(self.fixup_dispatched),
+            fixup_changed_deltas=list(self.fixup_changed_deltas),
+            bwd_fixup_dispatched=list(self.bwd_fixup_dispatched),
             num_stages=self.num_stages,
             stage_width=self.stage_width,
             worker_respawns=self.worker_respawns,
@@ -247,6 +259,9 @@ class RunMetrics:
             for p, stages in other.fixup_stages.items():
                 merged.fixup_stages[p] = merged.fixup_stages.get(p, 0) + stages
             merged.converged_first_iteration &= other.converged_first_iteration
+            merged.fixup_dispatched.extend(other.fixup_dispatched)
+            merged.fixup_changed_deltas.extend(other.fixup_changed_deltas)
+            merged.bwd_fixup_dispatched.extend(other.bwd_fixup_dispatched)
             merged.worker_respawns += other.worker_respawns
             merged.dispatch_retries += other.dispatch_retries
             merged.replayed_supersteps += other.replayed_supersteps

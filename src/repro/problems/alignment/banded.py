@@ -24,6 +24,7 @@ the transformation matrices are non-trivial (§4.5) by construction.
 from __future__ import annotations
 
 from abc import abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,7 +32,31 @@ from repro.exceptions import ProblemDefinitionError
 from repro.ltdp.problem import LTDPProblem, LTDPSolution
 from repro.semiring.tropical import NEG_INF
 
-__all__ = ["band_bounds", "BandedAlignmentProblem"]
+__all__ = ["band_bounds", "BandedAlignmentProblem", "BandedStageState"]
+
+
+@dataclass
+class BandedStageState:
+    """Resident §4.7 delta state: one stage's cached kernel evaluation.
+
+    Everything the sparse fix-up kernel needs to repair a later
+    evaluation of the same stage from a slightly different input:
+    the input it was computed from plus every intermediate of the
+    dense kernel (entry values/preds, scan running max and winner,
+    and the finished output/pred vectors).  All arrays are treated
+    as immutable once stored — repairs copy before patching.
+    """
+
+    in_vec: np.ndarray  # input the cached evaluation consumed
+    entry: np.ndarray  # per-cell best value entering from the previous row
+    epred: np.ndarray  # previous-stage index behind each entry value
+    cm: np.ndarray  # scan running max (t-space)
+    estar: np.ndarray  # scan winning entry position per cell
+    out: np.ndarray  # kernel output (stage vector)
+    pred: np.ndarray  # kernel predecessor output
+
+    #: Sentinel state for the width-1 selector stage (no intermediates).
+    SELECTOR = "selector"
 
 
 def band_bounds(i: int, m: int, width: int) -> tuple[int, int]:
@@ -188,6 +213,283 @@ class BandedAlignmentProblem(LTDPProblem):
 
     def stage_cost(self, i: int) -> float:
         return float(self.stage_width(i))
+
+    # -- sparse delta fix-up (§4.7) ------------------------------------
+    def _scores_integral(self) -> bool:
+        """Exactness gate for the sparse fix-up kernel.
+
+        Must return True only when every value this problem's kernel
+        can produce — match scores and row-0 base cases included — is
+        integral, so that applying a (then integral) anchor offset to a
+        cached evaluation commutes bit-exactly with the dense kernel.
+        """
+        return False
+
+    @property
+    def supports_sparse_fixup(self) -> bool:
+        return (
+            float(self.gap_up).is_integer()
+            and float(self.gap_left).is_integer()
+            and self._scores_integral()
+        )
+
+    def apply_stage_with_state(self, i, v):
+        """Dense evaluation that also caches the kernel intermediates."""
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            out, pred = self.apply_stage_with_pred(i, v)
+            return out, pred, BandedStageState.SELECTOR
+        entry, epred, _ = self._entry_values(i, v)
+        with np.errstate(invalid="ignore"):
+            idx = np.arange(entry.shape[0], dtype=np.float64)
+            t = entry + self.gap_left * idx
+            cm = np.maximum.accumulate(t)
+            newmax = np.empty(entry.shape[0], dtype=bool)
+            newmax[0] = True
+            newmax[1:] = t[1:] > cm[:-1]
+            estar = np.maximum.accumulate(
+                np.where(newmax, np.arange(entry.shape[0]), -1)
+            )
+            vals = cm - self.gap_left * idx
+        pred = epred[estar]
+        state = BandedStageState(
+            in_vec=v.copy(),
+            entry=entry,
+            epred=epred,
+            cm=cm,
+            estar=estar,
+            out=vals,
+            pred=pred,
+        )
+        return vals, pred, state
+
+    def _sparse_entry_at(
+        self, i: int, v: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Recompute ``(entry, epred)`` at the given band positions only.
+
+        Elementwise replication of :meth:`_entry_values` — same
+        operations in the same order, so results are bit-identical to
+        the dense pass restricted to ``positions``.
+        """
+        lo_p, hi_p = band_bounds(i - 1, self._m, self.width)
+        lo, hi = band_bounds(i, self._m, self.width)
+        du = lo - lo_p
+        entry = np.full(positions.shape[0], NEG_INF)
+        epred = np.zeros(positions.shape[0], dtype=np.int64)
+        s = max(lo, lo_p)
+        e = min(hi, hi_p)
+        up = (positions >= s - lo) & (positions <= e - lo)
+        if up.any():
+            k = positions[up] + du
+            entry[up] = v[k] - self.gap_up
+            epred[up] = k
+        ds = max(lo, lo_p + 1, 1)
+        de = min(hi, hi_p + 1)
+        dg = (positions >= ds - lo) & (positions <= de - lo)
+        if dg.any():
+            cols = positions[dg] + lo
+            diag = v[cols - 1 - lo_p] + self.match_score(i, cols)
+            better = diag >= entry[dg]
+            entry[dg] = np.where(better, diag, entry[dg])
+            epred[dg] = np.where(better, cols - 1 - lo_p, epred[dg])
+        return entry, epred
+
+    #: Scan-repair chunk: the incremental fix-up re-runs the prefix scan
+    #: this many cells at a time until it realigns with the cached scan.
+    _SPARSE_CHUNK = 32
+
+    def apply_stage_sparse(self, i, v, state, crossover):
+        """§4.7 sparse fix-up: propagate only the changed *delta* positions.
+
+        The new input is diffed against the cached evaluation's input in
+        delta space: between changed delta positions the two inputs
+        differ by a constant (piecewise) offset, so the cached entry
+        values and scan state shift by that constant bit-exactly
+        (integral arithmetic).  Only entries straddling a changed delta
+        are recomputed, and the prefix scan is re-run only from those
+        spots until its running max and winner realign with the cached
+        scan (shifted by the local segment offset).  Returns ``None``
+        (caller runs the dense kernel) when there is no usable cache,
+        the ``-inf`` mask moved, values are non-integral (shifts would
+        not be exact), or the changed-delta fraction exceeds
+        ``crossover``.
+        """
+        self.check_stage_index(i)
+        v = np.asarray(v, dtype=np.float64)
+        if i == self.num_stages:
+            # Width-1 selector: "sparse" recomputation is the O(1) read.
+            k = self._selector_source()
+            return (
+                np.array([v[k]]),
+                np.array([k], dtype=np.int64),
+                BandedStageState.SELECTOR,
+                1.0,
+            )
+        if not isinstance(state, BandedStageState):
+            return None
+        in0 = state.in_vec
+        if v.shape != in0.shape:
+            return None
+        fin = np.isfinite(v)
+        if not np.array_equal(fin, np.isfinite(in0)) or not fin.any():
+            return None  # -inf mask moved (or zero vector): repair void
+        # Exactness gate, per call (belt to the problem-level braces):
+        # integral values make every reordered float64 op exact.
+        vf, of = v[fin], in0[fin]
+        if not (np.all(vf == np.floor(vf)) and np.all(of == np.floor(of))):
+            return None
+        W_in = v.shape[0]
+        W = state.out.shape[0]
+        g = self.gap_left
+
+        # Piecewise input offset: off[k] = v[k] - in0[k] at finite
+        # positions, carried across -inf runs (a masked position that
+        # stays masked never fabricates a segment boundary).
+        off = np.empty(W_in)
+        off[fin] = vf - of
+        if not fin.all():
+            idxs = np.where(fin, np.arange(W_in), -1)
+            ff = np.maximum.accumulate(idxs)
+            first = int(np.argmax(fin))
+            off = off[np.where(ff >= 0, ff, first)]
+        # Changed delta positions (§4.7): where the offset steps.
+        dpos = np.flatnonzero(off[1:] != off[:-1]) + 1
+        if dpos.size > crossover * W_in:
+            return None  # too many changed deltas: dense is cheaper
+
+        def seg_shift(a: np.ndarray, cs: float) -> np.ndarray:
+            # cs == 0 copies bitwise (``+ 0.0`` would flip -0.0).
+            return a.copy() if cs == 0.0 else a + cs
+
+        if dpos.size == 0:
+            # Tropically parallel input: the whole evaluation shifts by
+            # the anchor offset (Lemma 3 keeps the predecessors fixed).
+            c = float(off[0])
+            if c == 0.0:
+                return state.out.copy(), state.pred.copy(), state, 1.0
+            with np.errstate(invalid="ignore"):
+                new_state = BandedStageState(
+                    in_vec=v.copy(),
+                    entry=state.entry + c,
+                    epred=state.epred,
+                    cm=state.cm + c,
+                    estar=state.estar,
+                    out=state.out + c,
+                    pred=state.pred,
+                )
+            return new_state.out.copy(), state.pred.copy(), new_state, 1.0
+
+        # Geometry: entry j is fed by input j+du (up) and j+du-1 (diag).
+        lo_p, hi_p = band_bounds(i - 1, self._m, self.width)
+        lo, hi = band_bounds(i, self._m, self.width)
+        du = lo - lo_p
+        js = np.arange(W)
+        up_valid = (js >= max(lo, lo_p) - lo) & (js <= min(hi, hi_p) - lo)
+        dg_valid = (js >= max(lo, lo_p + 1, 1) - lo) & (js <= min(hi, hi_p + 1) - lo)
+        off_up = np.zeros(W)
+        off_up[up_valid] = off[js[up_valid] + du]
+        off_dg = np.zeros(W)
+        off_dg[dg_valid] = off[js[dg_valid] + du - 1]
+        # Per-entry shift; entries straddling a changed delta (their two
+        # feeds shifted by different constants) are recomputed exactly.
+        centry = np.where(up_valid, off_up, off_dg)
+        eset = js[up_valid & dg_valid & (off_up != off_dg)]
+        with np.errstate(invalid="ignore"):
+            entry_new = np.where(centry == 0.0, state.entry, state.entry + centry)
+        epred_new = state.epred.copy()
+        if eset.size:
+            e_vals, e_preds = self._sparse_entry_at(i, v, eset)
+            entry_new[eset] = e_vals
+            epred_new[eset] = e_preds
+
+        # Scan repair restarts wherever an entry was recomputed or the
+        # segment shift steps (the max comparisons stop being uniform).
+        dirty = np.union1d(
+            eset, np.flatnonzero(centry[1:] != centry[:-1]) + 1
+        ).astype(np.int64)
+        cm_new = np.empty(W)
+        estar_new = np.empty(W, dtype=np.int64)
+        vals_new = np.empty(W)
+        touched = 1.0 + float(eset.size)  # anchor + recomputed entries
+        carry_cm = NEG_INF
+        carry_estar = -1
+        aligned = True  # scan state currently equals cached + local shift
+        pos = 0
+        with np.errstate(invalid="ignore"):
+            while pos < W:
+                nd = int(np.searchsorted(dirty, pos, side="left"))
+                next_dirty = int(dirty[nd]) if nd < dirty.size else W
+                if aligned and pos < next_dirty:
+                    # Clean stretch: cached scan shifted by the segment
+                    # offset — exact because the scan state matched at
+                    # pos-1 and the entries here are uniformly shifted.
+                    cs = float(centry[pos])
+                    cm_new[pos:next_dirty] = seg_shift(state.cm[pos:next_dirty], cs)
+                    estar_new[pos:next_dirty] = state.estar[pos:next_dirty]
+                    vals_new[pos:next_dirty] = seg_shift(state.out[pos:next_dirty], cs)
+                    carry_cm = float(cm_new[next_dirty - 1])
+                    carry_estar = int(estar_new[next_dirty - 1])
+                    pos = next_dirty
+                    continue
+                end = min(W, pos + self._SPARSE_CHUNK)
+                idxf = np.arange(pos, end, dtype=np.float64)
+                t = entry_new[pos:end] + g * idxf
+                cm_chunk = np.maximum(np.maximum.accumulate(t), carry_cm)
+                prev = np.empty(end - pos)
+                prev[0] = carry_cm
+                prev[1:] = cm_chunk[:-1]
+                newmax = t > prev
+                if pos == 0:
+                    newmax[0] = True  # the dense scan seeds position 0
+                estar_chunk = np.maximum(
+                    np.maximum.accumulate(
+                        np.where(newmax, np.arange(pos, end), -1)
+                    ),
+                    carry_estar,
+                )
+                cm_new[pos:end] = cm_chunk
+                estar_new[pos:end] = estar_chunk
+                vals_new[pos:end] = cm_chunk - g * idxf
+                touched += float(end - pos)
+                # Realignment: a position whose running max and winner
+                # both equal the cached scan (shifted by its segment
+                # offset) pins the scan back to "cached + shift" until
+                # the next dirty position.
+                align = np.flatnonzero(
+                    (cm_chunk == state.cm[pos:end] + centry[pos:end])
+                    & (estar_chunk == state.estar[pos:end])
+                )
+                if align.size:
+                    r = pos + int(align[0])
+                    touched -= float(end - 1 - r)  # beyond r: untouched
+                    carry_cm = float(cm_new[r])
+                    carry_estar = int(estar_new[r])
+                    aligned = True
+                    pos = r + 1
+                else:
+                    carry_cm = float(cm_chunk[-1])
+                    carry_estar = int(estar_chunk[-1])
+                    aligned = False
+                    pos = end
+
+        # One gather rebuilds the dense pred bit-exactly: clean regions
+        # keep their cached winner, whose entry pred only moved if the
+        # winner itself was recomputed (then epred_new holds it).
+        pred_new = epred_new[estar_new]
+
+        new_state = BandedStageState(
+            in_vec=v.copy(),
+            entry=entry_new,
+            epred=epred_new,
+            cm=cm_new,
+            estar=estar_new,
+            out=vals_new,
+            pred=pred_new,
+        )
+        cells = min(touched, self.stage_cost(i))
+        return vals_new.copy(), pred_new.copy(), new_state, cells
 
     def edge_weight(self, i: int, j: int, k: int) -> float:
         """Best within-row path weight from prev cell ``k`` into cell ``j``.

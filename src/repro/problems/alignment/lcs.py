@@ -32,6 +32,9 @@ class LCSProblem(BandedAlignmentProblem):
     gap_up = 0.0
     gap_left = 0.0
 
+    def _scores_integral(self) -> bool:
+        return True  # 0/1 match scores, zero gaps, zero base case
+
     def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
         return (self.b[col - 1] == self.a[i - 1]).astype(np.float64)
 

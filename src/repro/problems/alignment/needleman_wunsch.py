@@ -52,6 +52,16 @@ class NeedlemanWunschProblem(BandedAlignmentProblem):
     def gap_left(self) -> float:
         return self.scoring.gap_open
 
+    def _scores_integral(self) -> bool:
+        sc = self.scoring
+        if sc.substitution is not None:
+            sub = np.asarray(sc.substitution, dtype=np.float64)
+            if not np.all(sub == np.floor(sub)):
+                return False
+        elif not (float(sc.match).is_integer() and float(sc.mismatch).is_integer()):
+            return False
+        return float(sc.gap_open).is_integer()
+
     def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
         return self.scoring.score_row(self.a[i - 1], self.b[col - 1])
 

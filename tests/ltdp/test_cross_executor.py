@@ -133,6 +133,48 @@ def test_metrics_accounting_invariant_across_executors(name, kind, serial_soluti
     ]
 
 
+#: Workloads for the delta-mode identity sweep: the two sparse-kernel
+#: problems (LCS / NW run §4.7 as actual computation), the matrix
+#: problem (dense kernel + modeled delta accounting), and
+#: Smith-Waterman (objective phase + backward repartition on top).
+DELTA_WORKLOADS = ["lcs", "nw", "matrix", "sw"]
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process", "pool"])
+@pytest.mark.parametrize("name", DELTA_WORKLOADS)
+def test_delta_mode_bit_identical_everywhere(name, kind, serial_solutions):
+    """§4.7 delta mode is an optimization, never a semantic: with
+    ``use_delta=True`` every executor must reproduce the sequential
+    path and score bit-for-bit — sparse boundary diffs, resident-state
+    sparse kernels and convergence-aware skipping included."""
+    from repro.ltdp.sequential import solve_sequential
+
+    problem = PROBLEMS[name]
+    seq = solve_sequential(problem)
+    base = serial_solutions[name]
+    ex = get_executor(kind, max_workers=2)
+    try:
+        got = solve_parallel(
+            problem,
+            ParallelOptions(
+                num_procs=NUM_PROCS, seed=SEED, executor=ex, use_delta=True
+            ),
+        )
+    finally:
+        ex.close()
+
+    np.testing.assert_array_equal(got.path, seq.path)
+    assert got.score == seq.score
+    np.testing.assert_array_equal(got.path, base.path)
+    assert got.score == base.score
+    # Delta mode may skip work and shrink messages, but never changes
+    # the superstep structure's convergence behaviour.
+    assert (
+        got.metrics.forward_fixup_iterations
+        == base.metrics.forward_fixup_iterations
+    )
+
+
 @pytest.fixture(scope="module")
 def spawn_pool():
     """One spawn-start-method pool shared by the whole module: workers

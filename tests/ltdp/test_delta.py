@@ -5,10 +5,12 @@ import pytest
 
 from repro.exceptions import DimensionError
 from repro.ltdp.delta import (
+    BoundaryDiff,
     changed_delta_count,
     delta_decode,
     delta_encode,
     delta_fixup_work,
+    encode_boundary_diff,
 )
 from repro.semiring.tropical import NEG_INF
 
@@ -91,3 +93,109 @@ class TestChangeCounting:
         w = rng.integers(-5, 6, size=30).astype(float)
         work = delta_fixup_work(v, w)
         assert 1.0 <= work <= 30.0
+
+
+class TestNegInfBandEdges:
+    """-inf band-edge behaviour of the §4.7 encoding (the cases the
+    sparse fix-up kernels rely on)."""
+
+    def test_one_sided_transition_is_nan_marker(self):
+        # finite -> -inf and -inf -> finite adjacencies both collapse to
+        # the canonical nan marker.
+        _, d = delta_encode(np.array([2.0, NEG_INF]))
+        assert np.isnan(d[0])
+        _, d = delta_encode(np.array([NEG_INF, 2.0]))
+        assert np.isnan(d[0])
+
+    def test_mask_gain_and_loss_each_count_once(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        w = v.copy()
+        w[2] = NEG_INF  # deltas 1 and 2 become nan markers
+        assert changed_delta_count(v, w) == 2
+        # Symmetric: recovering the position is the same two changes.
+        assert changed_delta_count(w, v) == 2
+
+    def test_stable_mask_with_shift_counts_zero(self, rng):
+        """A band-edge -inf that stays put while the finite part shifts
+        uniformly is tropical parallelism: zero changed deltas."""
+        v = rng.integers(-10, 11, size=20).astype(float)
+        v[[0, 7, 19]] = NEG_INF
+        w = v.copy()
+        fin = np.isfinite(w)
+        w[fin] += 5.0
+        assert changed_delta_count(v, w) == 0
+
+    def test_anchor_neg_inf_vectors_countable(self):
+        """Vectors whose *anchor* is -inf still diff positionally (the
+        planner never decodes them, only counts)."""
+        v = np.array([NEG_INF, 1.0, 2.0])
+        w = np.array([NEG_INF, 1.0, 5.0])
+        assert changed_delta_count(v, w) == 1
+
+    def test_fixup_work_never_below_anchor_cost(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 30))
+            v = rng.integers(-5, 6, size=n).astype(float)
+            w = rng.integers(-5, 6, size=n).astype(float)
+            v[rng.random(n) < 0.2] = NEG_INF
+            w[rng.random(n) < 0.2] = NEG_INF
+            assert 1.0 <= delta_fixup_work(v, w) <= float(n)
+
+
+class TestBoundaryDiff:
+    def test_roundtrip_random(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 40))
+            old = rng.integers(-50, 50, size=n).astype(float)
+            new = rng.integers(-50, 50, size=n).astype(float)
+            old[rng.random(n) < 0.2] = NEG_INF
+            new[rng.random(n) < 0.2] = NEG_INF
+            diff = encode_boundary_diff(old, new)
+            np.testing.assert_array_equal(diff.apply(old), new)
+
+    def test_parallel_vectors_ship_offset_only(self, rng):
+        old = rng.integers(-10, 11, size=16).astype(float)
+        new = old + 3.0
+        diff = encode_boundary_diff(old, new)
+        assert diff.idx.size == 0
+        assert diff.num_bytes == 16  # offset + length, no overrides
+        np.testing.assert_array_equal(diff.apply(old), new)
+
+    def test_identity_is_bitwise_copy(self):
+        old = np.array([-0.0, 1.0, NEG_INF])
+        diff = encode_boundary_diff(old, old)
+        out = diff.apply(old)
+        np.testing.assert_array_equal(out, old)
+        # -0.0 must survive the no-offset path (old + 0.0 would flip it).
+        assert np.signbit(out[0])
+
+    def test_mask_change_becomes_override(self):
+        old = np.array([1.0, NEG_INF, 3.0])
+        new = np.array([1.0, 7.0, 3.0])
+        diff = encode_boundary_diff(old, new)
+        np.testing.assert_array_equal(diff.idx, [1])
+        np.testing.assert_array_equal(diff.apply(old), new)
+
+    def test_neg_inf_anchor_falls_back_to_zero_offset(self):
+        old = np.array([NEG_INF, 1.0, 2.0])
+        new = np.array([NEG_INF, 4.0, 5.0])
+        diff = encode_boundary_diff(old, new)
+        assert diff.offset == 0.0
+        np.testing.assert_array_equal(diff.apply(old), new)
+
+    def test_apply_rejects_wrong_size(self):
+        diff = encode_boundary_diff(np.zeros(4), np.ones(4))
+        with pytest.raises(DimensionError):
+            diff.apply(np.zeros(5))
+
+    def test_encode_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            encode_boundary_diff(np.zeros(3), np.zeros(4))
+
+    def test_num_bytes_vs_dense_crossover(self, rng):
+        """The planner ships the diff only when smaller than 8*size;
+        a fully-changed vector must therefore price itself out."""
+        old = np.arange(8, dtype=float)
+        new = old[::-1].copy()
+        diff = encode_boundary_diff(old, new)
+        assert diff.num_bytes >= 8 * old.size

@@ -1,0 +1,142 @@
+"""Bit-identity of the §4.7 sparse fix-up kernel (banded alignment).
+
+``apply_stage_sparse`` repairs a cached stage evaluation against a new
+input that differs in a few *delta* positions.  Its contract is brutal:
+whenever it does not return ``None`` it must reproduce the dense
+kernel's output vector AND predecessor vector bit-for-bit — the
+parallel solver's equality-with-sequential guarantee rides on it.
+These tests fuzz the kernel directly with band-edge ``-inf`` patterns,
+anchor offsets, suffix shifts (changed deltas) and chained cached
+states, and pin the documented fallback conditions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems.alignment.lcs import LCSProblem
+from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem
+from repro.problems.alignment.scoring import ScoringScheme
+from repro.semiring.tropical import NEG_INF
+
+
+def make_problem(rng, cls):
+    n = int(rng.integers(8, 60))
+    m = int(rng.integers(8, 60))
+    a = rng.integers(0, 4, size=n)
+    b = rng.integers(0, 4, size=m)
+    width = int(rng.integers(max(1, abs(n - m)), abs(n - m) + 30))
+    return cls(a, b, width=width)
+
+
+def perturb_in_delta_space(rng, base):
+    """Anchor offset + a few suffix shifts = a few changed deltas."""
+    v = base.copy()
+    fin = np.isfinite(v)
+    v[fin] += float(rng.integers(-5, 6))
+    for _ in range(int(rng.integers(0, max(1, v.size // 3)))):
+        k = int(rng.integers(0, v.size))
+        sel = fin.copy()
+        sel[:k] = False
+        v[sel] += float(rng.integers(-4, 5))
+    return v
+
+
+@pytest.mark.parametrize("cls", [LCSProblem, NeedlemanWunschProblem])
+def test_sparse_kernel_bit_identical_to_dense(cls):
+    rng = np.random.default_rng(17)
+    ran = 0
+    for _ in range(80):
+        prob = make_problem(rng, cls)
+        assert prob.supports_sparse_fixup  # integral default scoring
+        i = int(rng.integers(1, prob.num_stages + 1))
+        w_in = prob.stage_width(i - 1)
+        base = rng.integers(-20, 20, size=w_in).astype(float)
+        ninf = rng.random(w_in) < 0.15
+        if ninf.all():
+            ninf[int(rng.integers(0, w_in))] = False
+        base[ninf] = NEG_INF
+        _, _, state = prob.apply_stage_with_state(i, base)
+        v = perturb_in_delta_space(rng, base)
+        res = prob.apply_stage_sparse(i, v, state, crossover=1.1)
+        dense_out, dense_pred = prob.apply_stage_with_pred(i, v)
+        if res is None:
+            continue  # legal fallback (e.g. -inf mask interactions)
+        ran += 1
+        out, pred, new_state, cells = res
+        np.testing.assert_array_equal(out, dense_out)
+        np.testing.assert_array_equal(pred, dense_pred)
+        assert 1.0 <= cells <= prob.stage_cost(i)
+        # The captured state must chain: repair the *next* stage from it.
+        if i < prob.num_stages and not isinstance(new_state, str):
+            _, _, st1 = prob.apply_stage_with_state(i + 1, out)
+            v2 = perturb_in_delta_space(rng, out)
+            res2 = prob.apply_stage_sparse(i + 1, v2, st1, crossover=1.1)
+            d2out, d2pred = prob.apply_stage_with_pred(i + 1, v2)
+            if res2 is not None:
+                np.testing.assert_array_equal(res2[0], d2out)
+                np.testing.assert_array_equal(res2[1], d2pred)
+    assert ran >= 40  # the sparse path must actually be exercised
+
+
+def test_parallel_input_costs_one_cell():
+    rng = np.random.default_rng(3)
+    prob = make_problem(rng, LCSProblem)
+    i = 3
+    base = rng.integers(0, 10, size=prob.stage_width(i - 1)).astype(float)
+    out0, pred0, state = prob.apply_stage_with_state(i, base)
+    out, pred, _, cells = prob.apply_stage_sparse(i, base + 7.0, state, 0.25)
+    assert cells == 1.0
+    np.testing.assert_array_equal(out, out0 + 7.0)
+    np.testing.assert_array_equal(pred, pred0)
+
+
+def test_crossover_triggers_dense_fallback():
+    rng = np.random.default_rng(5)
+    prob = make_problem(rng, NeedlemanWunschProblem)
+    i = 2
+    w_in = prob.stage_width(i - 1)
+    base = rng.integers(0, 10, size=w_in).astype(float)
+    _, _, state = prob.apply_stage_with_state(i, base)
+    scrambled = rng.integers(0, 10, size=w_in).astype(float)  # all deltas move
+    assert prob.apply_stage_sparse(i, scrambled, state, crossover=0.1) is None
+
+
+def test_non_integral_values_fall_back():
+    """The kernel refuses non-integral inputs: shifted recomputation is
+    only bit-exact when every float64 op is on integers."""
+    rng = np.random.default_rng(9)
+    prob = make_problem(rng, LCSProblem)
+    i = 2
+    base = rng.integers(0, 10, size=prob.stage_width(i - 1)).astype(float)
+    _, _, state = prob.apply_stage_with_state(i, base)
+    v = base + 0.5
+    v[0] += 1.0
+    assert prob.apply_stage_sparse(i, v, state, crossover=1.0) is None
+
+
+def test_mask_change_falls_back():
+    rng = np.random.default_rng(11)
+    prob = make_problem(rng, LCSProblem)
+    i = 2
+    base = rng.integers(0, 10, size=prob.stage_width(i - 1)).astype(float)
+    _, _, state = prob.apply_stage_with_state(i, base)
+    v = base.copy()
+    v[v.size // 2] = NEG_INF  # a position joined the band mask
+    assert prob.apply_stage_sparse(i, v, state, crossover=1.0) is None
+
+
+def test_missing_state_falls_back():
+    rng = np.random.default_rng(13)
+    prob = make_problem(rng, NeedlemanWunschProblem)
+    base = rng.integers(0, 10, size=prob.stage_width(0)).astype(float)
+    assert prob.apply_stage_sparse(1, base, None, crossover=1.0) is None
+
+
+def test_non_integral_scoring_disables_sparse_support():
+    rng = np.random.default_rng(15)
+    a = rng.integers(0, 4, size=20)
+    b = rng.integers(0, 4, size=20)
+    prob = NeedlemanWunschProblem(
+        a, b, width=8, scoring=ScoringScheme(match=1.5, mismatch=-0.25)
+    )
+    assert not prob.supports_sparse_fixup
