@@ -29,6 +29,7 @@ from repro.machine.metrics import (
     KNOWN_LABEL_PREFIXES,
     RECORD_PHASES,
     TRACE_PHASES,
+    TRACE_SPAN_NAMES,
 )
 
 __all__ = [
@@ -377,8 +378,12 @@ class PhaseDisciplineRule(Rule):
     runtime now raises on unknown phases — this rule catches the same
     class of bug *statically*: literal ``SuperstepRecord.phase`` values
     must be members of ``RECORD_PHASES``, a record built without an
-    explicit phase must carry a label with a known prefix, and tracer
-    phase spans must use ``TRACE_PHASES`` members.
+    explicit phase must carry a label with a known prefix, tracer
+    phase spans must use ``TRACE_PHASES`` members, and literal tracer
+    span *names* must come from ``TRACE_SPAN_NAMES`` (the runner layer
+    added ``runner.pull`` / ``program.instr``; an unregistered span name
+    is invisible to trace summaries and the bench coverage check —
+    the same silent-vocabulary-drift bug, one layer up).
     """
 
     code = "REP004"
@@ -452,15 +457,27 @@ class PhaseDisciplineRule(Rule):
                     "records were silently priced as forward work — set "
                     "phase='forward' or 'backward'",
                 )
-        elif func_name in ("span", "add_span") and "phase" in keywords:
-            phase = self._literal_str(keywords["phase"])
-            if phase is not None and phase not in TRACE_PHASES:
-                yield ctx.finding(
-                    self,
-                    keywords["phase"],
-                    f"tracer span phase {phase!r} is not in the canonical "
-                    f"set {sorted(TRACE_PHASES)}",
-                )
+        elif func_name in ("span", "add_span"):
+            if node.args:
+                span_name = self._literal_str(node.args[0])
+                if span_name is not None and span_name not in TRACE_SPAN_NAMES:
+                    yield ctx.finding(
+                        self,
+                        node.args[0],
+                        f"tracer span name {span_name!r} is not in the "
+                        f"canonical set {sorted(TRACE_SPAN_NAMES)} "
+                        "(repro.machine.metrics.TRACE_SPAN_NAMES); register "
+                        "it there so summaries and coverage checks see it",
+                    )
+            if "phase" in keywords:
+                phase = self._literal_str(keywords["phase"])
+                if phase is not None and phase not in TRACE_PHASES:
+                    yield ctx.finding(
+                        self,
+                        keywords["phase"],
+                        f"tracer span phase {phase!r} is not in the canonical "
+                        f"set {sorted(TRACE_PHASES)}",
+                    )
 
     def _check_assign(self, ctx: FileContext, node: ast.Assign) -> Iterable[Finding]:
         value = self._literal_str(node.value)
@@ -494,7 +511,11 @@ def _executor_error_names() -> frozenset[str]:
 _VALIDATION_ERRORS = frozenset({"ValueError", "TypeError", "NotImplementedError"})
 
 _RAISE_SCOPE = ("repro/machine/executor.py", "repro/machine/pool.py")
-_EXCEPT_SCOPE = _RAISE_SCOPE + ("repro/ltdp/engine/poolrt.py",)
+_EXCEPT_SCOPE = _RAISE_SCOPE + (
+    "repro/ltdp/engine/poolrt.py",
+    "repro/ltdp/engine/runner.py",
+    "repro/machine/workqueue.py",
+)
 
 
 class ExecutorContractRule(Rule):

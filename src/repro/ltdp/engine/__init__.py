@@ -1,4 +1,4 @@
-"""The parallel LTDP engine: plan layer + runtime layer.
+"""The parallel LTDP engine: plan, store, program and runner layers.
 
 The engine splits the paper's parallel algorithm (Figs 4/5) into
 
@@ -7,13 +7,23 @@ The engine splits the paper's parallel algorithm (Figs 4/5) into
   range, boundary input, convergence predicate — one per processor per
   barrier-delimited superstep
   (:mod:`~repro.ltdp.engine.forward`, :mod:`~repro.ltdp.engine.backward`,
-  orchestrated by :mod:`~repro.ltdp.engine.driver`), and
-- a **runtime layer** that executes those specs: in-process against a
-  shared store (:class:`~repro.ltdp.engine.runtime.LocalRuntime`, which
-  wraps any classic serial/thread/process
-  :class:`~repro.machine.executor.Executor`) or against per-worker
-  resident state on a persistent process pool
-  (:class:`~repro.ltdp.engine.poolrt.PoolRuntime` over
+  orchestrated by :mod:`~repro.ltdp.engine.driver`);
+- a **state-store layer** (:mod:`~repro.ltdp.engine.store`) owning the
+  stage/predecessor vectors and resident fix-up caches, driver-resident
+  (:class:`~repro.ltdp.engine.store.DriverStore`) or worker-resident
+  (:class:`~repro.ltdp.engine.store.WorkerStore`) behind one interface;
+- a **program layer** (:mod:`~repro.ltdp.engine.program`) compiling
+  spec lists into a sequence-numbered, dependency-edged
+  :class:`~repro.ltdp.engine.program.InstructionProgram` whose
+  instructions are idempotent under repeat delivery and whose recorded
+  prefix doubles as the crash-recovery replay journal;
+- a **runner layer** (:mod:`~repro.ltdp.engine.runner` +
+  :mod:`repro.machine.workqueue`) where N concurrent runners pull
+  ready instructions from a shared work queue — glued together by the
+  runtimes (:class:`~repro.ltdp.engine.runtime.LocalRuntime` over any
+  classic serial/thread/process
+  :class:`~repro.machine.executor.Executor`, or
+  :class:`~repro.ltdp.engine.poolrt.PoolRuntime` over the persistent
   :class:`~repro.machine.pool.PoolProcessExecutor`).
 
 ``solve_parallel`` keeps the exact signature and semantics it had when
@@ -26,6 +36,8 @@ from repro.ltdp.engine.driver import (
     edge_weight_by_probe,
     solve_parallel,
 )
+from repro.ltdp.engine.program import Instruction, InstructionProgram
+from repro.ltdp.engine.runner import DeliveryPolicy, RunnerCrew
 from repro.ltdp.engine.runtime import LocalRuntime, SuperstepRuntime
 from repro.ltdp.engine.specs import (
     BackwardFixupSpec,
@@ -37,6 +49,7 @@ from repro.ltdp.engine.specs import (
     SuperstepSpec,
 )
 from repro.ltdp.engine.state import EngineState
+from repro.ltdp.engine.store import DriverStore, StateStore, WorkerStore
 
 __all__ = [
     "ParallelOptions",
@@ -45,6 +58,13 @@ __all__ = [
     "SuperstepRuntime",
     "LocalRuntime",
     "EngineState",
+    "StateStore",
+    "DriverStore",
+    "WorkerStore",
+    "Instruction",
+    "InstructionProgram",
+    "DeliveryPolicy",
+    "RunnerCrew",
     "SuperstepSpec",
     "SpecResult",
     "ForwardInitSpec",

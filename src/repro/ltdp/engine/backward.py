@@ -58,6 +58,7 @@ def objective_phase(
             work=[r.work for r in results],
             wall_seconds=wall,
             phase="forward",
+            step=runtime.step_no,
         )
     )
     best_val, best_stage, best_cell = None, 0, 0
@@ -141,6 +142,7 @@ def backward_parallel_phase(
             work=pad([result.work for result in results]),
             wall_seconds=wall,
             phase="backward",
+            step=runtime.step_no,
         )
     )
 
@@ -205,6 +207,7 @@ def backward_parallel_phase(
                 comm=comm,
                 wall_seconds=wall,
                 phase="backward",
+                step=runtime.step_no,
             )
         )
         if all_conv:

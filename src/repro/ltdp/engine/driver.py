@@ -40,6 +40,7 @@ from repro.ltdp.engine.backward import (
     objective_phase,
 )
 from repro.ltdp.engine.forward import forward_phase
+from repro.ltdp.engine.runner import DeliveryPolicy
 from repro.ltdp.engine.runtime import LocalRuntime, SuperstepRuntime
 from repro.ltdp.partition import partition_stages
 from repro.ltdp.problem import LTDPProblem, LTDPSolution
@@ -109,6 +110,18 @@ class ParallelOptions:
         keeps every instrumentation site on its one-check fast path.
         Only multi-processor solves are traced; ``num_procs=1``
         devolves to the sequential solver.
+    runners:
+        Concurrent instruction runners pulling from the shared work
+        queue (CLI ``--runners``).  1 (default) keeps the classic
+        one-batch-per-barrier superstep loop; ``> 1`` spins up a
+        :class:`~repro.ltdp.engine.runner.RunnerCrew` so a superstep's
+        instructions execute concurrently as the queue releases them.
+        Results are bit-identical either way.
+    delivery:
+        Optional :class:`~repro.ltdp.engine.runner.DeliveryPolicy`
+        perturbing instruction delivery (duplicates, LIFO order) — the
+        redelivery test suite's fault-injection knob.  A non-default
+        policy forces the runner-crew path even with ``runners=1``.
     """
 
     num_procs: int = 2
@@ -124,10 +137,14 @@ class ParallelOptions:
     parallel_backward: bool = True
     keep_stage_vectors: bool = False
     tracer: Tracer | None = None
+    runners: int = 1
+    delivery: DeliveryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.num_procs < 1:
             raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
+        if self.runners < 1:
+            raise ValueError(f"runners must be >= 1, got {self.runners}")
         if not self.nz_low < self.nz_high:
             raise ValueError("require nz_low < nz_high")
         if not 0.0 < self.delta_crossover <= 1.0:
@@ -169,13 +186,24 @@ def _make_runtime(
     problem: LTDPProblem,
     ranges,
     tracer: Tracer | None = None,
+    runners: int = 1,
+    delivery: DeliveryPolicy | None = None,
 ) -> SuperstepRuntime:
     """Runtime selection: resident-state executors get the pool runtime."""
     if getattr(executor, "supports_resident_state", False):
         from repro.ltdp.engine.poolrt import PoolRuntime
 
-        return PoolRuntime(executor, problem, ranges, tracer=tracer)
-    return LocalRuntime(executor, problem, tracer=tracer)
+        return PoolRuntime(
+            executor,
+            problem,
+            ranges,
+            tracer=tracer,
+            runners=runners,
+            delivery=delivery,
+        )
+    return LocalRuntime(
+        executor, problem, tracer=tracer, runners=runners, delivery=delivery
+    )
 
 
 def solve_parallel(
@@ -234,7 +262,14 @@ def solve_parallel(
             num_procs=num_procs,
             executor=type(options.executor).__name__,
         )
-    runtime = _make_runtime(options.executor, problem, ranges, tracer)
+    runtime = _make_runtime(
+        options.executor,
+        problem,
+        ranges,
+        tracer,
+        runners=options.runners,
+        delivery=options.delivery,
+    )
     try:
         with tracer.span("phase", phase="forward") if tracer else _NULL_CTX:
             finals = forward_phase(problem, ranges, options, runtime, metrics)

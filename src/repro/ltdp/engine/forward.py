@@ -153,7 +153,11 @@ def forward_phase(
         work_row.append(result.work)
     metrics.record(
         SuperstepRecord(
-            label="forward", work=work_row, wall_seconds=wall, phase="forward"
+            label="forward",
+            work=work_row,
+            wall_seconds=wall,
+            phase="forward",
+            step=runtime.step_no,
         )
     )
 
@@ -216,6 +220,7 @@ def forward_phase(
                 comm=comm,
                 wall_seconds=wall,
                 phase="forward",
+                step=runtime.step_no,
             )
         )
         if all_conv:

@@ -3,22 +3,34 @@
 :class:`PoolRuntime` maps each virtual processor (slot) onto one of the
 :class:`~repro.machine.pool.PoolProcessExecutor`'s persistent workers
 and keeps that slot's stage vectors, predecessor vectors and backward
-path segment **inside the worker** for the whole solve:
+path segment **inside the worker**
+(:class:`~repro.ltdp.engine.store.WorkerStore`) for the whole solve:
 
 - ``begin`` (constructor) pickles the problem **once** and broadcasts
   it to every worker;
-- each superstep ships only the declarative spec objects (a boundary
-  vector + scalars per processor) and receives *stripped* results — the
-  O(width) range-final vector and scalar accounting, never the
-  per-stage payloads.  That is exactly the paper's cost model: per
-  fix-up iteration, one boundary vector per neighbour pair crosses a
-  process boundary, nothing else;
+- each superstep ships only sequence-numbered instructions (a spec —
+  a boundary vector + scalars — per processor) and receives *stripped*
+  results — the O(width) range-final vector and scalar accounting,
+  never the per-stage payloads.  That is exactly the paper's cost
+  model: per fix-up iteration, one boundary vector per neighbour pair
+  crosses a process boundary, nothing else;
+- the wire protocol is **idempotent per instruction**: workers cache
+  each instruction's stripped reply by seq, so a re-delivered
+  instruction (duplicate delivery, post-recovery re-send) returns the
+  cached reply without re-executing — numpywren's ``FailureTests``
+  contract at the transport layer;
 - when the backward partition differs from the forward one (objective
   problems whose optimum lies before the last stage), a one-time
   driver-mediated redistribution moves the few predecessor vectors a
   slot is missing;
 - gathers (``keep_stage_vectors``, the serial-traceback fallback) pull
   the resident arrays out at the end, off the hot path.
+
+Crash recovery is "re-run a program suffix": the shared
+:class:`~repro.ltdp.engine.program.InstructionProgram` *is* the replay
+journal — rebuilding a respawned worker replays the recorded
+instructions of the slots it owns, in program order (PR 2's per-slot
+journal, subsumed).
 
 The functions prefixed ``_w_`` execute *inside* workers against the
 worker's persistent namespace; they are module-level so they pickle by
@@ -34,58 +46,16 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ExecutorError
-from repro.ltdp.engine.runtime import SuperstepRuntime
+from repro.ltdp.engine.program import Instruction, InstructionProgram
+from repro.ltdp.engine.runner import DeliveryPolicy, RunnerCrew
+from repro.ltdp.engine.runtime import SuperstepRuntime, _wants_crew
 from repro.ltdp.engine.specs import SpecResult, SuperstepSpec
+from repro.ltdp.engine.store import WorkerStore
 from repro.ltdp.partition import StageRange
 from repro.ltdp.problem import LTDPProblem
 from repro.machine.trace import Tracer
 
 __all__ = ["PoolRuntime"]
-
-
-class _WorkerStore:
-    """One slot's resident state inside a pool worker."""
-
-    def __init__(self, problem: LTDPProblem) -> None:
-        self.problem = problem
-        self.s: dict[int, np.ndarray] = {}
-        self.pred: dict[int, np.ndarray] = {}
-        self.path: dict[int, int] = {}
-        #: Resident §4.7 delta state (stage → cached kernel evaluation)
-        #: and the last fix-up input boundary per range-lo — the bases
-        #: sparse fix-up and boundary diffs apply against.  These never
-        #: cross the wire: specs write them via SpecResult and
-        #: :meth:`~repro.ltdp.engine.specs.SpecResult.stripped` drops
-        #: them from the reply.
-        self.fixup_state: dict[int, object] = {}
-        self.fixup_input: dict[int, np.ndarray] = {}
-
-    # -- StageStore protocol -------------------------------------------
-    def get_s(self, i: int) -> np.ndarray:
-        if i == 0 and 0 not in self.s:
-            self.s[0] = self.problem.initial_vector()
-        return self.s[i]
-
-    def get_pred(self, i: int) -> np.ndarray:
-        return self.pred[i]
-
-    def get_path(self, i: int) -> int:
-        return self.path[i]
-
-    def get_fixup_state(self, i: int):
-        return self.fixup_state.get(i)
-
-    def get_fixup_input(self, lo: int) -> np.ndarray | None:
-        return self.fixup_input.get(lo)
-
-    def apply(self, result: SpecResult) -> None:
-        self.s.update(result.s_updates)
-        self.pred.update(result.pred_updates)
-        self.path.update(result.path_updates)
-        self.fixup_state.update(result.fixup_state_updates)
-        if result.fixup_input is not None:
-            lo, vec = result.fixup_input
-            self.fixup_input[lo] = vec
 
 
 # ----------------------------------------------------------------------
@@ -98,20 +68,35 @@ def _w_reset(ns, problem_blob: bytes, slots: list[int]) -> None:
     """Install the problem (shipped once per solve) and fresh slot states."""
     problem = pickle.loads(problem_blob)
     ns["problem"] = problem
-    ns["states"] = {slot: _WorkerStore(problem) for slot in slots}
+    ns["states"] = {slot: WorkerStore(problem) for slot in slots}
 
 
-def _w_run_spec(ns, spec: SuperstepSpec) -> SpecResult:
-    """Execute one spec against the slot's resident store.
+def _w_run_instr(ns, seq: int, spec: SuperstepSpec) -> SpecResult:
+    """Execute one instruction against the slot's resident store.
 
-    Stage-resident writes are applied here, in the worker; the reply is
-    stripped down to boundary vector + scalars (+ path indices, which
-    are the backward phase's output).
+    Idempotent under repeat delivery: the stripped reply of every
+    executed instruction is cached by seq, and a re-delivery (duplicate
+    from the runner queue, or a post-recovery re-send of a request the
+    worker already served) returns the cache without touching resident
+    state.  During crash-recovery replay the same function re-runs the
+    recorded program suffix — replies are discarded by the replay
+    batch, and re-populating the cache is exactly what a rebuilt worker
+    needs to keep honouring the contract.
+
+    Stage-resident writes are applied here, in the worker (at most once
+    per seq, via the store's seq guard); the reply is stripped down to
+    boundary vector + scalars (+ path indices, which are the backward
+    phase's output).
     """
     store = ns["states"][spec.proc]
+    cached = store.results.get(seq)
+    if cached is not None:
+        return cached
     result = spec.execute(ns["problem"], store)
-    store.apply(result)
-    return result.stripped()
+    store.apply(result, seq=seq)
+    stripped = result.stripped()
+    store.results[seq] = stripped
+    return stripped
 
 
 def _w_collect(ns, slot: int, kind: str, stages: list[int]):
@@ -126,25 +111,20 @@ def _w_install_pred(ns, slot: int, mapping: dict[int, np.ndarray]) -> None:
     ns["states"][slot].pred.update(mapping)
 
 
-def _w_replay_spec(ns, spec: SuperstepSpec) -> None:
-    """Re-execute a journalled spec during crash recovery.
-
-    Identical to :func:`_w_run_spec` except the result is discarded —
-    the driver already consumed it before the crash; replay only needs
-    the store side-effects.  Spec execution is deterministic given the
-    problem, the store contents and the spec's embedded inputs (seed /
-    boundary), so replaying the journal in order rebuilds the resident
-    state bit-identically.
-    """
-    store = ns["states"][spec.proc]
-    store.apply(spec.execute(ns["problem"], store))
-
-
 # ----------------------------------------------------------------------
 
 
 class PoolRuntime(SuperstepRuntime):
-    """Plan executor backed by persistent, state-resident pool workers."""
+    """Plan executor backed by persistent, state-resident pool workers.
+
+    With ``runners > 1`` (or a redelivery-testing
+    :class:`~repro.ltdp.engine.runner.DeliveryPolicy`), instructions are
+    pulled by a :class:`~repro.ltdp.engine.runner.RunnerCrew` and each
+    dispatched individually to its slot's worker (the pool serializes
+    per-worker pipe traffic); with the default single runner, a whole
+    superstep ships as one batched dispatch per barrier — the classic
+    one-round-trip-per-superstep wire cost.
+    """
 
     def __init__(
         self,
@@ -152,13 +132,15 @@ class PoolRuntime(SuperstepRuntime):
         problem: LTDPProblem,
         ranges: Sequence[StageRange],
         tracer: Tracer | None = None,
+        runners: int = 1,
+        delivery: DeliveryPolicy | None = None,
     ) -> None:
         self.pool = pool
         self.problem = problem
         self.num_stages = problem.num_stages
         self.forward_ranges = list(ranges)
         self.tracer = tracer
-        self._step_no = 0
+        self.program = InstructionProgram()
         # The pool emits per-worker dispatch spans and recovery events
         # into the same tracer; cleared again in finish() so later
         # untraced solves on a shared pool stay untraced.
@@ -176,66 +158,104 @@ class PoolRuntime(SuperstepRuntime):
         slots = [rg.proc for rg in self.forward_ranges]
         self._slots = slots
         self._reset_args = (blob, slots)
-        # Per-slot replay journal: every state-mutating operation that
-        # has *completed* on the worker, in execution order.  When the
-        # pool respawns a dead worker, _rebuild_worker replays the
-        # journal for the slots that worker owns, reconstructing its
-        # resident state bit-identically before the in-flight superstep
-        # re-runs (the paper's Fig 4 restartability: any processor can
-        # be re-run from its predecessor's boundary vector).
-        self._journal: dict[int, list[tuple[str, object]]] = {
-            slot: [] for slot in slots
-        }
         if hasattr(self.pool, "set_rebuild_hook"):
             self.pool.set_rebuild_hook(self._rebuild_worker)
         self.pool.broadcast(_w_reset, (blob, slots))
+        self._crew: RunnerCrew | None = None
+        if _wants_crew(runners, delivery):
+            self._crew = RunnerCrew(
+                runners,
+                self._execute_instr,
+                self.program,
+                tracer=tracer,
+                policy=delivery,
+            )
+            if hasattr(pool, "add_teardown_hook"):
+                pool.add_teardown_hook(self._crew.close)
+
+    @property
+    def step_no(self) -> int:
+        return self.program.step_no
 
     def _rebuild_worker(self, w: int) -> tuple[list, int]:
         """Recovery program for respawned worker ``w`` (pool rebuild hook).
 
         Returns ``(calls, replayed)``: namespace calls that re-install
-        the problem and replay, in order, every journalled operation of
-        the slots worker ``w`` owns, plus the replayed-superstep count.
+        the problem and re-run, in program order, the **recorded**
+        instruction suffix of every slot worker ``w`` owns (the paper's
+        Fig 4 restartability: any processor can be re-run from its
+        predecessor's boundary vector), plus the replayed-instruction
+        count.  Compiled-but-unrecorded instructions are excluded: the
+        in-flight request re-sends after recovery and must not have
+        replayed ahead of itself.
         """
         calls: list[tuple] = [(_w_reset, self._reset_args)]
         replayed = 0
         for slot in self._slots:
             if self.pool.worker_of_slot(slot) != w:
                 continue
-            for kind, payload in self._journal[slot]:
-                if kind == "spec":
-                    calls.append((_w_replay_spec, (payload,)))
+            for instr in self.program.slot_history(slot):
+                if not self.program.is_recorded(instr.seq):
+                    continue
+                if instr.op == "spec":
+                    calls.append((_w_run_instr, (instr.seq, instr.spec)))
                     replayed += 1
-                else:  # "pred": redistributed predecessor vectors
-                    calls.append((_w_install_pred, (slot, payload)))
+                else:  # pred-install: redistributed predecessor vectors
+                    calls.append((_w_install_pred, (slot, instr.payload)))
         return calls, replayed
+
+    def _execute_instr(self, instr: Instruction) -> SpecResult:
+        """Runner-crew transport: one dispatch per pulled instruction."""
+        return self.pool.call_slots(
+            [(instr.slot, _w_run_instr, (instr.seq, instr.spec))]
+        )[0]
 
     def run(
         self, specs: Sequence[SuperstepSpec], label: str = ""
     ) -> list[SpecResult]:
         tracer = self.tracer
-        calls = [(spec.proc, _w_run_spec, (spec,)) for spec in specs]
+        step_no, instrs = self.program.add_superstep(specs, label)
+        if self._crew is not None:
+            if not tracer:
+                return self._crew.run_step(instrs)
+            t0 = time.perf_counter()
+            with tracer.context(superstep=step_no, label=label):
+                results = self._crew.run_step(instrs)
+            tracer.add_span(
+                "superstep",
+                t0,
+                time.perf_counter(),
+                superstep=step_no,
+                label=label,
+                procs=len(specs),
+            )
+            return results
+        # Classic path: the whole superstep as one batched dispatch per
+        # worker — one round trip per barrier.
+        calls = [
+            (instr.slot, _w_run_instr, (instr.seq, instr.spec))
+            for instr in instrs
+        ]
         if not tracer:
             results = self.pool.call_slots(calls)
         else:
-            self._step_no += 1
             t0 = time.perf_counter()
             # The context tags the pool's per-worker dispatch spans with
             # this superstep's identity.
-            with tracer.context(superstep=self._step_no, label=label):
+            with tracer.context(superstep=step_no, label=label):
                 results = self.pool.call_slots(calls)
             tracer.add_span(
                 "superstep",
                 t0,
                 time.perf_counter(),
-                superstep=self._step_no,
+                superstep=step_no,
                 label=label,
                 procs=len(specs),
             )
-        # Journal only after the barrier: an in-flight spec must not be
-        # part of the replay that precedes its own re-send.
-        for spec in specs:
-            self._journal[spec.proc].append(("spec", spec))
+        # Record only after the barrier: an in-flight instruction must
+        # not be part of the replay that precedes its own re-send.
+        for instr, result in zip(instrs, results):
+            self.program.record_result(instr.seq, result)
         return results
 
     def install_path(self, path: np.ndarray) -> None:
@@ -293,8 +313,12 @@ class PoolRuntime(SuperstepRuntime):
                 for slot, mapping in installs.items()
             ]
         )
+        # Journal the installs (driver-mediated, already barriered):
+        # recorded immediately so crash recovery replays them in slot
+        # order between the forward and backward instruction suffixes.
         for slot, mapping in installs.items():
-            self._journal[slot].append(("pred", mapping))
+            instr = self.program.add_install(slot, mapping)
+            self.program.record_result(instr.seq)
 
     # -- gathers --------------------------------------------------------
     def _gather(self, kind: str) -> list[np.ndarray | None]:
@@ -316,8 +340,14 @@ class PoolRuntime(SuperstepRuntime):
         return self._gather("pred")
 
     def finish(self) -> None:
-        # The journal belongs to this solve; a stale hook would replay
-        # the wrong state into a worker respawned during a later solve.
+        # The program journal belongs to this solve; a stale hook would
+        # replay the wrong state into a worker respawned during a later
+        # solve.
+        if self._crew is not None:
+            self._crew.close()
+            if hasattr(self.pool, "remove_teardown_hook"):
+                self.pool.remove_teardown_hook(self._crew.close)
+            self._crew = None
         if hasattr(self.pool, "set_rebuild_hook"):
             self.pool.set_rebuild_hook(None)
         if self.tracer and hasattr(self.pool, "set_tracer"):

@@ -1,18 +1,33 @@
-"""The runtime layer: where superstep specs actually execute.
+"""The runtime layer: where instruction programs actually execute.
 
 A :class:`SuperstepRuntime` turns the plan layer's declarative
 :class:`~repro.ltdp.engine.specs.SuperstepSpec` lists into executed
-supersteps.  Two implementations ship:
+supersteps.  Since the store/program/runner split, a runtime is thin
+glue between three owning layers:
 
-- :class:`LocalRuntime` — stage state lives in the driver process
-  (:class:`~repro.ltdp.engine.state.EngineState`); specs are wrapped in
-  closures and handed to any classic
+- the **store** (:mod:`repro.ltdp.engine.store`) owns stage state —
+  driver-resident (:class:`~repro.ltdp.engine.store.DriverStore`) here,
+  worker-resident in :class:`~repro.ltdp.engine.poolrt.PoolRuntime`;
+- the **program** (:mod:`repro.ltdp.engine.program`) owns superstep
+  numbering, instruction seqs/dependencies and the first-wins result
+  ledger;
+- the **runners** (:mod:`repro.ltdp.engine.runner`) own concurrent
+  execution: with ``runners > 1`` (or a non-default
+  :class:`~repro.ltdp.engine.runner.DeliveryPolicy`) instructions are
+  pulled from a shared work queue by N runner threads instead of the
+  classic one-batch-per-barrier executor call.
+
+Two implementations ship:
+
+- :class:`LocalRuntime` — stage state lives in the driver process;
+  specs are wrapped in closures and handed to any classic
   :class:`~repro.machine.executor.Executor` (serial / thread pool /
-  fork-per-task processes).
+  fork-per-task processes), or executed directly by runner threads when
+  a crew is active.
 - :class:`~repro.ltdp.engine.poolrt.PoolRuntime` — stage state lives
   *inside* persistent worker processes
-  (:class:`~repro.machine.pool.PoolProcessExecutor`); only specs and
-  boundary vectors cross process boundaries.
+  (:class:`~repro.machine.pool.PoolProcessExecutor`); only instructions
+  and boundary vectors cross process boundaries.
 
 The driver (:mod:`repro.ltdp.engine.driver`) picks the runtime from the
 executor's capabilities, so ``solve_parallel``'s signature and results
@@ -27,14 +42,23 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.ltdp.engine.program import InstructionProgram
+from repro.ltdp.engine.runner import DeliveryPolicy, RunnerCrew
 from repro.ltdp.engine.specs import SpecResult, SuperstepSpec
-from repro.ltdp.engine.state import EngineState
+from repro.ltdp.engine.store import DriverStore
 from repro.ltdp.partition import StageRange
 from repro.ltdp.problem import LTDPProblem
 from repro.machine.executor import Executor
 from repro.machine.trace import Tracer
 
 __all__ = ["SuperstepRuntime", "LocalRuntime"]
+
+
+def _wants_crew(runners: int, delivery: DeliveryPolicy | None) -> bool:
+    """A crew is spun up for real concurrency *or* redelivery testing."""
+    if runners < 1:
+        raise ValueError(f"runners must be >= 1, got {runners}")
+    return runners > 1 or (delivery is not None and not delivery.is_default)
 
 
 class SuperstepRuntime(ABC):
@@ -45,6 +69,16 @@ class SuperstepRuntime(ABC):
     #: ``ParallelOptions.tracer``.
     tracer: Tracer | None = None
 
+    @property
+    def step_no(self) -> int:
+        """Solve-global superstep counter (0 before the first superstep).
+
+        Owned by the instruction program and incremented on *every*
+        superstep, traced or not, so trace spans, metrics records and
+        instruction seqs always agree on numbering.
+        """
+        return 0
+
     @abstractmethod
     def run(
         self, specs: Sequence[SuperstepSpec], label: str = ""
@@ -52,7 +86,8 @@ class SuperstepRuntime(ABC):
         """Execute one superstep (one spec per participating processor).
 
         ``label`` is the superstep's metrics label (``"forward"``,
-        ``"fixup[2]"``, …), used only to tag trace spans.
+        ``"fixup[2]"``, …), used to tag trace spans and the compiled
+        instructions.
 
         Returns results in spec order with all stage-resident updates
         already applied to the runtime's store.  ``path_updates`` are
@@ -87,33 +122,86 @@ class SuperstepRuntime(ABC):
 
 
 class LocalRuntime(SuperstepRuntime):
-    """Driver-resident state + any closure-running executor."""
+    """Driver-resident state + any closure-running executor.
+
+    With ``runners > 1`` (or a redelivery-testing
+    :class:`~repro.ltdp.engine.runner.DeliveryPolicy`), supersteps run
+    through a :class:`~repro.ltdp.engine.runner.RunnerCrew`: instructions
+    are pulled from the shared work queue and executed *in the runner
+    threads* against the shared :class:`DriverStore` — safe because
+    specs only read their own range and buffer all writes, which the
+    driver applies after the barrier in spec order.
+    """
 
     def __init__(
         self,
         executor: Executor,
         problem: LTDPProblem,
         tracer: Tracer | None = None,
+        runners: int = 1,
+        delivery: DeliveryPolicy | None = None,
     ) -> None:
         self.executor = executor
         self.problem = problem
-        self.state = EngineState(problem)
+        self.state = DriverStore(problem)
         self.tracer = tracer
-        self._step_no = 0
+        self.program = InstructionProgram()
+        self._crew: RunnerCrew | None = None
+        if _wants_crew(runners, delivery):
+            self._crew = RunnerCrew(
+                runners,
+                self._execute_instr,
+                self.program,
+                tracer=tracer,
+                policy=delivery,
+            )
+            # Teardown ordering (PR 2 weakref.finalize path): the crew
+            # must drain/abandon before the executor tears down.
+            if hasattr(executor, "add_teardown_hook"):
+                executor.add_teardown_hook(self._crew.close)
+
+    @property
+    def step_no(self) -> int:
+        return self.program.step_no
+
+    def _execute_instr(self, instr) -> SpecResult:
+        """Runner-crew transport: execute one instruction inline.
+
+        Duplicate deliveries are harmless here: the spec reads only
+        pre-barrier store contents (writes are buffered in the result),
+        so a re-execution computes a bit-identical result and the
+        program's first-wins ledger keeps exactly one.
+        """
+        return instr.spec.execute(self.problem, self.state)
 
     def run(
         self, specs: Sequence[SuperstepSpec], label: str = ""
     ) -> list[SpecResult]:
         problem, store = self.problem, self.state
         tracer = self.tracer
-        if not tracer:
+        step_no, instrs = self.program.add_superstep(specs, label)
+        if self._crew is not None:
+            if not tracer:
+                results = self._crew.run_step(instrs)
+            else:
+                t0 = time.perf_counter()
+                results = self._crew.run_step(instrs)
+                tracer.add_span(
+                    "superstep",
+                    t0,
+                    time.perf_counter(),
+                    superstep=step_no,
+                    label=label,
+                    procs=len(specs),
+                )
+        elif not tracer:
             tasks = [
                 lambda spec=spec: spec.execute(problem, store) for spec in specs
             ]
             results = self.executor.run_superstep(tasks)
+            for instr, result in zip(instrs, results):
+                self.program.record_result(instr.seq, result)
         else:
-            self._step_no += 1
-            step_no = self._step_no
 
             def timed(spec: SuperstepSpec):
                 # Per-task compute spans land in the tracer for in-process
@@ -146,8 +234,13 @@ class LocalRuntime(SuperstepRuntime):
                 label=label,
                 procs=len(specs),
             )
-        for result in results:
-            store.apply(result)
+            for instr, result in zip(instrs, results):
+                self.program.record_result(instr.seq, result)
+        # Post-barrier application, in spec order regardless of which
+        # runner finished first — the store's seq guard additionally
+        # makes a re-applied result a no-op.
+        for instr, result in zip(instrs, results):
+            store.apply(result, seq=instr.seq)
         return results
 
     def install_path(self, path: np.ndarray) -> None:
@@ -158,3 +251,10 @@ class LocalRuntime(SuperstepRuntime):
 
     def pred_vectors(self) -> list[np.ndarray | None]:
         return list(self.state.pred)
+
+    def finish(self) -> None:
+        if self._crew is not None:
+            self._crew.close()
+            if hasattr(self.executor, "remove_teardown_hook"):
+                self.executor.remove_teardown_hook(self._crew.close)
+            self._crew = None

@@ -1,77 +1,12 @@
-"""Driver-side stage storage for runtimes that keep state in-process.
+"""Compatibility shim: ``EngineState`` now lives in the store layer.
 
-:class:`EngineState` is the single-address-space incarnation of the
-paper's distributed stores: one slot per stage for the solution vector
-and the predecessor vector, plus the backward path array once the
-backward phase begins.  The serial / thread / forked-process runtimes
-all share one instance — safe because within a superstep every spec
-reads only its own range and all writes are buffered in
-:class:`~repro.ltdp.engine.specs.SpecResult` objects that the runtime
-applies after the barrier.
+The driver-resident stage store was extracted into
+:mod:`repro.ltdp.engine.store` as :class:`DriverStore` when state
+ownership was decoupled from spec execution (store / program / runner
+split).  ``EngineState`` remains importable from here — and from
+:mod:`repro.ltdp.engine` — as an alias for existing callers.
 """
 
-from __future__ import annotations
-
-import numpy as np
-
-from repro.ltdp.problem import LTDPProblem
-from repro.ltdp.engine.specs import SpecResult
+from repro.ltdp.engine.store import DriverStore as EngineState
 
 __all__ = ["EngineState"]
-
-
-class EngineState:
-    """All-stages store living in the driver process (one per solve)."""
-
-    def __init__(self, problem: LTDPProblem) -> None:
-        n = problem.num_stages
-        self.s: list[np.ndarray | None] = [None] * (n + 1)
-        self.s[0] = problem.initial_vector()
-        self.pred: list[np.ndarray | None] = [None] * (n + 1)
-        #: The backward path array; installed by the driver when the
-        #: backward phase starts (it owns path assembly for all runtimes).
-        self.path: np.ndarray | None = None
-        #: Resident §4.7 delta state: stage → cached kernel evaluation.
-        self.fixup_state: dict[int, object] = {}
-        #: Range-lo → input boundary last consumed by a fix-up sweep
-        #: there (the base vector boundary diffs apply against).
-        self.fixup_input: dict[int, np.ndarray] = {}
-
-    # -- StageStore protocol -------------------------------------------
-    def get_s(self, i: int) -> np.ndarray:
-        v = self.s[i]
-        assert v is not None, f"stage {i} vector not yet computed"
-        return v
-
-    def get_pred(self, i: int) -> np.ndarray:
-        p = self.pred[i]
-        assert p is not None, f"stage {i} predecessors not yet computed"
-        return p
-
-    def get_path(self, i: int) -> int:
-        assert self.path is not None, "backward phase not started"
-        return int(self.path[i])
-
-    def get_fixup_state(self, i: int):
-        return self.fixup_state.get(i)
-
-    def get_fixup_input(self, lo: int) -> np.ndarray | None:
-        return self.fixup_input.get(lo)
-
-    # -- post-barrier application --------------------------------------
-    def apply(self, result: SpecResult) -> None:
-        """Install a spec's stage-resident writes.
-
-        Path updates are deliberately *not* applied here: the driver
-        owns the path array (shared with this store) and applies them
-        itself, uniformly for local and pool runtimes.
-        """
-        for i, v in result.s_updates.items():
-            self.s[i] = v
-        for i, p in result.pred_updates.items():
-            self.pred[i] = p
-        if result.fixup_state_updates:
-            self.fixup_state.update(result.fixup_state_updates)
-        if result.fixup_input is not None:
-            lo, vec = result.fixup_input
-            self.fixup_input[lo] = vec

@@ -26,6 +26,7 @@ __all__ = [
     "PHASE_OBJECTIVE",
     "RECORD_PHASES",
     "TRACE_PHASES",
+    "TRACE_SPAN_NAMES",
     "KNOWN_LABEL_PREFIXES",
 ]
 
@@ -47,6 +48,17 @@ RECORD_PHASES = frozenset({PHASE_FORWARD, PHASE_BACKWARD})
 #: Legal ``phase`` attributes on tracer spans (superset of
 #: :data:`RECORD_PHASES`: the objective scan is traced but not priced).
 TRACE_PHASES = frozenset({PHASE_FORWARD, PHASE_OBJECTIVE, PHASE_BACKWARD})
+
+#: Legal tracer span names.  ``phase``/``superstep``/``compute``/
+#: ``dispatch`` are the classic superstep-loop spans; ``runner.pull``
+#: and ``program.instr`` are the runner-layer spans (one per queue pull
+#: and one per executed instruction).  The static checker (REP004)
+#: enforces membership at literal ``tracer.span``/``add_span`` sites so
+#: a new layer cannot introduce spans that trace summaries and the
+#: bench harness' coverage check silently ignore.
+TRACE_SPAN_NAMES = frozenset(
+    {"phase", "superstep", "compute", "dispatch", "runner.pull", "program.instr"}
+)
 
 #: Label prefixes with a known phase, used only as a fallback for records
 #: built without an explicit ``phase`` (hand-rolled metrics in tests/demos).
@@ -101,6 +113,12 @@ class SuperstepRecord:
         this explicitly; an empty value falls back to classifying the
         label by prefix and **raises** on labels it does not recognise —
         an unanticipated superstep kind must never be priced silently.
+    step:
+        Solve-global superstep number from the instruction program's
+        counter (1-based), correlating this record with trace span
+        ``superstep=`` attributes and instruction ``step`` fields.
+        0 for records produced outside the program (e.g. the serial
+        backward fallback's accounting-only record).
     """
 
     label: str
@@ -108,6 +126,7 @@ class SuperstepRecord:
     comm: list[CommEvent] = field(default_factory=list)
     wall_seconds: float = 0.0
     phase: str = ""
+    step: int = 0
 
     def resolved_phase(self) -> str:
         """The record's phase, validated; inferred from the label if unset.

@@ -52,6 +52,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import threading
 import time
 import traceback
 import weakref
@@ -230,6 +231,15 @@ class PoolProcessExecutor(Executor):
         self._procs: list[Any] = []
         self._conns: list[Any] = []
         self._finalizer: weakref.finalize | None = None
+        # Concurrency: multiple runner threads may dispatch at once
+        # (instruction-at-a-time mode).  The state lock guards the
+        # shared counters / fault plan / spawn bookkeeping; per-worker
+        # locks serialize pipe traffic so two dispatches to one worker
+        # can never interleave frames.  RLocks: recovery paths nest
+        # (dispatch → recover → ping) on the same worker.
+        self._state_lock = threading.RLock()
+        self._worker_locks: list[threading.RLock] = []
+        self._closing = False
         self._seq = 0
         #: Total ``_dispatch`` invocations; fault plans key off this.
         self.dispatch_count = 0
@@ -254,16 +264,23 @@ class PoolProcessExecutor(Executor):
         return proc, parent_conn
 
     def _ensure_workers(self) -> None:
-        if self._procs:
-            return
-        for _ in range(self.max_workers):
-            proc, conn = self._spawn_worker()
-            self._procs.append(proc)
-            self._conns.append(conn)
-        if self._finalizer is None:
-            self._finalizer = weakref.finalize(
-                self, _shutdown_workers, self._procs, self._conns
-            )
+        with self._state_lock:
+            if self._procs:
+                return
+            if self._closing:
+                raise ExecutorError(
+                    "pool executor is closing; cannot spawn workers"
+                )
+            for _ in range(self.max_workers):
+                proc, conn = self._spawn_worker()
+                self._procs.append(proc)
+                self._conns.append(conn)
+            while len(self._worker_locks) < len(self._procs):
+                self._worker_locks.append(threading.RLock())
+            if self._finalizer is None:
+                self._finalizer = weakref.finalize(
+                    self, _shutdown_workers, self._procs, self._conns
+                )
 
     @property
     def num_workers(self) -> int:
@@ -308,8 +325,9 @@ class PoolProcessExecutor(Executor):
         self._tracer = tracer
 
     def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
+        with self._state_lock:
+            self._seq += 1
+            return self._seq
 
     # -- crash detection / recovery ------------------------------------
     def _check_broken(self) -> None:
@@ -392,23 +410,24 @@ class PoolProcessExecutor(Executor):
         crash or timeout instead of raising.
         """
         self._ensure_workers()
-        seq = self._next_seq()
-        timeout = self.ping_timeout if timeout is None else timeout
-        prior_broken = self._broken
-        try:
-            self._conns[w].send(("ping", seq, None))
-            deadline = time.monotonic() + timeout
-            while True:
-                _, rseq, _, _ = self._recv(
-                    w, max(1e-6, deadline - time.monotonic())
-                )
-                if rseq == seq:
-                    return True
-                if rseq > seq:  # pragma: no cover - defensive
-                    return False
-        except (WorkerCrashError, ExecutorError, BrokenPipeError, OSError):
-            self._broken = prior_broken  # a failed ping itself is not fatal
-            return False
+        with self._worker_locks[w]:
+            seq = self._next_seq()
+            timeout = self.ping_timeout if timeout is None else timeout
+            prior_broken = self._broken
+            try:
+                self._conns[w].send(("ping", seq, None))
+                deadline = time.monotonic() + timeout
+                while True:
+                    _, rseq, _, _ = self._recv(
+                        w, max(1e-6, deadline - time.monotonic())
+                    )
+                    if rseq == seq:
+                        return True
+                    if rseq > seq:  # pragma: no cover - defensive
+                        return False
+            except (WorkerCrashError, ExecutorError, BrokenPipeError, OSError):
+                self._broken = prior_broken  # failed ping itself is not fatal
+                return False
 
     def check_health(self) -> list[int]:
         """Ping every worker, respawning (and rebuilding) any dead one.
@@ -430,6 +449,19 @@ class PoolProcessExecutor(Executor):
 
     def _recover_worker(self, w: int) -> None:
         """Replace dead worker ``w`` and reconstruct its resident state."""
+        with self._state_lock:
+            if self._closing:
+                raise ExecutorError(
+                    "pool executor is closing; refusing to respawn worker "
+                    f"{w} mid-teardown"
+                )
+        self._worker_locks[w].acquire()
+        try:
+            self._recover_worker_locked(w)
+        finally:
+            self._worker_locks[w].release()
+
+    def _recover_worker_locked(self, w: int) -> None:
         old = self._procs[w]
         try:
             self._conns[w].close()
@@ -445,7 +477,8 @@ class PoolProcessExecutor(Executor):
         proc, conn = self._spawn_worker()
         self._procs[w] = proc
         self._conns[w] = conn
-        self.recovery_stats.respawns += 1
+        with self._state_lock:
+            self.recovery_stats.respawns += 1
         if self._tracer:
             self._tracer.event("worker-respawn", worker=w, pid=proc.pid)
         if not self.ping(w):
@@ -483,7 +516,8 @@ class PoolProcessExecutor(Executor):
                         f"replaying resident state on respawned pool worker "
                         f"{w} failed: {_failure_text(payload)}"
                     )
-        self.recovery_stats.replayed_supersteps += replayed
+        with self._state_lock:
+            self.recovery_stats.replayed_supersteps += replayed
         if self._tracer and replayed:
             self._tracer.event("superstep-replay", worker=w, replayed=replayed)
 
@@ -503,10 +537,26 @@ class PoolProcessExecutor(Executor):
         """
         self._ensure_workers()
         self._check_broken()
+        # Serialize pipe traffic per worker: concurrent runner threads
+        # dispatching to the same worker take turns (sorted acquisition
+        # order keeps multi-worker dispatches deadlock-free).
+        locks = [self._worker_locks[w] for w in sorted(per_worker)]
+        for lock in locks:
+            lock.acquire()
+        try:
+            return self._dispatch_locked(per_worker)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def _dispatch_locked(
+        self, per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]]
+    ) -> dict[int, list[tuple[bool, Any]]]:
         tracer = self._tracer
-        seq = self._next_seq()
-        self.dispatch_count += 1
-        fault = self._fault_plan.pop(seq, None)
+        with self._state_lock:
+            seq = self._next_seq()
+            self.dispatch_count += 1
+            fault = self._fault_plan.pop(seq, None)
         if fault is not None:
             self._kill_worker(fault)
         messages = {
@@ -587,7 +637,8 @@ class PoolProcessExecutor(Executor):
                         f"pool worker {w} kept dying; gave up after "
                         f"{self.max_retries} respawn attempts"
                     ) from exc
-                self.recovery_stats.retries += 1
+                with self._state_lock:
+                    self.recovery_stats.retries += 1
                 if self._tracer:
                     self._tracer.event(
                         "dispatch-retry", worker=w, seq=seq, attempt=attempts
@@ -714,8 +765,22 @@ class PoolProcessExecutor(Executor):
         interactive sessions) the workers are reclaimed when the
         executor is garbage-collected or the interpreter exits, via the
         ``weakref.finalize`` registered at spawn time.
+
+        Teardown ordering: registered teardown hooks (runner crews)
+        drain first — while the workers are still alive, so in-flight
+        instructions can finish or fail cleanly — and ``_closing``
+        blocks lazy respawns until the workers are reaped.
         """
-        finalizer = self._finalizer
-        self._finalizer = None
-        if finalizer is not None:
-            finalizer()
+        with self._state_lock:
+            self._closing = True
+        try:
+            self._drain_teardown_hooks()
+            finalizer = self._finalizer
+            self._finalizer = None
+            if finalizer is not None:
+                finalizer()
+        finally:
+            # Lazy revival stays possible: a later use respawns workers
+            # (and a fresh finalizer) exactly as before this change.
+            with self._state_lock:
+                self._closing = False

@@ -1,0 +1,160 @@
+"""Shared in-process work queue with dependency tracking.
+
+The runner layer (:mod:`repro.ltdp.engine.runner`) decouples *which
+instruction runs next* from *who executes it*: the driver enqueues
+sequence-numbered instructions with their dependency edges, and N
+concurrent runner threads pull whatever is **ready** — all declared
+dependencies marked done.  This module owns that queue.
+
+Design constraints, in order:
+
+- **Idempotent delivery.**  The same item id may be enqueued (and
+  therefore delivered) more than once — deliberately so: the redelivery
+  suite injects duplicates exactly like numpywren's ``FailureTests``
+  insert repeated instructions into the program counter queue.  The
+  queue never deduplicates; making repeat delivery harmless is the
+  *consumer's* contract (instructions are no-ops once applied).
+- **No silent loss.**  ``mark_done`` releases dependents; an item whose
+  dependency is never marked done stays blocked until :meth:`abandon`
+  drops it — visible in the abandon count, never quietly discarded.
+- **Teardown first.**  :meth:`abandon` wakes every blocked puller with
+  ``None`` so runner threads can exit *before* the transport executor
+  (thread pool / worker pool) is closed underneath them.
+
+Pull order among ready items is FIFO by default; ``order="lifo"``
+reverses it, which the redelivery suite uses to prove result
+bit-identity is order-independent wherever the dependency DAG allows
+reordering.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["WorkQueue"]
+
+_ORDERS = ("fifo", "lifo")
+
+
+class WorkQueue:
+    """Thread-safe ready-queue over a dependency DAG of integer item ids."""
+
+    def __init__(self, *, order: str = "fifo") -> None:
+        if order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}, got {order!r}")
+        self.order = order
+        self._lock = threading.Condition()
+        #: Deliverable entries: ``(item_id, payload)``.
+        self._ready: deque[tuple[int, Any]] = deque()
+        #: Entries still waiting on dependencies: id -> list of
+        #: ``(payload, pending_dep_ids)`` (a list: duplicates allowed).
+        self._blocked: dict[int, list[tuple[Any, set[int]]]] = {}
+        #: Reverse edges: dep id -> ids of blocked entries waiting on it.
+        self._waiters: dict[int, set[int]] = {}
+        self._done: set[int] = set()
+        self._abandoned = False
+
+    # -- producing ------------------------------------------------------
+    def put(self, item_id: int, payload: Any, deps: tuple[int, ...] = ()) -> None:
+        """Enqueue one delivery of ``item_id``.
+
+        ``deps`` are item ids that must be :meth:`mark_done` before this
+        entry becomes pullable; dependencies already done are satisfied
+        immediately.  Enqueueing the same id again is legal and yields
+        an additional delivery (see module docstring).
+        """
+        with self._lock:
+            if self._abandoned:
+                raise RuntimeError("cannot put into an abandoned WorkQueue")
+            pending = {d for d in deps if d not in self._done}
+            if not pending:
+                self._ready.append((item_id, payload))
+                self._lock.notify()
+                return
+            self._blocked.setdefault(item_id, []).append((payload, pending))
+            for dep in pending:
+                self._waiters.setdefault(dep, set()).add(item_id)
+
+    def mark_done(self, item_id: int) -> None:
+        """Record ``item_id`` complete, releasing entries it blocked.
+
+        Idempotent — duplicate deliveries call this once each.
+        """
+        with self._lock:
+            if item_id in self._done:
+                return
+            self._done.add(item_id)
+            released = 0
+            for waiter_id in self._waiters.pop(item_id, ()):
+                entries = self._blocked.get(waiter_id)
+                if not entries:
+                    continue
+                still_blocked: list[tuple[Any, set[int]]] = []
+                for payload, pending in entries:
+                    pending.discard(item_id)
+                    if pending:
+                        still_blocked.append((payload, pending))
+                    else:
+                        self._ready.append((waiter_id, payload))
+                        released += 1
+                if still_blocked:
+                    self._blocked[waiter_id] = still_blocked
+                else:
+                    self._blocked.pop(waiter_id, None)
+            if released:
+                self._lock.notify(released)
+
+    # -- consuming ------------------------------------------------------
+    def pull(self, timeout: float | None = None) -> tuple[int, Any] | None:
+        """Block until a ready entry is available; return ``(id, payload)``.
+
+        Returns ``None`` when the queue is abandoned (runners must exit)
+        or when ``timeout`` elapses with nothing ready.
+        """
+        with self._lock:
+            satisfied = self._lock.wait_for(
+                lambda: self._ready or self._abandoned, timeout=timeout
+            )
+            if self._abandoned or not satisfied:
+                return None
+            if self.order == "lifo":
+                return self._ready.pop()
+            return self._ready.popleft()
+
+    # -- teardown -------------------------------------------------------
+    def abandon(self) -> int:
+        """Drop everything queued or blocked and wake every puller.
+
+        Returns the number of deliveries dropped.  After this, ``pull``
+        returns ``None`` immediately and ``put`` raises — the queue is
+        dead, which is exactly what runner threads need to observe
+        *before* their executor is closed underneath them.
+        """
+        with self._lock:
+            dropped = len(self._ready) + sum(
+                len(entries) for entries in self._blocked.values()
+            )
+            self._ready.clear()
+            self._blocked.clear()
+            self._waiters.clear()
+            self._abandoned = True
+            self._lock.notify_all()
+            return dropped
+
+    @property
+    def abandoned(self) -> bool:
+        with self._lock:
+            return self._abandoned
+
+    def pending(self) -> int:
+        """Deliveries not yet pulled (ready + blocked)."""
+        with self._lock:
+            return len(self._ready) + sum(
+                len(entries) for entries in self._blocked.values()
+            )
+
+    def is_done(self, item_id: int) -> bool:
+        with self._lock:
+            return item_id in self._done

@@ -33,7 +33,18 @@ class TestTriggers:
         assert codes(r) == ["REP004"]
 
     def test_unknown_tracer_span_phase(self):
-        r = run_lint(PATH, 'tracer.span("x", phase="cooldown")\n')
+        r = run_lint(PATH, 'tracer.span("superstep", phase="cooldown")\n')
+        assert codes(r) == ["REP004"]
+        assert "'cooldown'" in r.findings[0].message
+
+    def test_unknown_tracer_span_name(self):
+        r = run_lint(PATH, 'tracer.span("warmup")\n')
+        assert codes(r) == ["REP004"]
+        assert "'warmup'" in r.findings[0].message
+        assert "TRACE_SPAN_NAMES" in r.findings[0].message
+
+    def test_unknown_add_span_name(self):
+        r = run_lint(PATH, 'tracer.add_span("mystery", 0.0, 1.0)\n')
         assert codes(r) == ["REP004"]
 
 
@@ -60,9 +71,20 @@ class TestNearMisses:
         src = HEAD + 'SuperstepRecord(label="x", work=[], phase=phase_var)\n'
         assert codes(run_lint(PATH, src)) == []
 
+    def test_canonical_span_names_accepted(self):
+        src = (
+            'tracer.span("runner.pull", runner=1)\n'
+            'tracer.span("program.instr", seq=3)\n'
+            'tracer.span("dispatch")\n'
+        )
+        assert codes(run_lint(PATH, src)) == []
+
+    def test_dynamic_span_name_is_not_checked(self):
+        assert codes(run_lint(PATH, "tracer.span(name_var)\n")) == []
+
     def test_objective_is_legal_for_tracer_spans_only(self):
         # 'objective' is in TRACE_PHASES but not RECORD_PHASES.
-        assert codes(run_lint(PATH, 'tracer.span("x", phase="objective")\n')) == []
+        assert codes(run_lint(PATH, 'tracer.span("phase", phase="objective")\n')) == []
         r = run_lint(
             PATH, HEAD + 'SuperstepRecord(label="x", work=[], phase="objective")\n'
         )

@@ -1,0 +1,151 @@
+"""Unit tests for the dependency-tracking work queue.
+
+The queue is the contract surface between the driver (enqueueing
+instruction deliveries) and the runner threads (pulling ready ones):
+dependency release, deliberate duplicate delivery, pull ordering and
+abandon-on-teardown are each pinned here in isolation, single-threaded
+where possible so failures point at queue logic rather than races.
+"""
+
+import threading
+
+import pytest
+
+from repro.machine.workqueue import WorkQueue
+
+
+class TestReadiness:
+    def test_fifo_order_among_ready(self):
+        q = WorkQueue()
+        q.put(1, "a")
+        q.put(2, "b")
+        q.put(3, "c")
+        assert [q.pull(timeout=0)[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_lifo_order_among_ready(self):
+        q = WorkQueue(order="lifo")
+        q.put(1, "a")
+        q.put(2, "b")
+        q.put(3, "c")
+        assert [q.pull(timeout=0)[1] for _ in range(3)] == ["c", "b", "a"]
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            WorkQueue(order="random")
+
+    def test_dependency_blocks_until_marked_done(self):
+        q = WorkQueue()
+        q.put(2, "dependent", deps=(1,))
+        assert q.pull(timeout=0) is None  # not ready yet
+        assert q.pending() == 1  # ... but not lost either
+        q.mark_done(1)
+        assert q.pull(timeout=0) == (2, "dependent")
+
+    def test_done_dependency_is_satisfied_at_put(self):
+        q = WorkQueue()
+        q.mark_done(1)
+        q.put(2, "dependent", deps=(1,))
+        assert q.pull(timeout=0) == (2, "dependent")
+
+    def test_multiple_deps_release_only_when_all_done(self):
+        q = WorkQueue()
+        q.put(3, "join", deps=(1, 2))
+        q.mark_done(1)
+        assert q.pull(timeout=0) is None
+        q.mark_done(2)
+        assert q.pull(timeout=0) == (3, "join")
+
+    def test_one_done_releases_all_waiters(self):
+        q = WorkQueue()
+        q.put(2, "x", deps=(1,))
+        q.put(3, "y", deps=(1,))
+        q.mark_done(1)
+        assert {q.pull(timeout=0)[0] for _ in range(2)} == {2, 3}
+
+    def test_mark_done_is_idempotent(self):
+        q = WorkQueue()
+        q.put(2, "x", deps=(1,))
+        q.mark_done(1)
+        q.mark_done(1)  # duplicate deliveries each mark once
+        assert q.pull(timeout=0) == (2, "x")
+        assert q.pull(timeout=0) is None
+
+    def test_is_done(self):
+        q = WorkQueue()
+        assert not q.is_done(1)
+        q.mark_done(1)
+        assert q.is_done(1)
+
+
+class TestDuplicateDelivery:
+    def test_same_id_enqueued_twice_delivers_twice(self):
+        """The queue never deduplicates — repeat delivery is the
+        redelivery suite's injection mechanism; harmlessness is the
+        consumer's contract, not the queue's."""
+        q = WorkQueue()
+        q.put(1, "first")
+        q.put(1, "second")
+        assert q.pull(timeout=0) == (1, "first")
+        assert q.pull(timeout=0) == (1, "second")
+
+    def test_blocked_duplicates_both_release(self):
+        q = WorkQueue()
+        q.put(2, "a", deps=(1,))
+        q.put(2, "b", deps=(1,))
+        assert q.pending() == 2
+        q.mark_done(1)
+        assert q.pull(timeout=0) == (2, "a")
+        assert q.pull(timeout=0) == (2, "b")
+
+
+class TestAbandon:
+    def test_abandon_reports_dropped_and_kills_queue(self):
+        q = WorkQueue()
+        q.put(1, "ready")
+        q.put(3, "blocked", deps=(2,))
+        assert q.abandon() == 2
+        assert q.abandoned
+        assert q.pull(timeout=None) is None  # returns, never blocks
+        with pytest.raises(RuntimeError, match="abandoned"):
+            q.put(4, "late")
+
+    def test_abandon_wakes_blocked_puller(self):
+        q = WorkQueue()
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pull()))
+        t.start()
+        q.abandon()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [None]
+
+    def test_pull_timeout_returns_none(self):
+        q = WorkQueue()
+        assert q.pull(timeout=0.01) is None
+
+
+class TestConcurrency:
+    def test_many_threads_drain_everything_exactly_once_per_delivery(self):
+        q = WorkQueue()
+        total = 200
+        for i in range(1, total + 1):
+            q.put(i, i, deps=(i - 1,) if i > 1 else ())
+        pulled = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                item = q.pull(timeout=1.0)
+                if item is None:
+                    return
+                with lock:
+                    pulled.append(item[0])
+                q.mark_done(item[0])
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        # A chain DAG forces strictly increasing delivery order.
+        assert pulled == list(range(1, total + 1))
