@@ -18,6 +18,11 @@ Commands
 ``lint``
     Static analysis: enforce the semiring, determinism and protocol
     contracts (rules REP001-REP005, see ``docs/static_analysis.md``).
+``serve``
+    Request-serving selftest: stream ≥100 mixed decode/align requests
+    through one resident worker pool, answering near-duplicates by
+    §4.7 delta repair, verifying every answer against a sequential
+    solve (see ``docs/serving.md``).
 
 All instances are generated from seeded synthetic workloads, so every
 invocation is reproducible via ``--seed``.
@@ -244,6 +249,27 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return execute_lint(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    if not args.selftest:
+        print(
+            "repro serve: pass --selftest to run the batched-serving demo "
+            "(the in-process API is repro.serve.LTDPService)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.serve import run_selftest
+
+    report = run_selftest(
+        num_requests=args.requests,
+        num_procs=args.procs,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        seed=args.seed,
+        log=print,
+    )
+    return 0 if report.passed else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     problem = build_problem(args)
     with _build_executor(args) as executor:
@@ -310,6 +336,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_trace.add_argument("--columns", type=int, default=100)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="batched request serving on the resident pool (selftest)",
+    )
+    p_serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="serve a seeded mixed request stream and verify every answer "
+        "bit-identical to a sequential solve",
+    )
+    p_serve.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=120,
+        metavar="N",
+        help="requests in the generated stream (default 120)",
+    )
+    p_serve.add_argument("--procs", type=_positive_int, default=3)
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="persistent pool workers",
+    )
+    p_serve.add_argument(
+        "--queue",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="admission-control queue bound (default: accept the whole stream)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+
     p_lint = sub.add_parser(
         "lint",
         help="static analysis: semiring / determinism / protocol contracts",
@@ -340,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         "convergence": cmd_convergence,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "serve": cmd_serve,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

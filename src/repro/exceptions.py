@@ -42,6 +42,16 @@ class ProblemDefinitionError(ReproError):
     """An LTDP problem definition is malformed or internally inconsistent."""
 
 
+class StreamAccountingError(ReproError):
+    """A streaming decoder's emitted-bit accounting went out of balance.
+
+    The streaming Viterbi decoder must emit exactly one decision bit per
+    input stage across its main loop and final flush; a mismatch means
+    traceback bookkeeping is corrupt.  Raised as a real exception (not a
+    bare ``assert``) so the check survives ``python -O``.
+    """
+
+
 class ExecutorError(ReproError):
     """A parallel executor failed (worker crash, bad configuration...)."""
 

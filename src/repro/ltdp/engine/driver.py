@@ -50,7 +50,12 @@ from repro.machine.metrics import RunMetrics
 from repro.machine.trace import Tracer
 from repro.semiring.tropical import NEG_INF
 
-__all__ = ["ParallelOptions", "solve_parallel", "edge_weight_by_probe"]
+__all__ = [
+    "ParallelOptions",
+    "solve_parallel",
+    "run_solve_phases",
+    "edge_weight_by_probe",
+]
 
 #: Shared no-op context for untraced phase blocks (nullcontext is stateless).
 _NULL_CTX = nullcontext()
@@ -206,6 +211,93 @@ def _make_runtime(
     )
 
 
+def run_solve_phases(
+    problem: LTDPProblem,
+    options: ParallelOptions,
+    ranges,
+    runtime: SuperstepRuntime,
+    metrics: RunMetrics,
+    *,
+    forward_fn=None,
+) -> LTDPSolution:
+    """Run forward → objective → backward → score on a caller-owned runtime.
+
+    The phase pipeline of :func:`solve_parallel`, split out so the serve
+    layer can drive it repeatedly against one resident
+    :class:`~repro.ltdp.engine.poolrt.PoolRuntime` (amortizing runtime
+    construction and worker-state shipping across requests).  The caller
+    owns the runtime's lifecycle — no ``finish()`` here — and, for pool
+    executors, the folding of recovery-counter deltas into ``metrics``.
+
+    ``forward_fn`` overrides the forward phase (the serve layer
+    substitutes :func:`~repro.ltdp.engine.forward.repair_forward_phase`
+    on cache hits); it must return the ``finals`` map that
+    :func:`~repro.ltdp.engine.forward.forward_phase` would.
+    """
+    tracer = options.tracer
+    with tracer.span("phase", phase="forward") if tracer else _NULL_CTX:
+        if forward_fn is None:
+            finals = forward_phase(problem, ranges, options, runtime, metrics)
+        else:
+            finals = forward_fn()
+
+    obj_stage: int | None = None
+    obj_cell: int | None = None
+    obj_value: float | None = None
+    if problem.tracks_stage_objective:
+        with tracer.span("phase", phase="objective") if tracer else _NULL_CTX:
+            obj_value, obj_stage, obj_cell = objective_phase(
+                problem, ranges, options, runtime, metrics
+            )
+
+    # Explicit sentinel check: ``obj_cell or 0`` conflated "no objective
+    # cell" (None) with a legitimate objective optimum at cell 0.
+    start_cell = 0 if obj_cell is None else obj_cell
+    with tracer.span("phase", phase="backward") if tracer else _NULL_CTX:
+        if options.parallel_backward:
+            path = backward_parallel_phase(
+                problem,
+                ranges,
+                options,
+                runtime,
+                metrics,
+                start_stage=obj_stage,
+                start_cell=start_cell,
+            )
+        else:
+            path = backward_serial_phase(
+                problem,
+                runtime,
+                metrics,
+                len(ranges),
+                start_stage=obj_stage,
+                start_cell=start_cell,
+            )
+
+    final = np.asarray(finals[ranges[-1].proc])
+    if obj_value is not None:
+        # The shift-invariant objective is exact even on offset vectors.
+        score = float(obj_value)
+    elif options.exact_score:
+        score = _price_path(problem, path)
+    else:
+        score = float(final[0])
+
+    stage_vectors = None
+    if options.keep_stage_vectors:
+        stage_vectors = [np.asarray(v) for v in runtime.stage_vectors()]
+
+    return LTDPSolution(
+        path=path,
+        score=score,
+        final_vector=final,
+        metrics=metrics,
+        stage_vectors=stage_vectors,
+        objective_stage=obj_stage,
+        objective_cell=obj_cell,
+    )
+
+
 def solve_parallel(
     problem: LTDPProblem,
     options: ParallelOptions | None = None,
@@ -271,51 +363,7 @@ def solve_parallel(
         delivery=options.delivery,
     )
     try:
-        with tracer.span("phase", phase="forward") if tracer else _NULL_CTX:
-            finals = forward_phase(problem, ranges, options, runtime, metrics)
-
-        obj_stage: int | None = None
-        obj_cell: int | None = None
-        obj_value: float | None = None
-        if problem.tracks_stage_objective:
-            with tracer.span("phase", phase="objective") if tracer else _NULL_CTX:
-                obj_value, obj_stage, obj_cell = objective_phase(
-                    problem, ranges, options, runtime, metrics
-                )
-
-        with tracer.span("phase", phase="backward") if tracer else _NULL_CTX:
-            if options.parallel_backward:
-                path = backward_parallel_phase(
-                    problem,
-                    ranges,
-                    options,
-                    runtime,
-                    metrics,
-                    start_stage=obj_stage,
-                    start_cell=obj_cell or 0,
-                )
-            else:
-                path = backward_serial_phase(
-                    problem,
-                    runtime,
-                    metrics,
-                    num_procs,
-                    start_stage=obj_stage,
-                    start_cell=obj_cell or 0,
-                )
-
-        final = np.asarray(finals[ranges[-1].proc])
-        if obj_value is not None:
-            # The shift-invariant objective is exact even on offset vectors.
-            score = float(obj_value)
-        elif options.exact_score:
-            score = _price_path(problem, path)
-        else:
-            score = float(final[0])
-
-        stage_vectors = None
-        if options.keep_stage_vectors:
-            stage_vectors = [np.asarray(v) for v in runtime.stage_vectors()]
+        solution = run_solve_phases(problem, options, ranges, runtime, metrics)
     finally:
         runtime.finish()
         if recovery is not None and recovery_base is not None:
@@ -325,12 +373,4 @@ def solve_parallel(
                 recovery.replayed_supersteps - recovery_base.replayed_supersteps
             )
 
-    return LTDPSolution(
-        path=path,
-        score=score,
-        final_vector=final,
-        metrics=metrics,
-        stage_vectors=stage_vectors,
-        objective_stage=obj_stage,
-        objective_cell=obj_cell,
-    )
+    return solution

@@ -26,11 +26,27 @@ path segment **inside the worker**
 - gathers (``keep_stage_vectors``, the serial-traceback fallback) pull
   the resident arrays out at the end, off the hot path.
 
+Sessions: each runtime owns a **session key** and all of its worker-side
+state lives under ``ns["sessions"][key]``, so several runtimes — the
+serve layer keeps one resident runtime per cached problem family while
+ad-hoc solves come and go — can share one pool without trampling each
+other's resident state.  ``finish()`` drops the session from the
+workers; a *resident* runtime (serve) simply doesn't call it between
+requests.
+
+Rebinding: :meth:`PoolRuntime.rebind_problem` swaps the worker-side
+problem **without** discarding resident state — the serve layer's
+cache-hit path, where a near-duplicate request repairs the canonical
+solve in place (:class:`~repro.ltdp.engine.specs.DeltaRepairSpec`).
+Rebinds are journalled with a sequence watermark so crash recovery can
+interleave them correctly into the replay.
+
 Crash recovery is "re-run a program suffix": the shared
 :class:`~repro.ltdp.engine.program.InstructionProgram` *is* the replay
 journal — rebuilding a respawned worker replays the recorded
-instructions of the slots it owns, in program order (PR 2's per-slot
-journal, subsumed).
+instructions of the slots it owns, merged across slots in program-seq
+order (a worker owning several slots must see each rebind exactly where
+the original execution did).
 
 The functions prefixed ``_w_`` execute *inside* workers against the
 worker's persistent namespace; they are module-level so they pickle by
@@ -39,6 +55,7 @@ reference.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import time
 from typing import Sequence
@@ -60,18 +77,42 @@ __all__ = ["PoolRuntime"]
 
 # ----------------------------------------------------------------------
 # Worker-side namespace functions (run via PoolProcessExecutor.call_slots
-# / broadcast; ``ns`` is the worker's persistent namespace dict).
+# / broadcast; ``ns`` is the worker's persistent namespace dict, and the
+# per-session state lives under ``ns["sessions"][key]``).
 # ----------------------------------------------------------------------
 
 
-def _w_reset(ns, problem_blob: bytes, slots: list[int]) -> None:
-    """Install the problem (shipped once per solve) and fresh slot states."""
+def _w_reset(ns, key: str, problem_blob: bytes, slots: list[int]) -> None:
+    """Install the session: its problem (shipped once) and fresh slot states."""
     problem = pickle.loads(problem_blob)
-    ns["problem"] = problem
-    ns["states"] = {slot: WorkerStore(problem) for slot in slots}
+    ns.setdefault("sessions", {})[key] = {
+        "problem": problem,
+        "states": {slot: WorkerStore(problem) for slot in slots},
+    }
 
 
-def _w_run_instr(ns, seq: int, spec: SuperstepSpec) -> SpecResult:
+def _w_set_problem(ns, key: str, problem_blob: bytes) -> None:
+    """Rebind the session's problem, keeping resident state (cache-hit path).
+
+    The stage-0 vector is recomputed lazily from the new problem; every
+    other resident vector stays — that's the point: a
+    :class:`~repro.ltdp.engine.specs.DeltaRepairSpec` sweep repairs the
+    stale stages against the rebound problem.
+    """
+    problem = pickle.loads(problem_blob)
+    sess = ns["sessions"][key]
+    sess["problem"] = problem
+    for store in sess["states"].values():
+        store.problem = problem
+        store.s.pop(0, None)
+
+
+def _w_drop(ns, key: str) -> None:
+    """Forget the session entirely (runtime finish / session eviction)."""
+    ns.get("sessions", {}).pop(key, None)
+
+
+def _w_run_instr(ns, key: str, seq: int, spec: SuperstepSpec) -> SpecResult:
     """Execute one instruction against the slot's resident store.
 
     Idempotent under repeat delivery: the stripped reply of every
@@ -88,27 +129,28 @@ def _w_run_instr(ns, seq: int, spec: SuperstepSpec) -> SpecResult:
     boundary vector + scalars (+ path indices, which are the backward
     phase's output).
     """
-    store = ns["states"][spec.proc]
+    sess = ns["sessions"][key]
+    store = sess["states"][spec.proc]
     cached = store.results.get(seq)
     if cached is not None:
         return cached
-    result = spec.execute(ns["problem"], store)
+    result = spec.execute(sess["problem"], store)
     store.apply(result, seq=seq)
     stripped = result.stripped()
     store.results[seq] = stripped
     return stripped
 
 
-def _w_collect(ns, slot: int, kind: str, stages: list[int]):
+def _w_collect(ns, key: str, slot: int, kind: str, stages: list[int]):
     """Ship the requested resident vectors back to the driver."""
-    store = ns["states"][slot]
+    store = ns["sessions"][key]["states"][slot]
     source = store.s if kind == "s" else store.pred
     return {i: source[i] for i in stages if i in source}
 
 
-def _w_install_pred(ns, slot: int, mapping: dict[int, np.ndarray]) -> None:
+def _w_install_pred(ns, key: str, slot: int, mapping: dict[int, np.ndarray]) -> None:
     """Merge redistributed predecessor vectors into a slot's store."""
-    ns["states"][slot].pred.update(mapping)
+    ns["sessions"][key]["states"][slot].pred.update(mapping)
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +168,8 @@ class PoolRuntime(SuperstepRuntime):
     one-round-trip-per-superstep wire cost.
     """
 
+    _key_counter = itertools.count(1)
+
     def __init__(
         self,
         pool,
@@ -134,6 +178,7 @@ class PoolRuntime(SuperstepRuntime):
         tracer: Tracer | None = None,
         runners: int = 1,
         delivery: DeliveryPolicy | None = None,
+        session_key: str | None = None,
     ) -> None:
         self.pool = pool
         self.problem = problem
@@ -141,26 +186,31 @@ class PoolRuntime(SuperstepRuntime):
         self.forward_ranges = list(ranges)
         self.tracer = tracer
         self.program = InstructionProgram()
+        self.session_key = (
+            session_key
+            if session_key is not None
+            else f"solve-{next(self._key_counter)}"
+        )
+        self._finished = False
         # The pool emits per-worker dispatch spans and recovery events
         # into the same tracer; cleared again in finish() so later
         # untraced solves on a shared pool stay untraced.
         if tracer and hasattr(pool, "set_tracer"):
             pool.set_tracer(tracer)
-        try:
-            blob = pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            raise ExecutorError(
-                "the pool runtime ships the problem to persistent workers "
-                f"once per solve, but this problem is not picklable: {exc!r}"
-            ) from exc
+        blob = self._pickle_problem(problem)
         # Every worker learns every slot id; a slot's state only ever
         # fills on its owning worker, the rest stay empty placeholders.
         slots = [rg.proc for rg in self.forward_ranges]
         self._slots = slots
-        self._reset_args = (blob, slots)
-        if hasattr(self.pool, "set_rebuild_hook"):
+        # Problem history for crash replay: ``(seq_watermark, blob)`` —
+        # instructions with seq > watermark executed under that blob's
+        # problem.  Entry 0 is the construction-time problem.
+        self._problem_history: list[tuple[int, bytes]] = [(0, blob)]
+        if hasattr(self.pool, "add_rebuild_hook"):
+            self.pool.add_rebuild_hook(self, self._rebuild_worker)
+        elif hasattr(self.pool, "set_rebuild_hook"):
             self.pool.set_rebuild_hook(self._rebuild_worker)
-        self.pool.broadcast(_w_reset, (blob, slots))
+        self.pool.broadcast(_w_reset, (self.session_key, blob, slots))
         self._crew: RunnerCrew | None = None
         if _wants_crew(runners, delivery):
             self._crew = RunnerCrew(
@@ -173,41 +223,91 @@ class PoolRuntime(SuperstepRuntime):
             if hasattr(pool, "add_teardown_hook"):
                 pool.add_teardown_hook(self._crew.close)
 
+    @staticmethod
+    def _pickle_problem(problem: LTDPProblem) -> bytes:
+        try:
+            return pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise ExecutorError(
+                "the pool runtime ships the problem to persistent workers "
+                f"once per solve, but this problem is not picklable: {exc!r}"
+            ) from exc
+
     @property
     def step_no(self) -> int:
         return self.program.step_no
+
+    @property
+    def journal_len(self) -> int:
+        """Instructions journalled so far (the serve layer's rebase bound:
+        a resident session whose replay program grows past its cap is
+        cheaper to rebuild from scratch than to keep replaying)."""
+        return len(self.program)
+
+    def rebind_problem(self, problem: LTDPProblem) -> None:
+        """Swap the worker-side problem, keeping all resident state.
+
+        The serve layer's cache-hit path: after rebinding, a
+        :func:`~repro.ltdp.engine.forward.repair_forward_phase` sweep
+        repairs the resident solve against the new problem.  The rebind
+        is journalled with the current program length as its sequence
+        watermark so a crash replay re-applies it between exactly the
+        same instructions as the original execution.
+        """
+        blob = self._pickle_problem(problem)
+        self.pool.broadcast(_w_set_problem, (self.session_key, blob))
+        self.problem = problem
+        self._problem_history.append((len(self.program), blob))
 
     def _rebuild_worker(self, w: int) -> tuple[list, int]:
         """Recovery program for respawned worker ``w`` (pool rebuild hook).
 
         Returns ``(calls, replayed)``: namespace calls that re-install
-        the problem and re-run, in program order, the **recorded**
-        instruction suffix of every slot worker ``w`` owns (the paper's
-        Fig 4 restartability: any processor can be re-run from its
-        predecessor's boundary vector), plus the replayed-instruction
-        count.  Compiled-but-unrecorded instructions are excluded: the
-        in-flight request re-sends after recovery and must not have
-        replayed ahead of itself.
+        the session and re-run the **recorded** instruction suffix of
+        every slot worker ``w`` owns (the paper's Fig 4 restartability:
+        any processor can be re-run from its predecessor's boundary
+        vector), plus the replayed-instruction count.  The slots'
+        histories are merged in program-seq order with the journalled
+        problem rebinds interleaved at their watermarks — a worker
+        owning several slots must replay each instruction under the
+        same problem the original execution saw.  Compiled-but-
+        unrecorded instructions are excluded: the in-flight request
+        re-sends after recovery and must not have replayed ahead of
+        itself.
         """
-        calls: list[tuple] = [(_w_reset, self._reset_args)]
-        replayed = 0
+        instrs: list[Instruction] = []
         for slot in self._slots:
             if self.pool.worker_of_slot(slot) != w:
                 continue
             for instr in self.program.slot_history(slot):
-                if not self.program.is_recorded(instr.seq):
-                    continue
-                if instr.op == "spec":
-                    calls.append((_w_run_instr, (instr.seq, instr.spec)))
-                    replayed += 1
-                else:  # pred-install: redistributed predecessor vectors
-                    calls.append((_w_install_pred, (slot, instr.payload)))
+                if self.program.is_recorded(instr.seq):
+                    instrs.append(instr)
+        instrs.sort(key=lambda ins: ins.seq)
+        key = self.session_key
+        calls: list[tuple] = [
+            (_w_reset, (key, self._problem_history[0][1], self._slots))
+        ]
+        rebinds = self._problem_history[1:]
+        ri = 0
+        replayed = 0
+        for instr in instrs:
+            while ri < len(rebinds) and rebinds[ri][0] < instr.seq:
+                calls.append((_w_set_problem, (key, rebinds[ri][1])))
+                ri += 1
+            if instr.op == "spec":
+                calls.append((_w_run_instr, (key, instr.seq, instr.spec)))
+                replayed += 1
+            else:  # pred-install: redistributed predecessor vectors
+                calls.append((_w_install_pred, (key, instr.slot, instr.payload)))
+        while ri < len(rebinds):
+            calls.append((_w_set_problem, (key, rebinds[ri][1])))
+            ri += 1
         return calls, replayed
 
     def _execute_instr(self, instr: Instruction) -> SpecResult:
         """Runner-crew transport: one dispatch per pulled instruction."""
         return self.pool.call_slots(
-            [(instr.slot, _w_run_instr, (instr.seq, instr.spec))]
+            [(instr.slot, _w_run_instr, (self.session_key, instr.seq, instr.spec))]
         )[0]
 
     def run(
@@ -233,7 +333,7 @@ class PoolRuntime(SuperstepRuntime):
         # Classic path: the whole superstep as one batched dispatch per
         # worker — one round trip per barrier.
         calls = [
-            (instr.slot, _w_run_instr, (instr.seq, instr.spec))
+            (instr.slot, _w_run_instr, (self.session_key, instr.seq, instr.spec))
             for instr in instrs
         ]
         if not tracer:
@@ -289,6 +389,7 @@ class PoolRuntime(SuperstepRuntime):
                 needs[rg.proc] = missing
         if not needs:
             return
+        key = self.session_key
         # Gather each missing stage from its forward owner...
         fetch: dict[int, list[int]] = {}
         for stages in needs.values():
@@ -297,7 +398,7 @@ class PoolRuntime(SuperstepRuntime):
         gathered: dict[int, np.ndarray] = {}
         for chunk in self.pool.call_slots(
             [
-                (owner, _w_collect, (owner, "pred", stages))
+                (owner, _w_collect, (key, owner, "pred", stages))
                 for owner, stages in fetch.items()
             ]
         ):
@@ -309,7 +410,7 @@ class PoolRuntime(SuperstepRuntime):
         }
         self.pool.call_slots(
             [
-                (slot, _w_install_pred, (slot, mapping))
+                (slot, _w_install_pred, (key, slot, mapping))
                 for slot, mapping in installs.items()
             ]
         )
@@ -326,8 +427,12 @@ class PoolRuntime(SuperstepRuntime):
         if kind == "s":
             out[0] = self.problem.initial_vector()
         ranges = self.forward_ranges
+        key = self.session_key
         for chunk in self.pool.call_slots(
-            [(rg.proc, _w_collect, (rg.proc, kind, list(rg.stages()))) for rg in ranges]
+            [
+                (rg.proc, _w_collect, (key, rg.proc, kind, list(rg.stages())))
+                for rg in ranges
+            ]
         ):
             for i, v in chunk.items():
                 out[i] = v
@@ -340,15 +445,29 @@ class PoolRuntime(SuperstepRuntime):
         return self._gather("pred")
 
     def finish(self) -> None:
-        # The program journal belongs to this solve; a stale hook would
-        # replay the wrong state into a worker respawned during a later
-        # solve.
+        # The program journal belongs to this runtime; a stale hook
+        # would replay the wrong state into a worker respawned during a
+        # later solve.  Idempotent: the serve layer finishes sessions
+        # both on eviction and on service close.
+        if self._finished:
+            return
+        self._finished = True
         if self._crew is not None:
             self._crew.close()
             if hasattr(self.pool, "remove_teardown_hook"):
                 self.pool.remove_teardown_hook(self._crew.close)
             self._crew = None
-        if hasattr(self.pool, "set_rebuild_hook"):
+        # Unhook before dropping: a worker respawn triggered by the drop
+        # broadcast must not first replay the session it is dropping.
+        if hasattr(self.pool, "remove_rebuild_hook"):
+            self.pool.remove_rebuild_hook(self)
+        elif hasattr(self.pool, "set_rebuild_hook"):
             self.pool.set_rebuild_hook(None)
         if self.tracer and hasattr(self.pool, "set_tracer"):
             self.pool.set_tracer(None)
+        try:
+            self.pool.broadcast(_w_drop, (self.session_key,))
+        except ExecutorError:
+            # Closed or broken pool: the workers (and their sessions)
+            # are gone anyway.
+            pass

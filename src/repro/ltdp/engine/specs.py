@@ -32,7 +32,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.exceptions import ZeroVectorError
-from repro.ltdp.delta import BoundaryDiff, delta_fixup_work
+from repro.ltdp.delta import BoundaryDiff, changed_delta_count, delta_fixup_work
 from repro.ltdp.problem import LTDPProblem
 from repro.semiring.vector import are_parallel, is_zero_vector, random_nonzero_vector
 
@@ -42,6 +42,7 @@ __all__ = [
     "SuperstepSpec",
     "ForwardInitSpec",
     "ForwardFixupSpec",
+    "DeltaRepairSpec",
     "ObjectiveSpec",
     "BackwardInitSpec",
     "BackwardFixupSpec",
@@ -108,6 +109,11 @@ class SpecResult:
     #: consumed, stored resident so the next round's
     #: :class:`~repro.ltdp.delta.BoundaryDiff` can apply against it.
     fixup_input: tuple[int, np.ndarray] | None = None
+    #: Delta-space cells this sweep actually changed relative to the
+    #: resident stage vectors (§4.7 accounting; reported by
+    #: :class:`DeltaRepairSpec` so a serve-layer cache hit can prove it
+    #: repaired rather than recomputed).  Scalar — crosses the pool wire.
+    repaired_deltas: int = 0
 
     def stripped(self) -> "SpecResult":
         """Copy with the stage-resident payloads removed (pool wire format)."""
@@ -293,6 +299,111 @@ class ForwardFixupSpec(SuperstepSpec):
             boundary=boundary,
             fixup_state_updates=new_states,
             fixup_input=(self.lo, in_boundary) if self.use_delta else None,
+        )
+
+
+@dataclass(frozen=True)
+class DeltaRepairSpec(ForwardFixupSpec):
+    """Repair a *resident* solve against a mutated problem (serve cache hit).
+
+    The serve layer keeps a canonical solve resident in the workers and
+    answers a near-duplicate request — same family and shape, a few
+    mutated stages — by rebinding the worker-side problem and sweeping
+    each dirtied range once with this spec.  It is a
+    :class:`ForwardFixupSpec` with two twists:
+
+    - ``dirty`` names the stages whose transform changed.  Those stages
+      are recomputed **densely** (their cached §4.7 kernel state
+      describes the *old* transform and must be refreshed); clean
+      stages keep the sparse path, which costs ~nothing while the
+      propagated boundary is unchanged.
+    - The rank-convergence early exit is suppressed until the sweep has
+      passed the last dirty stage: before it, "new vector parallel to
+      stored" only means the perturbation has not been *reached* yet,
+      not that it has died out.
+
+    Past the last dirty stage the transforms match the resident state
+    again, so the standard fix-up argument applies unchanged and the
+    downstream ranges are handled by the ordinary fix-up loop.
+    ``repaired_deltas`` in the result counts the delta-space cells the
+    sweep actually changed — the serve layer's proof that a cache hit
+    took the repair path.
+    """
+
+    dirty: tuple[int, ...] = ()
+
+    def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
+        if self.boundary_diff is not None:
+            base = store.get_fixup_input(self.lo)
+            if base is None:
+                raise ZeroVectorError(
+                    f"processor {self.proc} received a boundary diff but "
+                    "has no resident input boundary to apply it to"
+                )
+            v = self.boundary_diff.apply(base)
+        else:
+            v = np.asarray(self.boundary, dtype=np.float64)
+        in_boundary = v
+        dirty = frozenset(self.dirty)
+        # Stage indices, not tropical values: an empty dirty set means
+        # "nothing forced dense", so convergence may fire from the start.
+        last_dirty = max(dirty, default=self.lo)
+        new_s: dict[int, np.ndarray] = {}
+        new_pred: dict[int, np.ndarray] = {}
+        new_states: dict[int, object] = {}
+        work = 0.0
+        stages_done = 0
+        converged = False
+        repaired = 0
+        for i in self.stages():
+            sparse_cells: float | None = None
+            if self.sparse and i not in dirty:
+                res = problem.apply_stage_sparse(
+                    i, v, store.get_fixup_state(i), self.crossover
+                )
+                if res is not None:
+                    v, p, st, sparse_cells = res
+                    new_states[i] = st
+            if sparse_cells is None:
+                if self.sparse:
+                    # Dirty stage, cache miss, or past crossover: dense
+                    # recompute with state capture so later sparse rounds
+                    # see the *new* transform's cached evaluation.
+                    v, p, st = problem.apply_stage_with_state(i, v)
+                    new_states[i] = st
+                else:
+                    v, p = problem.apply_stage_with_pred(i, v)
+            if is_zero_vector(v):
+                raise ZeroVectorError(
+                    f"stage {i} produced an all--inf vector in delta repair"
+                )
+            new_pred[i] = p
+            old = store.get_s(i)
+            if sparse_cells is not None:
+                work += sparse_cells
+            elif self.use_delta and not self.sparse:
+                work += delta_fixup_work(old, v)
+            else:
+                work += problem.stage_cost(i)
+            stages_done += 1
+            if old.shape == v.shape:
+                repaired += changed_delta_count(old, v)
+            if i > last_dirty and self.is_converged(v, old):
+                converged = True
+                break
+            new_s[i] = v
+        boundary = new_s[self.hi] if self.hi in new_s else store.get_s(self.hi)
+        return SpecResult(
+            proc=self.proc,
+            work=work,
+            s_updates=new_s,
+            pred_updates=new_pred,
+            stages_done=stages_done,
+            converged=converged,
+            boundary=boundary,
+            fixup_state_updates=new_states,
+            fixup_input=(self.lo, in_boundary) if self.use_delta else None,
+            repaired_deltas=repaired,
         )
 
 

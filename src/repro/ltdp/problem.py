@@ -126,6 +126,22 @@ class LTDPProblem(ABC):
         """
         return None
 
+    # -- near-duplicate detection (serving layer) --------------------------
+    def dirty_stages_against(self, base: "LTDPProblem") -> "set[int] | None":
+        """Stages whose transforms differ from ``base``'s, or ``None``.
+
+        The serving layer (:mod:`repro.serve`) uses this to answer a
+        near-duplicate request by *repairing* a resident solve of
+        ``base`` instead of solving from scratch: when this returns a
+        set ``D``, the contract is that for every stage ``i ∉ D``
+        (``1 ≤ i ≤ num_stages``) ``apply_stage``/``apply_stage_with_pred``
+        of ``self`` and ``base`` are **bit-identical functions**, and the
+        base cases (``initial_vector``) are bit-identical too.  ``None``
+        means "cannot prove a bounded diff" and forces a fresh solve —
+        the safe default, returned here.
+        """
+        return None
+
     # -- costs ------------------------------------------------------------
     def stage_cost(self, i: int) -> float:
         """DP cells computed by one application of stage ``i`` (cost-model units).

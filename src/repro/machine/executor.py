@@ -52,11 +52,40 @@ Task = Callable[[], Any]
 
 
 class Executor(ABC):
-    """Runs one closure per virtual processor and returns their results in order."""
+    """Runs one closure per virtual processor and returns their results in order.
+
+    Lifecycle contract: after :meth:`close` returns, the executor is
+    permanently closed — :meth:`run_superstep` raises
+    :class:`ExecutorError` deterministically (no hang, no respawned
+    worker).  The serve layer's drain path relies on this: a request
+    racing shutdown gets a clean error instead of dispatching into a
+    half-torn-down transport.
+    """
 
     @abstractmethod
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
-        """Execute all ``tasks`` and return ``[task() for task in tasks]``."""
+        """Execute all ``tasks`` and return ``[task() for task in tasks]``.
+
+        Raises :class:`ExecutorError` if the executor has been closed.
+        """
+
+    # -- closed-state guard ----------------------------------------------
+    # Lazy attribute (like the teardown hooks below): ABC subclasses
+    # don't all chain __init__.
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; dispatching then raises."""
+        return bool(getattr(self, "_closed", False))
+
+    def _check_open(self) -> None:
+        """Raise :class:`ExecutorError` when the executor is closed."""
+        if getattr(self, "_closed", False):
+            raise ExecutorError(
+                f"{type(self).__name__} is closed: run_superstep after "
+                "close() is an error (create a new executor to dispatch "
+                "again)"
+            )
 
     # -- teardown hooks --------------------------------------------------
     # Higher layers that park threads on this executor's transport (the
@@ -89,8 +118,13 @@ class Executor(ABC):
                 pass
 
     def close(self) -> None:
-        """Release any worker resources.  Idempotent."""
+        """Release any worker resources and mark the executor closed.
+
+        Idempotent; subsequent :meth:`run_superstep` calls raise
+        :class:`ExecutorError`.
+        """
         self._drain_teardown_hooks()
+        self._closed = True
 
     def __enter__(self) -> "Executor":
         return self
@@ -103,6 +137,7 @@ class SerialExecutor(Executor):
     """Deterministic in-line execution (the simulated cluster's engine)."""
 
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        self._check_open()
         return [task() for task in tasks]
 
 
@@ -120,6 +155,7 @@ class ThreadExecutor(Executor):
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
 
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        self._check_open()
         futures = [self._pool.submit(task) for task in tasks]
         results: list[Any] = []
         for idx, future in enumerate(futures):
@@ -144,6 +180,7 @@ class ThreadExecutor(Executor):
         # finish.
         self._drain_teardown_hooks()
         self._pool.shutdown(wait=True)
+        self._closed = True
 
 
 def _child_main(conn, task: Task) -> None:  # pragma: no cover - runs in fork
@@ -179,6 +216,7 @@ class ProcessExecutor(Executor):
         self._ctx = mp.get_context("fork")
 
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
+        self._check_open()
         limit = self.max_workers or len(tasks) or 1
         results: list[Any] = []
         errors: list[str] = []

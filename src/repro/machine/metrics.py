@@ -56,8 +56,19 @@ TRACE_PHASES = frozenset({PHASE_FORWARD, PHASE_OBJECTIVE, PHASE_BACKWARD})
 #: enforces membership at literal ``tracer.span``/``add_span`` sites so
 #: a new layer cannot introduce spans that trace summaries and the
 #: bench harness' coverage check silently ignore.
+#: ``serve.request`` / ``serve.batch`` are the serving layer's spans
+#: (one per served request, one per same-shape batch).
 TRACE_SPAN_NAMES = frozenset(
-    {"phase", "superstep", "compute", "dispatch", "runner.pull", "program.instr"}
+    {
+        "phase",
+        "superstep",
+        "compute",
+        "dispatch",
+        "runner.pull",
+        "program.instr",
+        "serve.request",
+        "serve.batch",
+    }
 )
 
 #: Label prefixes with a known phase, used only as a fallback for records
@@ -65,6 +76,7 @@ TRACE_SPAN_NAMES = frozenset(
 _FORWARD_LABEL_PREFIXES = (
     "forward",
     "fixup",
+    "repair",
     "objective",
     "partial-products",
     "prefix-scan",

@@ -29,11 +29,12 @@ dispatch (e.g. a partial-send failure) is recognised and discarded
 instead of being attributed to the wrong superstep.  While waiting for
 a reply the driver health-checks the worker process; a crash triggers
 **automatic respawn** with bounded retry/backoff.  After a respawn the
-optional *rebuild hook* (registered by the LTDP pool runtime via
-:meth:`set_rebuild_hook`) re-ships the problem and replays the dead
-slot's journalled supersteps, reconstructing resident state
-bit-identically before the in-flight message is re-sent.  Recovery
-counters accumulate on :attr:`recovery_stats`.
+registered *rebuild hooks* (one per resident session, registered by
+LTDP pool runtimes via :meth:`add_rebuild_hook`) re-ship each
+session's problem and replay the dead slots' journalled supersteps,
+reconstructing resident state bit-identically before the in-flight
+message is re-sent.  Recovery counters accumulate on
+:attr:`recovery_stats`.
 
 Fault injection for tests: pass ``fault_plan={seq: worker}`` (or set
 ``REPRO_POOL_FAULTS="seq:worker,..."``) to SIGKILL a chosen worker just
@@ -244,7 +245,9 @@ class PoolProcessExecutor(Executor):
         #: Total ``_dispatch`` invocations; fault plans key off this.
         self.dispatch_count = 0
         self._broken: str | None = None
-        self._rebuild_hook: Callable[[int], tuple[list, int]] | None = None
+        # Rebuild hooks, keyed by owner (one per resident session so
+        # several sessions can share the pool); insertion-ordered.
+        self._rebuild_hooks: dict[Any, Callable[[int], tuple[list, int]]] = {}
         # Optional span tracer (set by the LTDP pool runtime while a
         # traced solve is in flight).  ``None`` keeps every dispatch on
         # the zero-overhead path.
@@ -269,7 +272,9 @@ class PoolProcessExecutor(Executor):
                 return
             if self._closing:
                 raise ExecutorError(
-                    "pool executor is closing; cannot spawn workers"
+                    "PoolProcessExecutor is closed: run_superstep after "
+                    "close() is an error (create a new executor to "
+                    "dispatch again)"
                 )
             for _ in range(self.max_workers):
                 proc, conn = self._spawn_worker()
@@ -299,19 +304,39 @@ class PoolProcessExecutor(Executor):
         """Index of the persistent worker that owns 1-based ``slot``."""
         return self._worker_index(slot)
 
-    def set_rebuild_hook(
-        self, hook: Callable[[int], tuple[list, int]] | None
+    def add_rebuild_hook(
+        self, owner: Any, hook: Callable[[int], tuple[list, int]]
     ) -> None:
-        """Register the resident-state reconstruction hook.
+        """Register a resident-state reconstruction hook under ``owner``.
 
         ``hook(worker_index)`` must return ``(calls, replayed)``: a list
         of ``(fn, args)`` namespace calls that rebuild every slot the
-        worker owns (run against the fresh worker before the in-flight
-        message is re-sent), and the number of journalled supersteps
-        those calls replay (for :attr:`recovery_stats` accounting).
-        Pass ``None`` to clear (the LTDP runtime does, after each solve).
+        worker owns for the owner's session (run against the fresh
+        worker before the in-flight message is re-sent), and the number
+        of journalled supersteps those calls replay (for
+        :attr:`recovery_stats` accounting).  Multiple owners — one per
+        resident session sharing the pool — may register concurrently;
+        a respawn runs every registered hook, in registration order.
         """
-        self._rebuild_hook = hook
+        with self._state_lock:
+            self._rebuild_hooks[owner] = hook
+
+    def remove_rebuild_hook(self, owner: Any) -> None:
+        """Deregister ``owner``'s hook (no-op when absent)."""
+        with self._state_lock:
+            self._rebuild_hooks.pop(owner, None)
+
+    def set_rebuild_hook(
+        self, hook: Callable[[int], tuple[list, int]] | None
+    ) -> None:
+        """Single-session compatibility shim over :meth:`add_rebuild_hook`.
+
+        Registers ``hook`` under a default owner; ``None`` clears it.
+        """
+        if hook is None:
+            self.remove_rebuild_hook("__default__")
+        else:
+            self.add_rebuild_hook("__default__", hook)
 
     def set_tracer(self, tracer) -> None:
         """Attach a :class:`~repro.machine.trace.Tracer` (or ``None``).
@@ -487,10 +512,16 @@ class PoolProcessExecutor(Executor):
                 f"respawned pool worker {w} (pid={proc.pid}) failed its "
                 "health check"
             )
-        hook = self._rebuild_hook
-        if hook is None:
+        with self._state_lock:
+            hooks = list(self._rebuild_hooks.values())
+        if not hooks:
             return
-        calls, replayed = hook(w)
+        calls: list = []
+        replayed = 0
+        for hook in hooks:
+            hook_calls, hook_replayed = hook(w)
+            calls.extend(hook_calls)
+            replayed += hook_replayed
         if calls:
             seq = self._next_seq()
             try:
@@ -674,6 +705,7 @@ class PoolProcessExecutor(Executor):
         declarative spec objects).  Tasks should be side-effect free:
         crash recovery re-sends a dead worker's whole batch.
         """
+        self._check_open()
         if not tasks:
             return []
         per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]] = {}
@@ -707,6 +739,7 @@ class PoolProcessExecutor(Executor):
         Returns results in call order.  The namespace dict persists on
         the worker between calls — resident state lives there.
         """
+        self._check_open()
         if not calls:
             return []
         per_worker: dict[int, tuple[str, list[tuple[Callable, tuple]]]] = {}
@@ -733,6 +766,7 @@ class PoolProcessExecutor(Executor):
 
     def broadcast(self, fn: Callable, args: tuple = ()) -> list[Any]:
         """Invoke ``fn(namespace, *args)`` once on *every* worker."""
+        self._check_open()
         self._ensure_workers()
         per_worker = {
             w: ("nscalls", [(fn, args)]) for w in range(self.num_workers)
@@ -758,8 +792,13 @@ class PoolProcessExecutor(Executor):
         self.close()
 
     def close(self) -> None:
-        """Stop and reap the workers.  Idempotent; the pool restarts
-        lazily if used again afterwards.
+        """Stop and reap the workers.  Idempotent and **permanent**: any
+        later dispatch raises :class:`ExecutorError` instead of lazily
+        respawning workers.
+
+        (Lazy revival after close was never relied on and raced the
+        serve layer's drain path: a request slipping in after close
+        would silently restart the worker fleet — and leak it.)
 
         Even without an explicit ``close()`` (CLI error paths,
         interactive sessions) the workers are reclaimed when the
@@ -769,18 +808,13 @@ class PoolProcessExecutor(Executor):
         Teardown ordering: registered teardown hooks (runner crews)
         drain first — while the workers are still alive, so in-flight
         instructions can finish or fail cleanly — and ``_closing``
-        blocks lazy respawns until the workers are reaped.
+        blocks respawns from the moment teardown starts.
         """
         with self._state_lock:
             self._closing = True
-        try:
-            self._drain_teardown_hooks()
-            finalizer = self._finalizer
-            self._finalizer = None
-            if finalizer is not None:
-                finalizer()
-        finally:
-            # Lazy revival stays possible: a later use respawns workers
-            # (and a fresh finalizer) exactly as before this change.
-            with self._state_lock:
-                self._closing = False
+            self._closed = True
+        self._drain_teardown_hooks()
+        finalizer = self._finalizer
+        self._finalizer = None
+        if finalizer is not None:
+            finalizer()

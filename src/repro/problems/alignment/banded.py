@@ -214,6 +214,42 @@ class BandedAlignmentProblem(LTDPProblem):
     def stage_cost(self, i: int) -> float:
         return float(self.stage_width(i))
 
+    # -- near-duplicate detection (serving layer) ----------------------
+    def _same_transform_params(self, base: "BandedAlignmentProblem") -> bool:
+        """Whether every non-``a``-dependent scoring input equals ``base``'s.
+
+        Subclasses carrying extra scoring state (a substitution matrix,
+        say) must extend this — a missed parameter silently breaks the
+        :meth:`dirty_stages_against` bit-identity contract.
+        """
+        return (
+            float(self.gap_up) == float(base.gap_up)
+            and float(self.gap_left) == float(base.gap_left)
+        )
+
+    def dirty_stages_against(self, base: "LTDPProblem") -> "set[int] | None":
+        """Stages whose transforms differ from ``base``'s, or ``None``.
+
+        Banded-alignment stage ``i`` (``1 ≤ i ≤ n``) depends on ``a``
+        only through ``a[i-1]`` (via :meth:`match_score`); ``b``, the
+        band width and the gap penalties are global.  So two problems
+        of the same concrete type with identical ``b``/geometry/scoring
+        differ exactly at the stages whose ``a`` symbol changed — the
+        row-0 base case and the width-1 selector stage never depend on
+        ``a`` and stay clean.
+        """
+        if type(base) is not type(self):
+            return None
+        if (
+            self.width != base.width
+            or self._n != base._n
+            or self._m != base._m
+            or not np.array_equal(self.b, base.b)
+            or not self._same_transform_params(base)
+        ):
+            return None
+        return {int(k) + 1 for k in np.nonzero(self.a != base.a)[0]}
+
     # -- sparse delta fix-up (§4.7) ------------------------------------
     def _scores_integral(self) -> bool:
         """Exactness gate for the sparse fix-up kernel.

@@ -62,6 +62,23 @@ class NeedlemanWunschProblem(BandedAlignmentProblem):
             return False
         return float(sc.gap_open).is_integer()
 
+    def _same_transform_params(self, base: BandedAlignmentProblem) -> bool:
+        if not super()._same_transform_params(base):
+            return False
+        mine, theirs = self.scoring, base.scoring
+        if (mine.match, mine.mismatch, mine.gap_open, mine.gap_extend) != (
+            theirs.match,
+            theirs.mismatch,
+            theirs.gap_open,
+            theirs.gap_extend,
+        ):
+            return False
+        if (mine.substitution is None) != (theirs.substitution is None):
+            return False
+        return mine.substitution is None or np.array_equal(
+            mine.substitution, theirs.substitution
+        )
+
     def match_score(self, i: int, col: np.ndarray) -> np.ndarray:
         return self.scoring.score_row(self.a[i - 1], self.b[col - 1])
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ProblemDefinitionError
+from repro.exceptions import ProblemDefinitionError, StreamAccountingError
 from repro.problems.convolutional import ConvolutionalCode
 from repro.semiring.tropical import NEG_INF
 
@@ -116,5 +116,14 @@ class StreamingViterbiDecoder:
             if emitted < n:
                 out_bits[emitted] = bit
                 emitted += 1
-        assert emitted == n
+        if emitted != n:
+            # A real exception, not ``assert``: the accounting check must
+            # survive ``python -O``, and a silent shortfall would return
+            # uninitialised bits from np.empty.
+            raise StreamAccountingError(
+                f"streaming decode emitted {emitted} of {n} bits "
+                f"(traceback_depth={self.depth}): main loop emitted "
+                f"{max(0, n - self.depth)}, flush covered "
+                f"{min(self.depth, n)} — survivor bookkeeping is corrupt"
+            )
         return out_bits

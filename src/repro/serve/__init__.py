@@ -1,0 +1,41 @@
+"""Request-serving front-end over the resident worker pool.
+
+``repro serve`` / :class:`LTDPService`: accept streams of decode/align
+requests, batch same-shape problems onto one persistent
+:class:`~repro.machine.pool.PoolProcessExecutor`, answer near-duplicate
+requests by §4.7 sparse delta repair of a resident canonical solve, and
+keep every answer bit-identical to a fresh sequential solve.
+"""
+
+from repro.serve.requests import (
+    CACHE_HIT,
+    CACHE_MISS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    PendingRequest,
+    ServeResponse,
+    class_label,
+    request_class,
+)
+from repro.serve.selftest import SelftestReport, build_request_stream, run_selftest
+from repro.serve.service import ClassStats, LTDPService
+from repro.serve.session import ResidentSession
+
+__all__ = [
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "ClassStats",
+    "LTDPService",
+    "PendingRequest",
+    "ResidentSession",
+    "SelftestReport",
+    "ServeResponse",
+    "build_request_stream",
+    "class_label",
+    "request_class",
+    "run_selftest",
+]

@@ -1,0 +1,193 @@
+"""One resident request-class: a persistent solve kept live in the pool.
+
+A :class:`ResidentSession` owns a
+:class:`~repro.ltdp.engine.poolrt.PoolRuntime` (one worker-side session
+namespace per request class) and the driver-side forward state of the
+last solve it ran — the ``finals`` map plus the convergence-aware
+scheduling dicts.  Serving a request then has two paths:
+
+- **miss** — :func:`~repro.ltdp.engine.forward.forward_phase` from
+  scratch on the resident runtime (the worker-state shipping and
+  process spin-up are still amortized across requests);
+- **hit** — the request's problem proves a bounded diff against the
+  resident problem (:meth:`LTDPProblem.dirty_stages_against`), so the
+  worker-side problem is rebound in place and
+  :func:`~repro.ltdp.engine.forward.repair_forward_phase` repairs only
+  the dirty stages (dense) plus whatever the §4.7 sparse fix-up loop
+  propagates.
+
+Either way the objective/backward/pricing pipeline
+(:func:`~repro.ltdp.engine.driver.run_solve_phases`) runs on the same
+runtime, and the answer is bit-identical to a fresh sequential solve:
+the repaired forward state satisfies exactly the invariants a converged
+forward phase guarantees (vectors parallel to the truth, predecessor
+rows exact), which is all the later phases consume.
+
+The instruction program doubles as the crash-replay journal, so it
+grows with every request; past ``journal_cap`` the session *rebases* —
+tears the runtime down and rebuilds it fresh — bounding both replay
+cost and worker-side reply-cache memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import ReproError
+from repro.ltdp.engine.driver import ParallelOptions, run_solve_phases
+from repro.ltdp.engine.forward import forward_phase, repair_forward_phase
+from repro.ltdp.engine.poolrt import PoolRuntime
+from repro.ltdp.partition import partition_stages
+from repro.ltdp.problem import LTDPProblem, LTDPSolution
+from repro.machine.metrics import RunMetrics
+from repro.machine.trace import Tracer
+
+from repro.serve.requests import CACHE_HIT, CACHE_MISS
+
+__all__ = ["ResidentSession"]
+
+
+class ResidentSession:
+    """Resident parallel solve of one request class on a shared pool."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        pool,
+        problem: LTDPProblem,
+        *,
+        num_procs: int = 4,
+        use_delta: bool = True,
+        seed: int | None = 0,
+        tracer: Tracer | None = None,
+        journal_cap: int = 4096,
+    ) -> None:
+        self.pool = pool
+        self.tracer = tracer
+        self.journal_cap = journal_cap
+        self.ranges = partition_stages(problem.num_stages, num_procs)
+        self.options = ParallelOptions(
+            num_procs=len(self.ranges),
+            executor=pool,
+            seed=seed,
+            use_delta=use_delta,
+            tracer=tracer,
+        )
+        self._key_base = f"serve-{next(self._ids)}"
+        self._epoch = 0
+        self.resident: LTDPProblem = problem
+        self.solved = False
+        self.finals: dict = {}
+        self.last_input: dict = {}
+        self.last_converged: dict = {}
+        self.runtime = self._new_runtime(problem)
+
+    def _new_runtime(self, problem: LTDPProblem) -> PoolRuntime:
+        self._epoch += 1
+        return PoolRuntime(
+            self.pool,
+            problem,
+            self.ranges,
+            tracer=self.tracer,
+            session_key=f"{self._key_base}.{self._epoch}",
+        )
+
+    def _fresh_metrics(self, problem: LTDPProblem) -> RunMetrics:
+        n = problem.num_stages
+        return RunMetrics(
+            num_procs=len(self.ranges),
+            num_stages=n,
+            stage_width=max(problem.stage_width(i) for i in range(n + 1)),
+        )
+
+    # ------------------------------------------------------------------
+    def serve(
+        self, problem: LTDPProblem
+    ) -> tuple[LTDPSolution, str, RunMetrics]:
+        """Answer one request; returns ``(solution, cache_tag, metrics)``.
+
+        The cache decision: a hit requires a resident solve, a replay
+        journal still under ``journal_cap`` and a provable bounded diff
+        against the resident problem.  Everything else is a miss (fresh
+        solve, possibly after a rebase).
+        """
+        dirty = None
+        if self.solved and self.runtime.journal_len <= self.journal_cap:
+            dirty = problem.dirty_stages_against(self.resident)
+        try:
+            if dirty is None:
+                return self._solve_fresh(problem)
+            return self._solve_repair(problem, dirty)
+        except ReproError:
+            # A failed solve leaves worker-side state mid-mutation; the
+            # next request on this session must not try to repair it.
+            self.solved = False
+            raise
+
+    def _solve_fresh(self, problem: LTDPProblem):
+        if self.runtime.journal_len > self.journal_cap:
+            # Rebase: the journal (and the workers' reply caches) grew
+            # past the point where replaying it beats rebuilding.
+            self.runtime.finish()
+            self.runtime = self._new_runtime(problem)
+        elif problem is not self.resident:
+            self.runtime.rebind_problem(problem)
+        # The scheduling dicts describe the *previous* solve's worker
+        # state; a fresh initial pass invalidates them wholesale.
+        self.finals.clear()
+        self.last_input.clear()
+        self.last_converged.clear()
+        metrics = self._fresh_metrics(problem)
+
+        def fwd():
+            finals = forward_phase(
+                problem,
+                self.ranges,
+                self.options,
+                self.runtime,
+                metrics,
+                last_input=self.last_input,
+                last_converged=self.last_converged,
+            )
+            self.finals.update(finals)
+            return self.finals
+
+        solution = run_solve_phases(
+            problem, self.options, self.ranges, self.runtime, metrics,
+            forward_fn=fwd,
+        )
+        self.resident = problem
+        self.solved = True
+        return solution, CACHE_MISS, metrics
+
+    def _solve_repair(self, problem: LTDPProblem, dirty: set[int]):
+        if dirty:
+            self.runtime.rebind_problem(problem)
+        metrics = self._fresh_metrics(problem)
+
+        def fwd():
+            return repair_forward_phase(
+                problem,
+                self.ranges,
+                self.options,
+                self.runtime,
+                metrics,
+                finals=self.finals,
+                last_input=self.last_input,
+                last_converged=self.last_converged,
+                dirty_stages=dirty,
+            )
+
+        solution = run_solve_phases(
+            problem, self.options, self.ranges, self.runtime, metrics,
+            forward_fn=fwd,
+        )
+        self.resident = problem
+        return solution, CACHE_HIT, metrics
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Drop the worker-side session (eviction / service shutdown)."""
+        self.solved = False
+        self.runtime.finish()

@@ -79,14 +79,17 @@ def baseline():
 
     A clean pooled solve issues one ``_dispatch`` per superstep plus the
     initial problem broadcast, so superstep labels map 1:1 onto dispatch
-    sequence numbers — which is what fault plans key off.
+    sequence numbers — which is what fault plans key off.  (A trailing
+    session-drop broadcast from ``PoolRuntime.finish`` closes the solve;
+    it comes after every superstep, so the mapping is unaffected.)
     """
     problem = _make_problem()
     serial = _solve(problem, SerialExecutor())
     with PoolProcessExecutor(max_workers=2) as ex:
         pooled = _solve(problem, ex)
-        # Pin the framing: without faults, seq == dispatch index.
-        assert ex.dispatch_count == 1 + len(pooled.metrics.supersteps)
+        # Pin the framing: without faults, seq == dispatch index
+        # (reset broadcast + supersteps + finish-time session drop).
+        assert ex.dispatch_count == 2 + len(pooled.metrics.supersteps)
         assert ex.recovery_stats.respawns == 0
     np.testing.assert_array_equal(pooled.path, serial.path)
     seq_of = {"reset": 1}

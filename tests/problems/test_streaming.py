@@ -65,6 +65,28 @@ class TestStreamingDecoder:
         out = StreamingViterbiDecoder(VOYAGER, traceback_depth=64).decode(rx)
         np.testing.assert_array_equal(out[: payload.size], payload)
 
+    def test_whole_stream_flush_when_depth_reaches_length(self, rng):
+        """``traceback_depth >= n``: every bit comes out of the flush.
+
+        Regression for the flush accounting (formerly a bare ``assert``,
+        invisible under ``python -O``): at ``depth == n`` the main loop
+        emits zero bits and the flush must cover the entire stream —
+        exactly ``n`` bits out, identical to a comfortably-deep decode.
+        """
+        payload, rx = make_stream(rng, bits=40)
+        n = rx.size // VOYAGER.rate_denominator
+        reference = StreamingViterbiDecoder(
+            VOYAGER, traceback_depth=4 * n
+        ).decode(rx)
+        assert reference.size == n
+        np.testing.assert_array_equal(reference[: payload.size], payload)
+        for depth in (n - 1, n, n + 7):
+            out = StreamingViterbiDecoder(
+                VOYAGER, traceback_depth=depth
+            ).decode(rx)
+            assert out.size == n
+            np.testing.assert_array_equal(out, reference)
+
     def test_merge_depth_tracks_convergence_steps(self):
         """The depth at which streaming matches full ML is of the same
         order as Table 1's steps-to-convergence for the code."""

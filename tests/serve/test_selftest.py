@@ -1,0 +1,46 @@
+"""The PR's acceptance demo, as a test: `repro serve --selftest`.
+
+Serves ≥ 100 mixed requests (fresh + near-duplicate, two alignment
+families) through one resident pool, verifies every answer against a
+fresh sequential solve, requires cache hits answered by the §4.7 delta
+path, a clean drain and zero leaked workers.
+"""
+
+import numpy as np
+
+from repro.serve.selftest import build_request_stream, run_selftest
+
+
+class TestRequestStream:
+    def test_stream_is_seeded_and_mixed(self):
+        first = build_request_stream(40, seed=12)
+        second = build_request_stream(40, seed=12)
+        assert len(first) == len(second) == 40
+        for p, q in zip(first, second):
+            assert type(p) is type(q)
+            np.testing.assert_array_equal(p.a, q.a)
+            np.testing.assert_array_equal(p.b, q.b)
+        families = {type(p).__name__ for p in first}
+        assert len(families) == 2  # both alignment families appear
+
+
+class TestServeSelftest:
+    def test_demo_serves_hundred_requests_on_one_pool(self):
+        report = run_selftest(
+            num_requests=110,
+            num_procs=2,
+            max_workers=2,
+            seed=0,
+            min_served=100,
+        )
+        assert report.served_ok >= 100
+        assert report.verified == report.served_ok
+        assert report.mismatches == 0
+        assert report.errors == 0
+        assert report.hits > 0  # near-duplicates took the repair path
+        assert report.delta_cells > 0  # ...and did §4.7 delta work
+        assert report.leaked_workers == 0
+        assert report.passed
+        # The stats snapshot the service returned at close matches.
+        assert report.stats["total"]["ok"] == report.served_ok
+        assert report.stats["total"]["hits"] == report.hits
