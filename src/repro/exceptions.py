@@ -52,6 +52,16 @@ class StreamAccountingError(ReproError):
     """
 
 
+class KernelRegistrationError(ReproError):
+    """A fast-path kernel was registered without its required contract.
+
+    Every kernel in the raw-speed tier must declare a non-empty
+    ``bit_identity_gate`` (the documented conditions under which it may
+    replace the dense per-stage path) and a stable ``name``.  Enforced
+    at registration time here and statically by ``repro lint`` (REP006).
+    """
+
+
 class ExecutorError(ReproError):
     """A parallel executor failed (worker crash, bad configuration...)."""
 

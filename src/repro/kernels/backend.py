@@ -1,0 +1,330 @@
+"""Compiled-backend resolution for the kernel tier.
+
+Three interchangeable implementations of the two block primitives
+(``viterbi_block`` — branch-major ACS over a trellis stage-block;
+``banded_block`` — banded alignment rows with the left-gap prefix
+scan), in preference order:
+
+1. **numba** — auto-detected; JIT builds of the same loops.  No
+   ``fastmath``: every arithmetic op is the IEEE double op the dense
+   NumPy kernels perform, so results are bit-identical.
+2. **cc** — the embedded C source below compiled on first use with the
+   system C compiler (``-O2``, *never* ``-ffast-math``) and loaded via
+   ``ctypes``.  Build artifacts are cached on disk keyed by a source
+   hash; concurrent builders race benignly through ``os.replace``.
+3. **numpy** — no compiled primitives; kernels fall back to their
+   blocked pure-NumPy paths (still several stages per Python dispatch).
+
+``REPRO_KERNEL_BACKEND`` (``numba`` / ``cc`` / ``numpy``) pins the
+choice for tests and CI; an unavailable pinned backend resolves to
+``numpy``, never to an error — the tier degrades, it does not fail.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Backend", "get_backend", "reset_backend_cache"]
+
+#: The block primitives, shared verbatim by the cc build and (as the
+#: reference semantics) the numba build.  Plain IEEE double arithmetic;
+#: tie-breaking matches the dense kernels exactly (Viterbi: branch 0 on
+#: equal candidates = NumPy argmax; banded: diagonal wins ties, scan
+#: keeps the earliest running max).
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* Viterbi stage-block: branch-major ACS.
+   v0: (S,) input; M: (k, 2S) branch metrics; perm: (2S,) predecessor
+   permutation; pred0: (S,) branch-0 predecessor states (branch 1 is
+   pred0+1, asserted at plan time).  out_s: (k, S); out_p: (k, S). */
+void viterbi_block(const double *v0, const double *M, const int64_t *perm,
+                   const int64_t *pred0, int64_t k, int64_t S,
+                   double *out_s, int64_t *out_p)
+{
+    const double *vin = v0;
+    for (int64_t t = 0; t < k; t++) {
+        const double *m = M + t * 2 * S;
+        double *os = out_s + t * S;
+        int64_t *op = out_p + t * S;
+        for (int64_t s = 0; s < S; s++) {
+            double c0 = vin[perm[s]] + m[s];
+            double c1 = vin[perm[S + s]] + m[S + s];
+            if (c1 > c0) { os[s] = c1; op[s] = pred0[s] + 1; }
+            else         { os[s] = c0; op[s] = pred0[s]; }
+        }
+        vin = os;
+    }
+}
+
+/* Banded alignment stage-block (LCS / NW, linear gaps).
+   Geometry per row r (int64, stride 8):
+     [0] W    output band width
+     [1] u0   up-move slice start in the output band
+     [2] u1   up-move slice stop (exclusive)
+     [3] us0  up-move source start in the input band
+     [4] d0   diag-move slice start in the output band
+     [5] d1   diag-move slice stop (exclusive)
+     [6] vs0  diag-move source start in the input band
+     [7]      pad (alignment)
+   MS: (k, Wmax) match scores, row r valid on [d0, d1).
+   Outputs are (k, Wmax) row-major padded; optional capture planes
+   entry/epred/cm/estar (NULL to skip) feed BandedStageState. */
+void banded_block(const double *v0, int64_t k, int64_t Wmax,
+                  const int64_t *geom, const double *MS,
+                  double gu, double g, double neg_inf,
+                  double *out_s, int64_t *out_p,
+                  double *entry_out, int64_t *epred_out,
+                  double *cm_out, int64_t *estar_out,
+                  double *scratch_entry, int64_t *scratch_epred)
+{
+    const double *vin = v0;
+    for (int64_t r = 0; r < k; r++) {
+        const int64_t *gm = geom + r * 8;
+        int64_t W = gm[0], u0 = gm[1], u1 = gm[2], us0 = gm[3];
+        int64_t d0 = gm[4], d1 = gm[5], vs0 = gm[6];
+        const double *ms = MS + r * Wmax;
+        double *entry = entry_out ? entry_out + r * Wmax : scratch_entry;
+        int64_t *epred = epred_out ? epred_out + r * Wmax : scratch_epred;
+        for (int64_t j = 0; j < W; j++) { entry[j] = neg_inf; epred[j] = 0; }
+        for (int64_t j = u0; j < u1; j++) {
+            entry[j] = vin[us0 + (j - u0)] - gu;
+            epred[j] = us0 + (j - u0);
+        }
+        for (int64_t j = d0; j < d1; j++) {
+            double dv = vin[vs0 + (j - d0)] + ms[j];
+            if (dv >= entry[j]) { entry[j] = dv; epred[j] = vs0 + (j - d0); }
+        }
+        double *os = out_s + r * Wmax;
+        int64_t *op = out_p + r * Wmax;
+        double cm = 0.0;
+        int64_t es = 0;
+        for (int64_t j = 0; j < W; j++) {
+            double gj = g * (double)j;
+            double t = entry[j] + gj;
+            if (j == 0) { cm = t; es = 0; }
+            else if (t > cm) { cm = t; es = j; }
+            if (cm_out) cm_out[r * Wmax + j] = cm;
+            if (estar_out) estar_out[r * Wmax + j] = es;
+            os[j] = cm - gj;
+            op[j] = epred[es];
+        }
+        vin = os;
+    }
+}
+"""
+
+_F64 = ctypes.POINTER(ctypes.c_double)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+
+
+@dataclass(frozen=True)
+class Backend:
+    """Resolved block primitives; ``None`` entries mean pure-NumPy."""
+
+    kind: str  # "numba" | "cc" | "numpy"
+    viterbi_block: object = None
+    banded_block: object = None
+
+
+def _f64p(a: np.ndarray):
+    return a.ctypes.data_as(_F64)
+
+
+def _i64p(a: np.ndarray):
+    return a.ctypes.data_as(_I64)
+
+
+def _wrap_cc(lib: ctypes.CDLL) -> Backend:
+    cvb = lib.viterbi_block
+    cvb.restype = None
+    cvb.argtypes = [_F64, _F64, _I64, _I64, ctypes.c_int64, ctypes.c_int64, _F64, _I64]
+    cbb = lib.banded_block
+    cbb.restype = None
+    cbb.argtypes = [
+        _F64, ctypes.c_int64, ctypes.c_int64, _I64, _F64,
+        ctypes.c_double, ctypes.c_double, ctypes.c_double,
+        _F64, _I64, _F64, _I64, _F64, _I64, _F64, _I64,
+    ]
+
+    def viterbi_block(v0, M, perm, pred0, out_s, out_p):
+        k, S = out_s.shape
+        cvb(_f64p(v0), _f64p(M), _i64p(perm), _i64p(pred0), k, S, _f64p(out_s), _i64p(out_p))
+
+    def banded_block(v0, geom, MS, gu, g, neg_inf, out_s, out_p,
+                     entry_out=None, epred_out=None, cm_out=None, estar_out=None):
+        k, Wmax = out_s.shape
+        if entry_out is None:
+            scratch_e = np.empty(Wmax, dtype=np.float64)
+            scratch_p = np.empty(Wmax, dtype=np.int64)
+        else:
+            scratch_e = scratch_p = None
+        null_f, null_i = ctypes.cast(None, _F64), ctypes.cast(None, _I64)
+        cbb(
+            _f64p(v0), k, Wmax, _i64p(geom), _f64p(MS),
+            gu, g, neg_inf, _f64p(out_s), _i64p(out_p),
+            _f64p(entry_out) if entry_out is not None else null_f,
+            _i64p(epred_out) if epred_out is not None else null_i,
+            _f64p(cm_out) if cm_out is not None else null_f,
+            _i64p(estar_out) if estar_out is not None else null_i,
+            _f64p(scratch_e) if scratch_e is not None else null_f,
+            _i64p(scratch_p) if scratch_p is not None else null_i,
+        )
+
+    return Backend(kind="cc", viterbi_block=viterbi_block, banded_block=banded_block)
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE", "").strip()
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-kernels"
+
+
+def _try_cc() -> Backend | None:
+    cc = shutil.which(os.environ.get("CC", "").strip() or "cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"repro_kernels_{digest}.so"
+    try:
+        if not so_path.exists():
+            cache.mkdir(parents=True, exist_ok=True)
+            src = cache / f"repro_kernels_{digest}.c"
+            src.write_text(_C_SOURCE)
+            # Unique build target per process; the final rename is atomic,
+            # so concurrent pool workers race benignly.
+            tmp = cache / f".build_{digest}_{os.getpid()}.so"
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so_path)
+        return _wrap_cc(ctypes.CDLL(str(so_path)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _try_numba() -> Backend | None:
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        @numba.njit(cache=False, fastmath=False)
+        def viterbi_block(v0, M, perm, pred0, out_s, out_p):  # pragma: no cover - needs numba
+            k, S = out_s.shape
+            vin = v0
+            for t in range(k):
+                for s in range(S):
+                    c0 = vin[perm[s]] + M[t, s]
+                    c1 = vin[perm[S + s]] + M[t, S + s]
+                    if c1 > c0:
+                        out_s[t, s] = c1
+                        out_p[t, s] = pred0[s] + 1
+                    else:
+                        out_s[t, s] = c0
+                        out_p[t, s] = pred0[s]
+                vin = out_s[t]
+
+        @numba.njit(cache=False, fastmath=False)
+        def _banded_core(v0, geom, MS, gu, g, neg_inf, out_s, out_p,
+                         entry_pl, epred_pl, cm_pl, estar_pl, capture):  # pragma: no cover - needs numba
+            k, Wmax = out_s.shape
+            vin = v0
+            for r in range(k):
+                W, u0, u1, us0, d0, d1, vs0 = (
+                    geom[r, 0], geom[r, 1], geom[r, 2], geom[r, 3],
+                    geom[r, 4], geom[r, 5], geom[r, 6],
+                )
+                entry = entry_pl[r] if capture else entry_pl[0]
+                epred = epred_pl[r] if capture else epred_pl[0]
+                for j in range(W):
+                    entry[j] = neg_inf
+                    epred[j] = 0
+                for j in range(u0, u1):
+                    entry[j] = vin[us0 + (j - u0)] - gu
+                    epred[j] = us0 + (j - u0)
+                for j in range(d0, d1):
+                    dv = vin[vs0 + (j - d0)] + MS[r, j]
+                    if dv >= entry[j]:
+                        entry[j] = dv
+                        epred[j] = vs0 + (j - d0)
+                cm = 0.0
+                es = 0
+                for j in range(W):
+                    gj = g * float(j)
+                    t = entry[j] + gj
+                    if j == 0 or t > cm:
+                        cm = t
+                        es = j
+                    if capture:
+                        cm_pl[r, j] = cm
+                        estar_pl[r, j] = es
+                    out_s[r, j] = cm - gj
+                    out_p[r, j] = epred[es]
+                vin = out_s[r]
+
+        def banded_block(v0, geom, MS, gu, g, neg_inf, out_s, out_p,
+                         entry_out=None, epred_out=None, cm_out=None, estar_out=None):  # pragma: no cover - needs numba
+            k, Wmax = out_s.shape
+            capture = entry_out is not None
+            if not capture:
+                entry_out = np.empty((1, Wmax), dtype=np.float64)
+                epred_out = np.empty((1, Wmax), dtype=np.int64)
+                cm_out = np.empty((1, 1), dtype=np.float64)
+                estar_out = np.empty((1, 1), dtype=np.int64)
+            _banded_core(v0, geom, MS, gu, g, neg_inf, out_s, out_p,
+                         entry_out, epred_out, cm_out, estar_out, capture)
+
+        # Force compilation now so a broken numba install degrades here,
+        # not inside a worker mid-solve.
+        _v = np.zeros(1)
+        viterbi_block(_v, np.zeros((1, 2)), np.zeros(2, np.int64),
+                      np.zeros(1, np.int64), np.zeros((1, 1)), np.zeros((1, 1), np.int64))
+        return Backend(kind="numba", viterbi_block=viterbi_block, banded_block=banded_block)
+    except Exception:
+        return None
+
+
+_NUMPY = Backend(kind="numpy")
+_RESOLVED: list = []  # one-slot memo; avoids `global` for REP003
+
+
+def get_backend() -> Backend:
+    """The process-wide resolved backend (memoized after first call)."""
+    if _RESOLVED:
+        return _RESOLVED[0]
+    forced = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+    if forced == "numpy":
+        backend = _NUMPY
+    elif forced == "numba":
+        backend = _try_numba() or _NUMPY
+    elif forced == "cc":
+        backend = _try_cc() or _NUMPY
+    elif forced:
+        # An unrecognized pin degrades to pure NumPy rather than
+        # silently auto-detecting something the caller didn't ask for.
+        backend = _NUMPY
+    else:
+        backend = _try_numba() or _try_cc() or _NUMPY
+    _RESOLVED.append(backend)
+    return backend
+
+
+def reset_backend_cache() -> None:
+    """Forget the resolved backend (tests re-resolve under a new env)."""
+    _RESOLVED.clear()

@@ -1,4 +1,4 @@
-"""The repo-specific rules behind ``repro lint`` (REP001–REP005).
+"""The repo-specific rules behind ``repro lint`` (REP001–REP006).
 
 Each rule enforces a convention the runtime can only check late (or not
 at all): the tropical-zero constant, identity-safe reductions, worker
@@ -38,6 +38,7 @@ __all__ = [
     "WorkerDeterminismRule",
     "PhaseDisciplineRule",
     "ExecutorContractRule",
+    "KernelGateDeclarationRule",
     "default_rules",
 ]
 
@@ -597,6 +598,104 @@ class ExecutorContractRule(Rule):
             )
 
 
+class KernelGateDeclarationRule(Rule):
+    """REP006: registered fast-path kernels declare their bit-identity gate.
+
+    Every kernel handed to :func:`repro.kernels.register_kernel` may
+    silently replace the dense per-stage path, so each one must carry a
+    non-empty ``bit_identity_gate`` string documenting exactly when that
+    replacement is legal (the registry re-checks at runtime; this rule
+    catches it at lint time, before a worker ever loads the kernel).
+    The whole project is scanned in one pass: kernel class definitions
+    are collected wherever they live, registration call sites wherever
+    they appear, and a registration of a gateless class is flagged at
+    the call site.
+    """
+
+    code = "REP006"
+    name = "kernel-gate-declaration"
+    summary = (
+        "register_kernel() callees must declare a non-empty "
+        "bit_identity_gate class attribute"
+    )
+    project_wide = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        kernel_classes: dict[str, bool] = {}
+        registrations: list[tuple[FileContext, ast.Call, str]] = []
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and self._is_kernel_class(node):
+                    kernel_classes[node.name] = self._declares_gate(node)
+                elif isinstance(node, ast.Call):
+                    registered = self._registered_class(node)
+                    if registered is not None:
+                        registrations.append((ctx, node, registered))
+        for ctx, node, class_name in registrations:
+            # A class we cannot see (built dynamically, imported from
+            # outside the lint run) is left to the runtime check in
+            # ``register_kernel``, which raises KernelRegistrationError.
+            if kernel_classes.get(class_name, True):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"register_kernel() registers {class_name}, which declares "
+                "no non-empty `bit_identity_gate`; every fast-path kernel "
+                "must document the conditions under which it may replace "
+                "the dense per-stage path",
+            )
+
+    @staticmethod
+    def _is_kernel_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = None
+            if isinstance(base, ast.Name):
+                name = base.id
+            elif isinstance(base, ast.Attribute):
+                name = base.attr
+            if name == "StageBlockKernel":
+                return True
+        return False
+
+    @staticmethod
+    def _declares_gate(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "bit_identity_gate":
+                    return (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and bool(value.value.strip())
+                    )
+        return False
+
+    @staticmethod
+    def _registered_class(node: ast.Call) -> str | None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "register_kernel" or len(node.args) < 2:
+            return None
+        kernel_arg = node.args[1]
+        if isinstance(kernel_arg, ast.Call):
+            ctor = kernel_arg.func
+            if isinstance(ctor, ast.Name):
+                return ctor.id
+            if isinstance(ctor, ast.Attribute):
+                return ctor.attr
+        return None
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, in code order."""
     return [
@@ -605,4 +704,5 @@ def default_rules() -> list[Rule]:
         WorkerDeterminismRule(),
         PhaseDisciplineRule(),
         ExecutorContractRule(),
+        KernelGateDeclarationRule(),
     ]

@@ -171,7 +171,7 @@ def measure_convergence_steps(
     ]
     # Report the computation width (the Table 1 "Width" column) as the
     # widest stage — selector stages would otherwise misreport it as 1.
-    width = max(problem.stage_width(i) for i in range(0, n + 1))
+    width = problem.max_stage_width()
     return ConvergenceStudy(
         problem_name=name or type(problem).__name__,
         width=width,

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ProblemDefinitionError
+from repro.kernels import kernel_tier_enabled
 from repro.ltdp.engine.backward import (
     backward_parallel_phase,
     backward_serial_phase,
@@ -45,7 +46,7 @@ from repro.ltdp.engine.runtime import LocalRuntime, SuperstepRuntime
 from repro.ltdp.partition import partition_stages
 from repro.ltdp.problem import LTDPProblem, LTDPSolution
 from repro.ltdp.sequential import solve_sequential
-from repro.machine.executor import Executor, SerialExecutor
+from repro.machine.executor import Executor, SerialExecutor, executor_capability
 from repro.machine.metrics import RunMetrics
 from repro.machine.trace import Tracer
 from repro.semiring.tropical import NEG_INF
@@ -127,6 +128,16 @@ class ParallelOptions:
         perturbing instruction delivery (duplicates, LIFO order) — the
         redelivery test suite's fault-injection knob.  A non-default
         policy forces the runner-crew path even with ``runners=1``.
+    use_kernels:
+        Raw-speed kernel tier (:mod:`repro.kernels`) tri-state.
+        ``None`` (default, auto) dispatches whole stage-blocks through a
+        registered block kernel whenever the executor declares the
+        ``block_kernels`` capability and the problem's exact type has
+        one, honouring the ``REPRO_KERNELS`` environment switch;
+        ``False`` forces the dense per-stage path; ``True`` forces the
+        tier on (ignoring the environment switch).  Results are
+        bit-identical either way — every kernel dispatch is gated by an
+        exactness cross-check with automatic dense fallback.
     """
 
     num_procs: int = 2
@@ -144,6 +155,7 @@ class ParallelOptions:
     tracer: Tracer | None = None
     runners: int = 1
     delivery: DeliveryPolicy | None = None
+    use_kernels: bool | None = None
 
     def __post_init__(self) -> None:
         if self.num_procs < 1:
@@ -177,8 +189,20 @@ def _edge_weight(problem: LTDPProblem, i: int, j: int, k: int) -> float:
     return edge_weight_by_probe(problem, i, j, k)
 
 
-def _price_path(problem: LTDPProblem, path: np.ndarray) -> float:
+def _price_path(
+    problem: LTDPProblem, path: np.ndarray, *, use_kernels: bool = False
+) -> float:
     """Exact objective of a traced path: ``s_0[path[0]] + Σ_i A_i[path[i], path[i-1]]``."""
+    if use_kernels:
+        from repro.kernels import price_path_fast
+
+        # Vectorized pricing over the preplanned edge-weight layout;
+        # kernels only return a value when the summation is provably
+        # exact in any order (integral weights), so this equals the
+        # sequential scalar loop below bit-for-bit.
+        fast = price_path_fast(problem, np.asarray(path))
+        if fast is not None:
+            return fast
     s0 = problem.initial_vector()
     total = float(s0[path[0]])
     for i in range(1, problem.num_stages + 1):
@@ -195,7 +219,7 @@ def _make_runtime(
     delivery: DeliveryPolicy | None = None,
 ) -> SuperstepRuntime:
     """Runtime selection: resident-state executors get the pool runtime."""
-    if getattr(executor, "supports_resident_state", False):
+    if executor_capability(executor, "resident_state"):
         from repro.ltdp.engine.poolrt import PoolRuntime
 
         return PoolRuntime(
@@ -279,7 +303,9 @@ def run_solve_phases(
         # The shift-invariant objective is exact even on offset vectors.
         score = float(obj_value)
     elif options.exact_score:
-        score = _price_path(problem, path)
+        score = _price_path(
+            problem, path, use_kernels=kernel_tier_enabled(options, problem)
+        )
     else:
         score = float(final[0])
 
@@ -338,7 +364,7 @@ def solve_parallel(
         # The *max* stage width, matching the Table 1 convention
         # (convergence.py): the final stage of selector-terminated
         # problems has width 1, which would misreport throughput.
-        stage_width=max(problem.stage_width(i) for i in range(n + 1)),
+        stage_width=problem.max_stage_width(),
     )
     # Snapshot the pool's self-healing counters (if any) before the
     # runtime touches the workers, so the metrics report exactly the

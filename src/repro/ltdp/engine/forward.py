@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConvergenceError
+from repro.kernels import kernel_tier_enabled
 from repro.ltdp.delta import changed_delta_count, encode_boundary_diff
 from repro.ltdp.engine.runtime import SuperstepRuntime
 from repro.ltdp.engine.specs import (
@@ -41,7 +42,11 @@ __all__ = [
 
 
 def plan_initial_pass(
-    ranges: Sequence[StageRange], opts, *, capture_state: bool = False
+    ranges: Sequence[StageRange],
+    opts,
+    *,
+    capture_state: bool = False,
+    use_kernels: bool = False,
 ) -> list[ForwardInitSpec]:
     """Fig 4 lines 6-11: every processor sweeps its range from s0 / nz."""
     seed_seq = np.random.SeedSequence(opts.seed)
@@ -56,6 +61,7 @@ def plan_initial_pass(
             nz_high=opts.nz_high,
             nz_integer=opts.nz_integer,
             capture_state=capture_state,
+            use_kernels=use_kernels,
         )
         for rg, child in zip(ranges, child_seeds)
     ]
@@ -70,6 +76,7 @@ def plan_fixup_round(
     sparse: bool = False,
     last_input: dict[int, np.ndarray] | None = None,
     last_converged: dict[int, bool] | None = None,
+    use_kernels: bool = False,
 ) -> tuple[list[ForwardFixupSpec], list[CommEvent], int]:
     """One fix-up superstep: snapshot boundaries, emit specs + comm events.
 
@@ -130,6 +137,7 @@ def plan_fixup_round(
                 use_delta=opts.use_delta,
                 sparse=sparse,
                 crossover=crossover,
+                use_kernels=use_kernels,
             )
         )
         comm.append(CommEvent(src=rg.proc - 1, dst=rg.proc, num_bytes=num_bytes))
@@ -148,6 +156,7 @@ def _fixup_loop(
     sparse: bool,
     last_input: dict[int, np.ndarray],
     last_converged: dict[int, bool],
+    use_kernels: bool = False,
 ) -> int:
     """Fig 4 lines 13-27: fix-up supersteps until every processor converges.
 
@@ -180,6 +189,7 @@ def _fixup_loop(
             sparse=sparse,
             last_input=last_input,
             last_converged=last_converged,
+            use_kernels=use_kernels,
         )
         if not specs:
             # Every processor is converged on an unchanged input.  The
@@ -243,9 +253,14 @@ def forward_phase(
     # Sparse fix-up kernels run only where they are bit-exact: the
     # problem must advertise support (integral scores).
     sparse = opts.use_delta and getattr(problem, "supports_sparse_fixup", False)
+    # Raw-speed kernel tier: selected per problem through the same
+    # capability mechanism as resident state (see repro.kernels).
+    use_kernels = kernel_tier_enabled(opts, problem)
 
     # -- initial pass (one superstep) ----------------------------------
-    specs = plan_initial_pass(ranges, opts, capture_state=sparse)
+    specs = plan_initial_pass(
+        ranges, opts, capture_state=sparse, use_kernels=use_kernels
+    )
     t0 = time.perf_counter()
     results = runtime.run(specs, label="forward")
     wall = time.perf_counter() - t0
@@ -277,6 +292,7 @@ def forward_phase(
         sparse=sparse,
         last_input={} if last_input is None else last_input,
         last_converged={} if last_converged is None else last_converged,
+        use_kernels=use_kernels,
     )
     metrics.forward_fixup_iterations = iteration
     metrics.converged_first_iteration = iteration == 1
@@ -313,6 +329,7 @@ def repair_forward_phase(
     """
     num_procs = len(ranges)
     sparse = opts.use_delta and getattr(problem, "supports_sparse_fixup", False)
+    use_kernels = kernel_tier_enabled(opts, problem)
     tol = problem.parallel_tol
     crossover = getattr(opts, "delta_crossover", 0.25)
     dirty_by_proc: dict[int, list[int]] = {}
@@ -400,6 +417,7 @@ def repair_forward_phase(
         sparse=sparse,
         last_input=last_input,
         last_converged=last_converged,
+        use_kernels=use_kernels,
     )
     metrics.forward_fixup_iterations = iteration
     metrics.converged_first_iteration = iteration <= 1

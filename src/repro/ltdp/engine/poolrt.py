@@ -89,6 +89,7 @@ def _w_reset(ns, key: str, problem_blob: bytes, slots: list[int]) -> None:
         "problem": problem,
         "states": {slot: WorkerStore(problem) for slot in slots},
     }
+    _warm_kernel_plans(problem)
 
 
 def _w_set_problem(ns, key: str, problem_blob: bytes) -> None:
@@ -105,6 +106,24 @@ def _w_set_problem(ns, key: str, problem_blob: bytes) -> None:
     for store in sess["states"].values():
         store.problem = problem
         store.s.pop(0, None)
+    _warm_kernel_plans(problem)
+
+
+def _warm_kernel_plans(problem) -> None:
+    """Pre-build this worker's block-kernel plans at problem-bind time.
+
+    Plans are cached per process by content fingerprint, so warming at
+    bind keeps the first superstep dispatch off the plan-build path.
+    Best-effort by design: the tier is an optimization, and a plan
+    failure here must never break a worker install — the per-dispatch
+    gate falls back to the dense path regardless.
+    """
+    try:
+        from repro.kernels import warm_kernels
+
+        warm_kernels(problem)
+    except Exception:  # repro: noqa[REP005]: plan warming is a best-effort optimization; any plan-build failure must leave the worker install intact (dense path still correct)
+        pass
 
 
 def _w_drop(ns, key: str) -> None:

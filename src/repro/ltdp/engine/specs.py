@@ -152,6 +152,10 @@ class ForwardInitSpec(SuperstepSpec):
     #: fix-up (set when the problem has a sparse kernel and delta mode
     #: is on).  Costs memory, never changes the computed vectors.
     capture_state: bool = False
+    #: Dispatch the whole range through the raw-speed kernel tier when a
+    #: registered kernel accepts it (bit-identical by gate; see
+    #: :mod:`repro.kernels`).  Falls back to the dense loop on ``None``.
+    use_kernels: bool = False
 
     def execute(self, problem: LTDPProblem, store: StageStore) -> SpecResult:
         if self.proc == 1:
@@ -169,6 +173,34 @@ class ForwardInitSpec(SuperstepSpec):
         out_pred: dict[int, np.ndarray] = {}
         out_states: dict[int, object] = {}
         work = 0.0
+        if self.use_kernels:
+            from repro.kernels import block_sweep
+
+            sweep = block_sweep(
+                problem, self.lo, self.hi, v, capture_state=self.capture_state
+            )
+            if sweep is not None:
+                if sweep.zero_index is not None:
+                    raise ZeroVectorError(
+                        f"stage {self.lo + 1 + sweep.zero_index} produced an "
+                        "all--inf vector during the parallel forward pass"
+                    )
+                for r, i in enumerate(self.stages()):
+                    out_s[i] = sweep.values[r]
+                    out_pred[i] = sweep.preds[r]
+                    if self.capture_state:
+                        out_states[i] = sweep.states[r]
+                    # Sequential accumulation mirrors the dense loop's
+                    # float summation order exactly.
+                    work += float(sweep.costs[r])
+                return SpecResult(
+                    proc=self.proc,
+                    work=work,
+                    s_updates=out_s,
+                    pred_updates=out_pred,
+                    boundary=out_s[self.hi],
+                    fixup_state_updates=out_states,
+                )
         for i in self.stages():
             if self.capture_state:
                 v, p, st = problem.apply_stage_with_state(i, v)
@@ -227,6 +259,10 @@ class ForwardFixupSpec(SuperstepSpec):
     #: Changed-input fraction above which the sparse kernel defers to
     #: the dense one.
     crossover: float = 0.25
+    #: Dispatch through the raw-speed kernel tier (dense mode only; the
+    #: sparse §4.7 path repairs against resident per-stage state, which
+    #: a block dispatch cannot consult).
+    use_kernels: bool = False
 
     def is_converged(self, new: np.ndarray, stored: np.ndarray) -> bool:
         """The fix-up convergence predicate (§4.2 rank convergence)."""
@@ -250,6 +286,10 @@ class ForwardFixupSpec(SuperstepSpec):
         work = 0.0
         stages_done = 0
         converged = False
+        if self.use_kernels and not self.sparse:
+            sweep_result = self._execute_block(problem, store, v, in_boundary)
+            if sweep_result is not None:
+                return sweep_result
         for i in self.stages():
             sparse_cells: float | None = None
             if self.sparse:
@@ -298,6 +338,48 @@ class ForwardFixupSpec(SuperstepSpec):
             converged=converged,
             boundary=boundary,
             fixup_state_updates=new_states,
+            fixup_input=(self.lo, in_boundary) if self.use_delta else None,
+        )
+
+    def _execute_block(self, problem, store, v, in_boundary) -> SpecResult | None:
+        """Kernel-tier fix-up sweep: one dispatch, then the same per-stage
+        convergence/zero/work walk as the dense loop, in dense order."""
+        from repro.kernels import block_sweep
+
+        sweep = block_sweep(problem, self.lo, self.hi, v, capture_state=False)
+        if sweep is None:
+            return None
+        new_s: dict[int, np.ndarray] = {}
+        new_pred: dict[int, np.ndarray] = {}
+        work = 0.0
+        stages_done = 0
+        converged = False
+        for r, i in enumerate(self.stages()):
+            if sweep.zero_index is not None and r == sweep.zero_index:
+                raise ZeroVectorError(
+                    f"stage {i} produced an all--inf vector in fix-up"
+                )
+            nv = sweep.values[r]
+            new_pred[i] = sweep.preds[r]
+            old = store.get_s(i)
+            if self.use_delta:
+                work += delta_fixup_work(old, nv)
+            else:
+                work += float(sweep.costs[r])
+            stages_done += 1
+            if self.is_converged(nv, old):
+                converged = True
+                break
+            new_s[i] = nv
+        boundary = new_s[self.hi] if self.hi in new_s else store.get_s(self.hi)
+        return SpecResult(
+            proc=self.proc,
+            work=work,
+            s_updates=new_s,
+            pred_updates=new_pred,
+            stages_done=stages_done,
+            converged=converged,
+            boundary=boundary,
             fixup_input=(self.lo, in_boundary) if self.use_delta else None,
         )
 

@@ -70,6 +70,20 @@ class LTDPProblem(ABC):
     def stage_width(self, i: int) -> int:
         """Length of the solution vector at stage ``i`` (``0 ≤ i ≤ n``)."""
 
+    def max_stage_width(self) -> int:
+        """Widest ``stage_width(i)`` over stages ``0 .. n`` (cached).
+
+        Solvers record this once per solve (the Table 1 "Width"
+        convention); the naive per-solve scan is an O(n) Python loop
+        that lands on the driver's critical path, so the first scan is
+        memoized — the problem shape is immutable by contract.
+        """
+        cached = self.__dict__.get("_max_stage_width")
+        if cached is None:
+            cached = max(self.stage_width(i) for i in range(self.num_stages + 1))
+            object.__setattr__(self, "_max_stage_width", cached)
+        return cached
+
     # -- recurrence ------------------------------------------------------
     @abstractmethod
     def initial_vector(self) -> np.ndarray:

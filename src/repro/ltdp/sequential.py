@@ -138,9 +138,7 @@ def solve_sequential(
         metrics = RunMetrics(
             num_procs=1,
             num_stages=problem.num_stages,
-            stage_width=max(
-                problem.stage_width(i) for i in range(problem.num_stages + 1)
-            ),
+            stage_width=problem.max_stage_width(),
         )
         metrics.record(
             SuperstepRecord(

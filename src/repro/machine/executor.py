@@ -32,12 +32,16 @@ import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ExecutorError
 
 __all__ = [
     "Executor",
+    "ExecutorCapabilities",
+    "executor_capability",
+    "CAPABILITY_NAMES",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -51,6 +55,66 @@ EXECUTOR_KINDS = ("serial", "thread", "process", "pool")
 Task = Callable[[], Any]
 
 
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """Typed capability declaration for an executor.
+
+    Engine layers select fast paths by *asking* an executor what it
+    supports.  The previous convention —
+    ``getattr(executor, "supports_resident_state", False)`` — meant a
+    typoed capability name silently read as "unsupported" and quietly
+    disabled the fast path.  Capabilities are now a closed set of typed
+    fields; probing an undeclared name raises
+    (:func:`executor_capability`), so a typo is a loud error instead of
+    a silent slowdown.
+
+    Fields
+    ------
+    resident_state:
+        Workers persist across supersteps and can keep per-processor
+        stage state resident (the pool runtime's contract).
+    block_kernels:
+        Superstep specs may execute preplanned stage-*block* kernels
+        (the :mod:`repro.kernels` tier) instead of the per-stage
+        interpreted sweep.  True for every shipped executor — the block
+        kernels are ordinary spec-body code — but declared so the tier
+        is selected through the same mechanism as ``resident_state``
+        and can be switched off per-executor.
+    """
+
+    resident_state: bool = False
+    block_kernels: bool = True
+
+
+#: The closed set of declarable capability names.
+CAPABILITY_NAMES: tuple[str, ...] = tuple(
+    f.name for f in fields(ExecutorCapabilities)
+)
+
+
+def executor_capability(executor: object, name: str) -> bool:
+    """Loud capability probe: typos and undeclared executors raise.
+
+    ``name`` must be one of :data:`CAPABILITY_NAMES` and ``executor``
+    must declare an :class:`ExecutorCapabilities` (every
+    :class:`Executor` subclass inherits a default declaration).  Both
+    failure modes raise :class:`ExecutorError` — never a silent False.
+    """
+    if name not in CAPABILITY_NAMES:
+        raise ExecutorError(
+            f"unknown executor capability {name!r}; declared capabilities "
+            f"are: {', '.join(CAPABILITY_NAMES)}"
+        )
+    caps = getattr(executor, "capabilities", None)
+    if not isinstance(caps, ExecutorCapabilities):
+        raise ExecutorError(
+            f"{type(executor).__name__} does not declare ExecutorCapabilities; "
+            "executors must provide a `capabilities` attribute (Executor "
+            "subclasses inherit a default declaration)"
+        )
+    return bool(getattr(caps, name))
+
+
 class Executor(ABC):
     """Runs one closure per virtual processor and returns their results in order.
 
@@ -62,12 +126,25 @@ class Executor(ABC):
     half-torn-down transport.
     """
 
+    #: Typed capability declaration; subclasses override to advertise
+    #: fast paths (see :class:`ExecutorCapabilities`).
+    capabilities: ExecutorCapabilities = ExecutorCapabilities()
+
     @abstractmethod
     def run_superstep(self, tasks: Sequence[Task]) -> list[Any]:
         """Execute all ``tasks`` and return ``[task() for task in tasks]``.
 
         Raises :class:`ExecutorError` if the executor has been closed.
         """
+
+    def capability(self, name: str) -> bool:
+        """Probe one declared capability; unknown names raise loudly."""
+        return executor_capability(self, name)
+
+    @property
+    def supports_resident_state(self) -> bool:
+        """Legacy duck-typed probe, now derived from :attr:`capabilities`."""
+        return self.capability("resident_state")
 
     # -- closed-state guard ----------------------------------------------
     # Lazy attribute (like the teardown hooks below): ABC subclasses

@@ -62,7 +62,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ExecutorError, WorkerCrashError
-from repro.machine.executor import Executor, Task
+from repro.machine.executor import Executor, ExecutorCapabilities, Task
 
 __all__ = ["PoolProcessExecutor", "RecoveryStats", "FAULT_PLAN_ENV"]
 
@@ -184,8 +184,9 @@ def _failure_text(payload: Any) -> str:
 class PoolProcessExecutor(Executor):
     """Persistent multi-process executor with worker-resident state."""
 
-    #: Signals the LTDP engine to use the state-resident pool runtime.
-    supports_resident_state = True
+    #: Typed capability declaration: signals the LTDP engine to use the
+    #: state-resident pool runtime and enables the block-kernel tier.
+    capabilities = ExecutorCapabilities(resident_state=True, block_kernels=True)
 
     def __init__(
         self,

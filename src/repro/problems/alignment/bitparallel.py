@@ -13,6 +13,13 @@ Python's arbitrary-precision integers act as a single machine word of
 any width, so this is the same algorithm with the machine-word loop
 folded into bignum arithmetic.  The LCS length is the number of zero
 bits at the end.
+
+Symbols are canonicalized to Python ints before mask lookup: the mask
+table is a hash map keyed by symbol, and raw ``.tolist()`` values from
+mixed dtypes (``np.float64`` NaN payloads, object arrays) either hash
+inconsistently or compare unequal to their integer twins, silently
+turning matches into mismatches.  Non-integer alphabets are rejected
+loudly instead.
 """
 
 from __future__ import annotations
@@ -21,13 +28,43 @@ from collections import defaultdict
 
 import numpy as np
 
-__all__ = ["build_match_masks", "lcs_length_bitparallel", "lcs_row_lengths_bitparallel"]
+__all__ = [
+    "build_match_masks",
+    "canonical_symbols",
+    "lcs_length_bitparallel",
+    "lcs_row_lengths_bitparallel",
+]
+
+
+def canonical_symbols(seq, what: str = "sequence") -> list[int]:
+    """Return ``seq`` as a list of Python ints, or raise loudly.
+
+    Accepts bool and any integer dtype directly, and float arrays whose
+    values are all finite integers (canonicalized so ``2.0`` and ``2``
+    build identical masks).  Everything else — NaN, fractional floats,
+    object/str arrays — raises instead of silently hashing to a mask
+    miss.
+    """
+    arr = np.asarray(seq)
+    if arr.dtype == np.bool_ or np.issubdtype(arr.dtype, np.integer):
+        return np.asarray(arr, dtype=np.int64).tolist()
+    if np.issubdtype(arr.dtype, np.floating):
+        if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr != np.floor(arr))):
+            raise ValueError(
+                f"bit-parallel LCS requires an integer symbol alphabet; "
+                f"{what} has non-integral float values"
+            )
+        return arr.astype(np.int64).tolist()
+    raise TypeError(
+        f"bit-parallel LCS requires an integer symbol alphabet; "
+        f"{what} has dtype {arr.dtype!r}"
+    )
 
 
 def build_match_masks(a) -> dict[int, int]:
     """Per-symbol bitmasks over ``a``: bit ``i`` set iff ``a[i] == symbol``."""
     masks: dict[int, int] = defaultdict(int)
-    for i, sym in enumerate(np.asarray(a).tolist()):
+    for i, sym in enumerate(canonical_symbols(a, what="mask sequence")):
         masks[sym] |= 1 << i
     return dict(masks)
 
@@ -42,7 +79,7 @@ def lcs_length_bitparallel(a, b) -> int:
     masks = build_match_masks(a)
     mask_all = (1 << n) - 1
     v = mask_all
-    for sym in b.tolist():
+    for sym in canonical_symbols(b, what="query sequence"):
         m = masks.get(sym, 0)
         u = v & m
         v = ((v + u) | (v - u)) & mask_all
@@ -65,7 +102,7 @@ def lcs_row_lengths_bitparallel(a, b) -> np.ndarray:
     masks = build_match_masks(a)
     mask_all = (1 << n) - 1
     v = mask_all
-    for j, sym in enumerate(b.tolist(), start=1):
+    for j, sym in enumerate(canonical_symbols(b, what="query sequence"), start=1):
         m = masks.get(sym, 0)
         u = v & m
         v = ((v + u) | (v - u)) & mask_all

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ExecutorError, ReproError
 from repro.ltdp.problem import LTDPProblem
+from repro.machine.executor import executor_capability
 from repro.machine.trace import Tracer
 
 from repro.serve.requests import (
@@ -175,7 +176,7 @@ class LTDPService:
             from repro.machine.pool import PoolProcessExecutor
 
             executor = PoolProcessExecutor(max_workers=max_workers)
-        if not getattr(executor, "supports_resident_state", False):
+        if not executor_capability(executor, "resident_state"):
             raise ExecutorError(
                 "LTDPService requires a resident-state executor (the "
                 f"persistent worker pool); got {type(executor).__name__}"

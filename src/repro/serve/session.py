@@ -98,7 +98,7 @@ class ResidentSession:
         return RunMetrics(
             num_procs=len(self.ranges),
             num_stages=n,
-            stage_width=max(problem.stage_width(i) for i in range(n + 1)),
+            stage_width=problem.max_stage_width(),
         )
 
     # ------------------------------------------------------------------

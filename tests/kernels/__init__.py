@@ -1,0 +1,1 @@
+"""Tests for the raw-speed kernel tier (``repro.kernels``)."""

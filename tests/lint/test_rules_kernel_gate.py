@@ -1,0 +1,146 @@
+"""REP006: registered fast-path kernels declare their bit-identity gate."""
+
+from tests.lint.conftest import codes, run_lint_files
+
+KERNEL = "src/repro/kernels/custom.py"
+INIT = "src/repro/kernels/__init__.py"
+
+
+def _kernel_class(gate_line: str) -> str:
+    return f"""
+    from repro.kernels.base import BlockSweep, StageBlockKernel
+
+    class CustomKernel(StageBlockKernel):
+        name = "custom"
+    {gate_line}
+        def plan(self, problem):
+            return None
+    """
+
+
+class TestTrigger:
+    def test_registered_gateless_kernel_flagged(self):
+        r = run_lint_files(
+            {
+                KERNEL: _kernel_class(""),
+                INIT: """
+                from repro.kernels.custom import CustomKernel
+                from repro.kernels.registry import register_kernel
+
+                register_kernel(object, CustomKernel())
+                """,
+            }
+        )
+        assert codes(r) == ["REP006"]
+        assert "CustomKernel" in r.findings[0].message
+        assert "bit_identity_gate" in r.findings[0].message
+
+    def test_empty_string_gate_flagged(self):
+        r = run_lint_files(
+            {
+                KERNEL: _kernel_class('    bit_identity_gate = "   "'),
+                INIT: """
+                from repro.kernels.custom import CustomKernel
+                from repro.kernels.registry import register_kernel
+
+                register_kernel(object, CustomKernel())
+                """,
+            }
+        )
+        assert codes(r) == ["REP006"]
+
+    def test_registration_outside_kernels_package_still_flagged(self):
+        r = run_lint_files(
+            {
+                KERNEL: _kernel_class(""),
+                "src/repro/ltdp/engine/poolrt.py": """
+                from repro.kernels import register_kernel
+                from repro.kernels.custom import CustomKernel
+
+                register_kernel(object, CustomKernel())
+                """,
+            }
+        )
+        assert codes(r) == ["REP006"]
+
+
+class TestNearMisses:
+    def test_gated_kernel_clean(self):
+        r = run_lint_files(
+            {
+                KERNEL: _kernel_class(
+                    '    bit_identity_gate = "first block stage re-derived densely"'
+                ),
+                INIT: """
+                from repro.kernels.custom import CustomKernel
+                from repro.kernels.registry import register_kernel
+
+                register_kernel(object, CustomKernel())
+                """,
+            }
+        )
+        assert codes(r) == []
+
+    def test_unregistered_gateless_class_not_flagged(self):
+        # An abstract intermediate base never reaches the registry; the
+        # runtime check guards anything built from it dynamically.
+        r = run_lint_files({KERNEL: _kernel_class("")})
+        assert codes(r) == []
+
+    def test_instance_variable_registration_left_to_runtime(self):
+        r = run_lint_files(
+            {
+                KERNEL: _kernel_class(""),
+                INIT: """
+                from repro.kernels.custom import CustomKernel
+                from repro.kernels.registry import register_kernel
+
+                kernel = CustomKernel()
+                register_kernel(object, kernel)
+                """,
+            }
+        )
+        assert codes(r) == []
+
+    def test_unrelated_register_function_not_flagged(self):
+        r = run_lint_files(
+            {
+                INIT: """
+                def register_handler(kind, handler):
+                    pass
+
+                class Handler:
+                    pass
+
+                register_handler(object, Handler())
+                """,
+            }
+        )
+        assert codes(r) == []
+
+    def test_shipped_kernels_package_is_clean(self):
+        import pathlib
+
+        from repro.lint.runner import lint_sources
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "kernels"
+        files = [
+            (str(p), p.read_text()) for p in sorted(root.glob("*.py"))
+        ]
+        result = lint_sources(files)
+        assert [f.code for f in result.findings if f.code == "REP006"] == []
+
+
+class TestRuntimeEnforcementParity:
+    def test_registry_raises_what_the_rule_flags(self):
+        """REP006 and ``register_kernel`` enforce the same contract."""
+        import pytest
+
+        from repro.exceptions import KernelRegistrationError
+        from repro.kernels import StageBlockKernel, register_kernel
+
+        class Gateless(StageBlockKernel):
+            name = "gateless"
+
+        with pytest.raises(KernelRegistrationError, match="bit_identity_gate"):
+            register_kernel(object, Gateless())

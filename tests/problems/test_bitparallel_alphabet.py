@@ -1,0 +1,174 @@
+"""Adversarial-alphabet regression tests for the bit-parallel LCS.
+
+The mask table in ``bitparallel.py`` is a hash map keyed by symbol.
+Before symbols were canonicalized, ``.tolist()`` on mixed dtypes
+produced values that hash or compare differently from their integer
+twins — ``np.float64`` NaN payloads, ``2.0`` vs ``2`` in object arrays
+— silently turning matches into mask misses and *under-reporting* the
+LCS length.  The fix canonicalizes bool/int/integral-float inputs to
+Python ints and rejects everything else loudly; these tests pin both
+halves, then fuzz the whole kernel against the quadratic reference
+table (including empty/singleton sequences and band edges via the
+banded reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems.alignment.bitparallel import (
+    build_match_masks,
+    canonical_symbols,
+    lcs_length_bitparallel,
+    lcs_row_lengths_bitparallel,
+)
+from repro.problems.alignment.reference import (
+    banded_lcs_length_reference,
+    lcs_length_reference,
+    lcs_table,
+)
+
+
+class TestCanonicalSymbols:
+    def test_integer_dtypes_pass_through(self):
+        for dtype in (np.int64, np.int32, np.int8, np.uint8, np.uint64):
+            assert canonical_symbols(np.array([3, 1, 2], dtype=dtype)) == [3, 1, 2]
+
+    def test_bool_maps_to_binary_alphabet(self):
+        assert canonical_symbols(np.array([True, False, True])) == [1, 0, 1]
+
+    def test_integral_floats_canonicalize_to_ints(self):
+        out = canonical_symbols(np.array([2.0, 0.0, 5.0]))
+        assert out == [2, 0, 5]
+        assert all(type(x) is int for x in out)
+
+    def test_nan_rejected_loudly(self):
+        # Pre-fix: NaN went into the mask table as a float key that
+        # compares unequal even to itself — every occurrence silently
+        # became a mismatch.
+        with pytest.raises(ValueError, match="non-integral float"):
+            canonical_symbols(np.array([1.0, np.nan, 2.0]))
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ValueError, match="non-integral float"):
+            canonical_symbols(np.array([1.0, 2.5]))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError, match="non-integral float"):
+            canonical_symbols(np.array([1.0, np.inf]))
+
+    def test_object_arrays_rejected(self):
+        with pytest.raises(TypeError, match="dtype"):
+            canonical_symbols(np.array([1, "a"], dtype=object))
+
+    def test_string_arrays_rejected(self):
+        with pytest.raises(TypeError, match="dtype"):
+            canonical_symbols(np.array(["A", "C", "G"]))
+
+    def test_negative_and_large_symbols_exact(self):
+        vals = [-5, 2**40, -(2**33), 0]
+        assert canonical_symbols(np.array(vals, dtype=np.int64)) == vals
+
+    def test_error_names_the_offending_sequence(self):
+        with pytest.raises(ValueError, match="query sequence"):
+            lcs_length_bitparallel(np.array([1, 2]), np.array([0.5]))
+        with pytest.raises(ValueError, match="mask sequence"):
+            lcs_length_bitparallel(np.array([0.5]), np.array([1, 2]))
+
+
+class TestDtypeCrossIdentity:
+    """Mixed dtypes naming the same symbols must build the same masks."""
+
+    def test_float_and_int_twins_share_masks(self):
+        ints = np.array([2, 0, 1, 2, 3])
+        floats = ints.astype(np.float64)
+        assert build_match_masks(ints) == build_match_masks(floats)
+
+    def test_mixed_dtype_pair_matches_reference(self):
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 4, 50)
+        b = rng.integers(0, 4, 45)
+        expected = lcs_length_reference(a, b)
+        assert lcs_length_bitparallel(a.astype(np.float64), b) == expected
+        assert lcs_length_bitparallel(a, b.astype(np.float64)) == expected
+        assert lcs_length_bitparallel(a.astype(np.int8), b.astype(np.uint8)) == expected
+
+    def test_bool_pair_matches_reference(self):
+        rng = np.random.default_rng(10)
+        a = rng.integers(0, 2, 40).astype(bool)
+        b = rng.integers(0, 2, 35).astype(bool)
+        assert lcs_length_bitparallel(a, b) == lcs_length_reference(
+            a.astype(int), b.astype(int)
+        )
+
+
+def _random_sequence(rng, length, alphabet, dtype):
+    seq = rng.integers(0, alphabet, length)
+    if dtype == "float":
+        return seq.astype(np.float64)
+    if dtype == "bool":
+        return (seq % 2).astype(bool)
+    return seq.astype(dtype)
+
+
+class TestFuzzAgainstReference:
+    """400 random trials vs the quadratic DP table.
+
+    Lengths are drawn from a distribution that includes 0 and 1 (the
+    historical off-by-one traps), alphabets from degenerate (unary —
+    everything matches) to wide (mostly mismatches), and dtypes from
+    the full canonicalized set.
+    """
+
+    TRIALS = 400
+
+    def test_fuzz_row_lengths(self):
+        rng = np.random.default_rng(20140222)
+        lengths = [0, 1, 2] + [int(x) for x in rng.integers(3, 40, 64)]
+        dtypes = [np.int64, np.int32, np.uint8, "float", "bool"]
+        for trial in range(self.TRIALS):
+            n = lengths[int(rng.integers(0, len(lengths)))]
+            m = lengths[int(rng.integers(0, len(lengths)))]
+            alphabet = int(rng.choice([1, 2, 4, 16]))
+            dt_a = dtypes[trial % len(dtypes)]
+            dt_b = dtypes[(trial // len(dtypes)) % len(dtypes)]
+            a = _random_sequence(rng, n, alphabet, dt_a)
+            b = _random_sequence(rng, m, alphabet, dt_b)
+            ref_a = a.astype(np.int64)
+            ref_b = b.astype(np.int64)
+            table = lcs_table(ref_a, ref_b)
+            assert lcs_length_bitparallel(a, b) == int(table[n, m]), (
+                f"trial {trial}: n={n} m={m} alphabet={alphabet} "
+                f"dtypes=({dt_a}, {dt_b})"
+            )
+            rows = lcs_row_lengths_bitparallel(a, b)
+            np.testing.assert_array_equal(rows, table[n, :]), trial
+
+    def test_fuzz_band_edges(self):
+        """The banded solver consumes the same sequences; widths at and
+        below the length gap are the edge the kernel gate must respect
+        (reference truncates, bit-parallel is full-band)."""
+        rng = np.random.default_rng(77)
+        for _ in range(60):
+            n = int(rng.integers(1, 30))
+            m = int(rng.integers(1, 30))
+            a = rng.integers(0, 4, n)
+            b = rng.integers(0, 4, m)
+            full = lcs_length_bitparallel(a, b)
+            assert full == lcs_length_reference(a, b)
+            # A band at least max(n, m) wide is unconstrained: the
+            # banded reference must agree with the bit-parallel length.
+            width = max(n, m)
+            assert banded_lcs_length_reference(a, b, width) == full
+
+    def test_empty_and_singleton_cases(self):
+        empty = np.array([], dtype=np.int64)
+        one = np.array([3])
+        assert lcs_length_bitparallel(empty, empty) == 0
+        assert lcs_length_bitparallel(empty, one) == 0
+        assert lcs_length_bitparallel(one, empty) == 0
+        assert lcs_length_bitparallel(one, one) == 1
+        assert lcs_length_bitparallel(one, np.array([4])) == 0
+        np.testing.assert_array_equal(
+            lcs_row_lengths_bitparallel(one, np.array([4, 3, 3])),
+            np.array([0, 0, 1, 1]),
+        )

@@ -272,4 +272,8 @@ class TestValidation:
 
 
 class _FakePool:
-    supports_resident_state = True
+    # Typed capability declaration (the duck-typed
+    # ``supports_resident_state`` attribute is no longer consulted).
+    from repro.machine.executor import ExecutorCapabilities as _Caps
+
+    capabilities = _Caps(resident_state=True)

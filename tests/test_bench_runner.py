@@ -131,6 +131,128 @@ class TestComparison:
         assert cmp["cells"] == []
 
 
+class TestZeroDurationGuard:
+    """Regression tests for the bench-math zero guard.
+
+    Before the fix, a non-positive best-of-N floor produced
+    ``cells_per_second: 0.0`` with no marker — indistinguishable from a
+    measured rate of zero — and a zero-duration *baseline* row made
+    ``compare_documents`` divide by its wall clock.
+    """
+
+    def test_positive_floor_is_valid(self, runner):
+        cps, valid = runner.throughput_cells_per_second(5000.0, 0.01)
+        assert valid
+        assert cps == pytest.approx(500000.0)
+
+    def test_zero_floor_marks_invalid(self, runner):
+        assert runner.throughput_cells_per_second(5000.0, 0.0) == (0.0, False)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_degenerate_floors_mark_invalid(self, runner, bad):
+        assert runner.throughput_cells_per_second(5000.0, bad) == (0.0, False)
+
+    def test_validator_accepts_invalid_row_with_zero_wall(self, runner):
+        doc = valid_doc(runner)
+        doc["results"][0].update(
+            wall_seconds=0.0, cells_per_second=0.0, valid=False
+        )
+        runner.validate_bench_doc(doc)  # must not raise
+
+    def test_validator_rejects_zero_wall_on_valid_row(self, runner):
+        doc = valid_doc(runner)
+        doc["results"][0]["wall_seconds"] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            runner.validate_bench_doc(doc)
+
+    def test_validator_rejects_non_bool_valid(self, runner):
+        doc = valid_doc(runner)
+        doc["results"][0]["valid"] = "yes"
+        with pytest.raises(ValueError, match="valid"):
+            runner.validate_bench_doc(doc)
+
+    def test_comparison_skips_invalid_new_row_loudly(self, runner, capsys):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"][0].update(
+            wall_seconds=0.0, cells_per_second=0.0, valid=False
+        )
+        cmp = runner.compare_documents(old, new)
+        assert cmp["cells"] == []
+        assert cmp["regressions"] == []
+        assert len(cmp["skipped_invalid"]) == 1
+        runner._print_comparison(cmp)
+        assert "SKIPPED (invalid row)" in capsys.readouterr().out
+
+    def test_comparison_skips_zero_duration_legacy_baseline(self, runner):
+        # A pre-guard baseline file can carry wall_seconds == 0 with no
+        # ``valid`` marker; comparison must skip it, not divide by it
+        # (this raised ZeroDivisionError before the fix).
+        old = valid_doc(runner)
+        old["results"][0]["wall_seconds"] = 0.0
+        new = valid_doc(runner)
+        cmp = runner.compare_documents(old, new)
+        assert cmp["cells"] == []
+        assert len(cmp["skipped_invalid"]) == 1
+
+    def test_comparison_skips_resized_instance_loudly(self, runner, capsys):
+        # Growing a benchmark instance (e.g. the xl rows) must not read
+        # as a wall-clock regression: rows whose total_work_cells differ
+        # are excluded from the ratio check and reported.
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"][0]["total_work_cells"] = (
+            old["results"][0]["total_work_cells"] * 4
+        )
+        new["results"][0]["wall_seconds"] = (
+            old["results"][0]["wall_seconds"] * 4
+        )
+        cmp = runner.compare_documents(old, new)
+        assert cmp["cells"] == []
+        assert cmp["regressions"] == []
+        assert len(cmp["skipped_resized"]) == 1
+        runner._print_comparison(cmp)
+        assert "SKIPPED (instance resized)" in capsys.readouterr().out
+
+    def test_comparison_tolerates_baseline_without_work_cells(self, runner):
+        # Legacy baseline rows predate total_work_cells; they still
+        # compare on wall clock alone.
+        old = valid_doc(runner)
+        del old["results"][0]["total_work_cells"]
+        new = valid_doc(runner)
+        cmp = runner.compare_documents(old, new)
+        assert len(cmp["cells"]) == 1
+        assert cmp["skipped_resized"] == []
+
+
+class TestKernelTierCells:
+    def test_kernel_tier_joins_comparison_key(self, runner):
+        old = valid_doc(runner)
+        tier_row = dict(old["results"][0], kernel_tier=True, wall_seconds=0.001)
+        old["results"].append(tier_row)
+        new = valid_doc(runner)
+        new["results"].append(dict(tier_row))
+        cmp = runner.compare_documents(old, new)
+        assert len(cmp["cells"]) == 2
+        by_tier = {c["kernel_tier"]: c for c in cmp["cells"]}
+        assert by_tier[False]["old_seconds"] == old["results"][0]["wall_seconds"]
+        assert by_tier[True]["old_seconds"] == pytest.approx(0.001)
+
+    def test_validator_rejects_non_bool_kernel_tier(self, runner):
+        doc = valid_doc(runner)
+        doc["results"][0]["kernel_tier"] = "on"
+        with pytest.raises(ValueError, match="kernel_tier"):
+            runner.validate_bench_doc(doc)
+
+    def test_classic_grid_pins_kernels_off(self, runner):
+        # Baseline continuity: the classic rows must keep timing the
+        # dense per-stage path even now that a kernel tier exists.
+        import inspect
+
+        sig = inspect.signature(runner._timed_solve)
+        assert sig.parameters["use_kernels"].default is False
+
+
 class TestEndToEnd:
     def test_smoke_run_emits_valid_doc_then_compares(self, runner, tmp_path, capsys):
         out = tmp_path / "BENCH_pool.json"
