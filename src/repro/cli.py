@@ -372,7 +372,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_lint = sub.add_parser(
         "lint",
-        help="static analysis: semiring / determinism / protocol contracts",
+        help="static analysis: semiring / determinism / protocol / concurrency contracts",
     )
     p_lint.add_argument(
         "paths",
@@ -392,6 +392,18 @@ def main(argv: list[str] | None = None) -> int:
         help="apply autofixable findings (REP001) in place",
     )
     p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.add_argument(
+        "--report-unused-waivers",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="report stale suppressions as REP000 (default: on)",
+    )
+    p_lint.add_argument(
+        "--check-report",
+        default=None,
+        metavar="PATH",
+        help="validate a --format json report against the current schema",
+    )
 
     args = parser.parse_args(argv)
     handlers = {

@@ -21,6 +21,15 @@ REP004    phase-discipline             superstep phases, tracer span phases and
                                        from ``repro.machine.metrics``
 REP005    executor-exception-contract  executor failures are ``ExecutorError``
                                        subclasses; broad excepts need reasons
+REP006    kernel-gate-declaration      classes registered as kernels declare a
+                                       ``bit_identity_gate`` contract string
+REP007    guarded-by-discipline        declared-guarded fields are only touched
+                                       with their lock held (``guarded-by`` /
+                                       ``guarded_fields`` / ``locked[...]``)
+REP008    lock-order                   the static lock-acquisition graph is
+                                       acyclic; acquire/release always pair
+REP009    blocking-under-lock          no pipe I/O, waits, joins, dispatch or
+                                       pickling while holding a state-role lock
 ========  ===========================  =========================================
 
 Run it as ``repro lint [paths]`` or ``python -m repro.lint``; suppress a

@@ -69,6 +69,10 @@ class CallGraph:
         self.units: dict[str, FunctionUnit] = {}
         self.modules: dict[str, ModuleInfo] = {}
         self.edges: dict[str, set[str]] = {}
+        #: Unit keys handed to ``threading.Thread(target=...)`` (or
+        #: ``Process(target=...)``) anywhere in the project: entry points
+        #: of concurrent execution, used as extra reachability roots.
+        self.thread_roots: set[str] = set()
         #: method name → unit keys, for unknown-receiver resolution.
         self._methods_by_name: dict[str, set[str]] = {}
 
@@ -195,7 +199,50 @@ def build_call_graph(project: ProjectContext) -> CallGraph:
         module = module_name_of(ctx.relpath)
         _collect_units(graph, ctx, module)
     graph.resolve_calls()
+    for ctx in project.files:
+        _collect_thread_roots(graph, ctx, module_name_of(ctx.relpath))
     return graph
+
+
+def _collect_thread_roots(graph: CallGraph, ctx, module: str) -> None:
+    """Register ``Thread(target=...)`` / ``Process(target=...)`` targets.
+
+    Spawning a thread is dynamic dispatch the call-graph edges cannot
+    see, so every spawn target becomes a *root*: ``target=self._loop``
+    resolves by method name (over-approximating, like attribute calls),
+    ``target=fn`` through the module's function/import tables.
+    """
+    info = graph.modules[module]
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        ctor = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if ctor not in ("Thread", "Process"):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            target = kw.value
+            if isinstance(target, ast.Attribute):
+                # self._loop / obj.method: resolve by method name.
+                graph.thread_roots |= graph._methods_by_name.get(
+                    target.attr, set()
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in info.functions:
+                    graph.thread_roots.add(info.functions[target.id])
+                elif target.id in info.from_imports:
+                    mod, orig = info.from_imports[target.id]
+                    other = graph.modules.get(mod)
+                    if other and orig in other.functions:
+                        graph.thread_roots.add(other.functions[orig])
 
 
 def _collect_units(graph: CallGraph, ctx, module: str) -> None:

@@ -43,7 +43,8 @@ __all__ = [
 #: Meta-code for malformed suppression comments (not a registrable rule).
 CODE_BAD_SUPPRESSION = "REP000"
 
-#: ``# repro: noqa[REP001,REP003]: reason`` (reason required, any separator).
+#: ``repro: noqa[REP001,REP003]: reason`` comments (reason required; the
+#: leading hash is omitted here so this line is not itself a waiver).
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro:\s*noqa\s*\[(?P<codes>[^\]]*)\](?P<rest>.*)$"
 )
@@ -105,6 +106,7 @@ class Suppression:
     line: int
     codes: frozenset[str]
     reason: str
+    col: int = 0  #: column of the comment, for stale-waiver findings
 
 
 @dataclass
@@ -224,7 +226,10 @@ def collect_suppressions(
             )
             continue
         by_line[lineno] = Suppression(
-            line=lineno, codes=frozenset(raw_codes), reason=reason
+            line=lineno,
+            codes=frozenset(raw_codes),
+            reason=reason,
+            col=col + m.start(),
         )
     return by_line, problems
 

@@ -1,11 +1,13 @@
-"""The repo-specific rules behind ``repro lint`` (REP001–REP006).
+"""The repo-specific rules behind ``repro lint`` (REP001–REP009).
 
 Each rule enforces a convention the runtime can only check late (or not
 at all): the tropical-zero constant, identity-safe reductions, worker
-determinism, canonical phase/label vocabulary, and the executor error
-contract.  Canonical vocabularies are imported from the modules that own
-them (:mod:`repro.machine.metrics`, :mod:`repro.exceptions`) so the
-linter can never drift from the runtime.
+determinism, canonical phase/label vocabulary, the executor error
+contract, kernel gate declarations, and — the concurrency tier —
+guarded-by discipline, lock-order acyclicity and no-blocking-under-lock
+for the runner/pool/serve layers.  Canonical vocabularies are imported
+from the modules that own them (:mod:`repro.machine.metrics`,
+:mod:`repro.exceptions`) so the linter can never drift from the runtime.
 """
 
 from __future__ import annotations
@@ -25,6 +27,12 @@ from repro.lint.core import (
     TextEdit,
     dotted_name,
 )
+from repro.lint.locks import (
+    ROLE_STATE,
+    build_class_models,
+    build_project_model,
+    site_block_reason,
+)
 from repro.machine.metrics import (
     KNOWN_LABEL_PREFIXES,
     RECORD_PHASES,
@@ -39,6 +47,9 @@ __all__ = [
     "PhaseDisciplineRule",
     "ExecutorContractRule",
     "KernelGateDeclarationRule",
+    "GuardedByDisciplineRule",
+    "LockOrderRule",
+    "BlockingUnderLockRule",
     "default_rules",
 ]
 
@@ -230,10 +241,11 @@ class WorkerDeterminismRule(Rule):
     Superstep replay (crash recovery, PR 2) rebuilds a dead worker's
     resident state by re-executing its journalled supersteps and relies
     on every replayed call being bit-identical.  This rule computes
-    reachability from the worker loop (``machine/pool.py``) and the
-    worker-side runtime hooks (``ltdp/engine/poolrt.py`` ``_w_*``) over
-    the project call graph and flags nondeterminism sources in reachable
-    code: the stdlib ``random`` module, wall-clock reads (``time.time``,
+    reachability from the worker loop (``machine/pool.py``), the
+    worker-side runtime hooks (``ltdp/engine/poolrt.py`` ``_w_*``) and
+    every ``threading.Thread(target=...)`` spawn target (runner loops,
+    the serve batcher — tracked by the call graph) over the project
+    call graph and flags nondeterminism sources in reachable code: the stdlib ``random`` module, wall-clock reads (``time.time``,
     ``datetime.now``), unseeded NumPy RNGs / the legacy global NumPy
     RNG, environment mutation, and module-global writes.
     ``time.perf_counter`` (trace stamps) is allowlisted.
@@ -257,6 +269,10 @@ class WorkerDeterminismRule(Rule):
             root_keys |= graph.units_matching(
                 module_suffix=suffix, name_predicate=predicate
             )
+        # Thread spawn targets (runner loops, the serve batcher) are
+        # entry points of concurrent execution just like worker mains:
+        # replay determinism must hold along everything they reach.
+        root_keys |= graph.thread_roots
         for key in sorted(graph.reachable_from(root_keys)):
             unit = graph.units[key]
             info = graph.modules[unit.module]
@@ -696,6 +712,296 @@ class KernelGateDeclarationRule(Rule):
         return None
 
 
+class GuardedByDisciplineRule(Rule):
+    """REP007: declared-guarded fields are only touched with their lock held.
+
+    :mod:`repro.lint.locks` discovers each class's lock attributes and
+    its guarded-field declarations (``# guarded-by: self._lock`` on the
+    field's assignment, or a class-level ``guarded_fields`` dict).  Any
+    read or write of a declared field outside a ``with <lock>`` block —
+    in a method not marked caller-locked via ``# repro: locked[<lock>]``
+    — is a finding.  ``__init__`` is exempt: construction happens-before
+    publication of ``self`` to other threads.  Malformed annotations
+    (a guard naming an unknown lock, a non-literal ``guarded_fields``)
+    are reported here too, so a typo cannot silently disable the check.
+    """
+
+    code = "REP007"
+    name = "guarded-by-discipline"
+    summary = (
+        "declared-guarded field accessed without its lock held "
+        "(guarded-by / guarded_fields / locked[...] annotations)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for model in build_class_models(ctx):
+            for node, message in model.problems:
+                yield ctx.finding(self, node, message)
+            if not model.guarded:
+                continue
+            for method in model.methods.values():
+                if method.name == "__init__":
+                    continue
+                for access in method.accesses:
+                    lock = model.guarded.get(access.attr)
+                    if lock is None or lock not in model.locks:
+                        continue  # unknown guard already reported above
+                    if lock in access.held:
+                        continue
+                    verb = "write to" if access.is_write else "read of"
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{verb} `self.{access.attr}` in `{method.qualname}` "
+                        f"without holding `self.{lock}` (declared guarded-by); "
+                        f"wrap the access in `with self.{lock}:` or mark the "
+                        f"method `# repro: locked[self.{lock}]` if every "
+                        "caller already holds it",
+                    )
+
+
+def _find_cycles(edges: dict[str, dict[str, tuple]]) -> list[list[str]]:
+    """Simple cycles (length ≥ 2) in the lock graph, deduplicated by node set."""
+    cycles: list[list[str]] = []
+    seen: set[frozenset[str]] = set()
+    for start in sorted(edges):
+        stack: list[tuple[str, tuple[str, ...]]] = [(start, (start,))]
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(edges.get(node, ())):
+                if nxt == start and len(path) >= 2:
+                    key = frozenset(path)
+                    if key not in seen:
+                        seen.add(key)
+                        cycles.append([*path, start])
+                elif nxt not in path and len(path) < 8:
+                    stack.append((nxt, (*path, nxt)))
+    return cycles
+
+
+class LockOrderRule(Rule):
+    """REP008: the static lock-acquisition graph must be acyclic.
+
+    Every acquisition of lock *B* while lock *A* is held — directly
+    nested ``with`` blocks / ``.acquire()`` calls, or through a resolved
+    call whose callee transitively acquires *B* — adds the edge A → B.
+    A cycle means two threads can acquire the same pair of locks in
+    opposite orders: a deadlock that no test run is guaranteed to hit.
+    Also flagged: re-acquisition of a *non-reentrant* ``Lock`` already
+    held (self-deadlock), and a ``.acquire()`` with no ``release()`` in
+    the same method (use ``with``, or release in a ``finally``).  Lock
+    collections (``_worker_locks``) collapse to one ``[i]`` node — the
+    pool keeps same-list acquisitions safe by sorted acquisition order.
+    """
+
+    code = "REP008"
+    name = "lock-order"
+    summary = (
+        "cycle in the static lock-acquisition graph, non-reentrant "
+        "re-acquisition, or acquire() without a paired release()"
+    )
+    project_wide = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        model = build_project_model(project)
+        #: src node → dst node → first witness (path, line, col, context).
+        edges: dict[str, dict[str, tuple]] = {}
+        findings: list[Finding] = []
+
+        def add_edge(src, dst, node, unit, via: str) -> None:
+            witness = (
+                unit.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"{unit.method.qualname}{via}",
+            )
+            edges.setdefault(src, {}).setdefault(dst, witness)
+
+        def reacquire(src_info, node, unit, via: str) -> None:
+            findings.append(
+                Finding(
+                    code=self.code,
+                    message=(
+                        f"`{unit.method.qualname}`{via} re-acquires "
+                        f"non-reentrant `{src_info.node_name}` while already "
+                        "holding it: guaranteed self-deadlock (use an RLock "
+                        "or restructure so the lock is taken once)"
+                    ),
+                    path=unit.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                )
+            )
+
+        for uid in sorted(model.units):
+            unit = model.units[uid]
+            cls = unit.cls
+            if cls is None:
+                continue
+            for acq in unit.method.acquisitions:
+                dst = cls.locks.get(acq.attr)
+                if dst is None:
+                    continue
+                for held_attr in sorted(acq.held_before):
+                    src = cls.locks.get(held_attr)
+                    if src is None:
+                        continue
+                    if src.node_name == dst.node_name:
+                        if not dst.reentrant:
+                            reacquire(src, acq.node, unit, "")
+                        continue
+                    add_edge(src.node_name, dst.node_name, acq.node, unit, "")
+                if not acq.via_with and acq.attr not in unit.method.releases:
+                    findings.append(
+                        Finding(
+                            code=self.code,
+                            message=(
+                                f"`{unit.method.qualname}` calls "
+                                f"`{acq.attr}.acquire()` with no matching "
+                                "`release()` in the same method; use `with "
+                                f"self.{acq.attr}:` or release in a "
+                                "`finally` block so an exception cannot "
+                                "leak the lock"
+                            ),
+                            path=unit.path,
+                            line=getattr(acq.node, "lineno", 1),
+                            col=getattr(acq.node, "col_offset", 0),
+                        )
+                    )
+            for site in unit.method.call_sites:
+                if not site.held:
+                    continue
+                callee = model.callee_of(site)
+                if callee is None or callee not in model.units:
+                    continue
+                via = f" (via `{model.units[callee].qualname}`)"
+                for dst_name in sorted(model.transitive_acquires.get(callee, ())):
+                    for held_attr in sorted(site.held):
+                        src = cls.locks.get(held_attr)
+                        if src is None:
+                            continue
+                        if src.node_name == dst_name:
+                            if not src.reentrant:
+                                reacquire(src, site.node, unit, via)
+                            continue
+                        add_edge(src.node_name, dst_name, site.node, unit, via)
+        for cycle in _find_cycles(edges):
+            hops = []
+            for a, b in zip(cycle, cycle[1:]):
+                path, line, _col, where = edges[a][b]
+                hops.append(f"{b} (acquired in `{where}`, {path}:{line})")
+            first = edges[cycle[0]][cycle[1]]
+            findings.append(
+                Finding(
+                    code=self.code,
+                    message=(
+                        "lock-order cycle: holding "
+                        f"{cycle[0]} → " + " → ".join(hops) + "; two threads "
+                        "taking these locks in opposite orders deadlock — "
+                        "pick one global acquisition order"
+                    ),
+                    path=first[0],
+                    line=first[1],
+                    col=first[2],
+                )
+            )
+        seen: set[tuple] = set()
+        for f in sorted(findings, key=Finding.sort_key):
+            key = (f.path, f.line, f.message)
+            if key not in seen:
+                seen.add(key)
+                yield f
+
+
+class BlockingUnderLockRule(Rule):
+    """REP009: never block while holding a *state* lock.
+
+    Pipe sends/receives, ``Condition``/``Event`` waits, thread/process
+    joins, sleeps, executor dispatch round-trips and payload pickling
+    all stall every thread contending for the held lock — the PR 6/7
+    teardown-deadlock class.  Flagged directly at the call site and
+    transitively through resolved calls (with the trail in the message).
+    Exemptions: waiting on the *same* condition the block holds (the
+    wait releases it — that is the point of a condition variable), and
+    locks created with ``# lock-role: transport`` (the pool's per-worker
+    pipe locks exist to serialize exactly this I/O).
+    """
+
+    code = "REP009"
+    name = "blocking-under-lock"
+    summary = (
+        "blocking call (pipe I/O, wait, join, sleep, dispatch, pickling) "
+        "while holding a state-role lock"
+    )
+    project_wide = True
+
+    @staticmethod
+    def _own_wait_exempt(site, state_held: set[str]) -> bool:
+        return (
+            site.attr_name in ("wait", "wait_for")
+            and bool(site.recv_locks)
+            and site.recv_locks <= site.held
+            and state_held <= site.recv_locks
+        )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        model = build_project_model(project)
+        for uid in sorted(model.units):
+            unit = model.units[uid]
+            cls = unit.cls
+            if cls is None:
+                continue
+            for site in unit.method.call_sites:
+                state_held = {
+                    attr
+                    for attr in site.held
+                    if attr in cls.locks and cls.locks[attr].role == ROLE_STATE
+                }
+                if not state_held:
+                    continue
+                held_names = ", ".join(
+                    f"`{cls.locks[a].node_name}`" for a in sorted(state_held)
+                )
+                reason = site_block_reason(site)
+                if reason is not None:
+                    if self._own_wait_exempt(site, state_held):
+                        continue
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"{reason} while holding {held_names} in "
+                            f"`{unit.method.qualname}`; blocking under a "
+                            "state lock stalls every contending thread — "
+                            "move the call outside the `with` block (or mark "
+                            "the lock `# lock-role: transport` if "
+                            "serializing this I/O is its purpose)"
+                        ),
+                        path=unit.path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                    )
+                    continue
+                callee = model.callee_of(site)
+                if callee is None or callee not in model.blocks:
+                    continue
+                breason, trail = model.blocks[callee]
+                via = " → ".join(
+                    (model.units[callee].qualname, *trail)
+                )
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"call to `{model.units[callee].qualname}` can block "
+                        f"({breason}, via {via}) while holding {held_names} "
+                        f"in `{unit.method.qualname}`; blocking under a "
+                        "state lock stalls every contending thread"
+                    ),
+                    path=unit.path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                )
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, in code order."""
     return [
@@ -705,4 +1011,7 @@ def default_rules() -> list[Rule]:
         PhaseDisciplineRule(),
         ExecutorContractRule(),
         KernelGateDeclarationRule(),
+        GuardedByDisciplineRule(),
+        LockOrderRule(),
+        BlockingUnderLockRule(),
     ]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.lint.core import (
+    CODE_BAD_SUPPRESSION,
     FileContext,
     Finding,
     ProjectContext,
@@ -41,9 +42,13 @@ __all__ = [
     "run_lint_command",
     "execute_lint",
     "build_arg_parser",
+    "validate_report",
+    "JSON_SCHEMA_VERSION",
 ]
 
-JSON_SCHEMA_VERSION = 1
+#: Bumped whenever the ``--format json`` payload changes shape.
+#: v2: added ``rules`` (per-rule catalog with finding counts).
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -54,6 +59,9 @@ class LintResult:
     suppressed: int = 0
     files_checked: int = 0
     errors: list[str] = field(default_factory=list)
+    #: Per-rule catalog of the run: ``{code, name, summary, findings}``,
+    #: zero-filled so a clean run still lists every active rule.
+    rules: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -86,6 +94,7 @@ class LintResult:
                 "schema_version": JSON_SCHEMA_VERSION,
                 "findings": [f.to_json() for f in self.findings],
                 "counts": self.counts(),
+                "rules": self.rules,
                 "files_checked": self.files_checked,
                 "suppressed": self.suppressed,
                 "errors": list(self.errors),
@@ -120,8 +129,16 @@ def lint_sources(
     *,
     rules: Sequence[Rule] | None = None,
     select: Iterable[str] | None = None,
+    report_unused_waivers: bool = True,
 ) -> LintResult:
-    """Lint in-memory ``(path, source)`` pairs."""
+    """Lint in-memory ``(path, source)`` pairs.
+
+    With ``report_unused_waivers`` (the default), a suppression whose
+    code is active in this run but produced no raw finding on its line
+    is itself reported as ``REP000`` — the waiver audit trail may not
+    rot.  Codes outside the active rule set are left alone, so a
+    ``--select`` run never declares other rules' waivers stale.
+    """
     result = LintResult()
     contexts: list[FileContext] = []
     suppressions_by_path: dict[str, dict] = {}
@@ -152,6 +169,34 @@ def lint_sources(
                 if rule.applies_to(ctx.relpath):
                     raw.extend(rule.check_file(ctx))
 
+    if report_unused_waivers:
+        fired: dict[tuple[str, int], set[str]] = {}
+        for f in raw:
+            fired.setdefault((f.path, f.line), set()).add(f.code)
+        active_codes = {r.code for r in active}
+        for path, sups in suppressions_by_path.items():
+            for sup in sups.values():
+                stale = sorted(
+                    code
+                    for code in sup.codes
+                    if code in active_codes
+                    and code not in fired.get((path, sup.line), ())
+                )
+                if stale:
+                    raw.append(
+                        Finding(
+                            code=CODE_BAD_SUPPRESSION,
+                            message=(
+                                f"stale waiver: {', '.join(stale)} did not "
+                                "fire on this line; delete the suppression "
+                                "(it no longer waives anything)"
+                            ),
+                            path=path,
+                            line=sup.line,
+                            col=sup.col,
+                        )
+                    )
+
     for finding in raw:
         sups = suppressions_by_path.get(finding.path, {})
         if is_suppressed(finding, sups):
@@ -159,6 +204,16 @@ def lint_sources(
         else:
             result.findings.append(finding)
     result.findings.sort(key=Finding.sort_key)
+    counts = result.counts()
+    result.rules = [
+        {
+            "code": rule.code,
+            "name": rule.name,
+            "summary": rule.summary,
+            "findings": counts.get(rule.code, 0),
+        }
+        for rule in active
+    ]
     return result
 
 
@@ -187,6 +242,7 @@ def lint_paths(
     *,
     rules: Sequence[Rule] | None = None,
     select: Iterable[str] | None = None,
+    report_unused_waivers: bool = True,
 ) -> LintResult:
     """Lint real files and/or directories."""
     files, errors = collect_python_files(paths)
@@ -194,9 +250,98 @@ def lint_paths(
     for path in files:
         with open(path, "r", encoding="utf-8") as fh:
             sources.append((path, fh.read()))
-    result = lint_sources(sources, rules=rules, select=select)
+    result = lint_sources(
+        sources,
+        rules=rules,
+        select=select,
+        report_unused_waivers=report_unused_waivers,
+    )
     result.errors = errors + result.errors
     return result
+
+
+def validate_report(doc: object) -> list[str]:
+    """Structural problems with a parsed ``--format json`` report.
+
+    Empty list means the report is valid for ``JSON_SCHEMA_VERSION``.
+    Used by ``--check-report`` (the CI lint job validates the archived
+    report instead of only uploading it).
+    """
+    if not isinstance(doc, dict):
+        return ["report is not a JSON object"]
+    problems: list[str] = []
+    if doc.get("schema_version") != JSON_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {JSON_SCHEMA_VERSION}"
+        )
+    shape = {
+        "findings": list,
+        "counts": dict,
+        "rules": list,
+        "files_checked": int,
+        "suppressed": int,
+        "errors": list,
+    }
+    for key, typ in shape.items():
+        if not isinstance(doc.get(key), typ):
+            problems.append(f"missing or mistyped key {key!r} (want {typ.__name__})")
+    if problems:
+        return problems
+    recounted: dict[str, int] = {}
+    for i, f in enumerate(doc["findings"]):
+        if not isinstance(f, dict):
+            problems.append(f"findings[{i}] is not an object")
+            continue
+        for key, typ in (
+            ("code", str),
+            ("message", str),
+            ("path", str),
+            ("line", int),
+            ("col", int),
+            ("fixable", bool),
+        ):
+            if not isinstance(f.get(key), typ):
+                problems.append(
+                    f"findings[{i}] missing or mistyped key {key!r} "
+                    f"(want {typ.__name__})"
+                )
+        code = f.get("code")
+        if isinstance(code, str):
+            recounted[code] = recounted.get(code, 0) + 1
+    if recounted != doc["counts"]:
+        problems.append(
+            f"counts {doc['counts']} disagree with the findings list "
+            f"(recounted: {recounted})"
+        )
+    rule_counts: dict[str, int] = {}
+    for i, r in enumerate(doc["rules"]):
+        if not isinstance(r, dict):
+            problems.append(f"rules[{i}] is not an object")
+            continue
+        for key, typ in (
+            ("code", str),
+            ("name", str),
+            ("summary", str),
+            ("findings", int),
+        ):
+            if not isinstance(r.get(key), typ):
+                problems.append(
+                    f"rules[{i}] missing or mistyped key {key!r} "
+                    f"(want {typ.__name__})"
+                )
+        if isinstance(r.get("code"), str):
+            rule_counts[r["code"]] = r.get("findings", 0)
+    for code, n in rule_counts.items():
+        if doc["counts"].get(code, 0) != n:
+            problems.append(
+                f"rules[] says {code} has {n} finding(s) but counts says "
+                f"{doc['counts'].get(code, 0)}"
+            )
+    for code in doc["counts"]:
+        if code != CODE_BAD_SUPPRESSION and code not in rule_counts:
+            problems.append(f"counts has {code} but rules[] does not list it")
+    return problems
 
 
 # -- autofix -----------------------------------------------------------
@@ -274,8 +419,8 @@ def build_arg_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "Static analysis for the repro engine: semiring, determinism "
-            "and protocol contracts (REP001-REP005)."
+            "Static analysis for the repro engine: semiring, determinism, "
+            "protocol and concurrency contracts (REP001-REP009)."
         ),
     )
     parser.add_argument(
@@ -305,6 +450,24 @@ def build_arg_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    parser.add_argument(
+        "--report-unused-waivers",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "report suppressions whose active rule no longer fires on "
+            "their line as REP000 (default: on)"
+        ),
+    )
+    parser.add_argument(
+        "--check-report",
+        default=None,
+        metavar="PATH",
+        help=(
+            "validate a previously written --format json report against "
+            "the current schema and exit (0 valid, 2 invalid)"
+        ),
+    )
     return parser
 
 
@@ -319,12 +482,27 @@ def execute_lint(args: argparse.Namespace) -> int:
         for rule in default_rules():
             print(f"{rule.code}  {rule.name}: {rule.summary}")
         return 0
+    if getattr(args, "check_report", None):
+        try:
+            with open(args.check_report, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read report {args.check_report}: {exc}")
+            return 2
+        problems = validate_report(doc)
+        for problem in problems:
+            print(f"error: {args.check_report}: {problem}")
+        if problems:
+            return 2
+        print(f"{args.check_report}: valid (schema_version {JSON_SCHEMA_VERSION})")
+        return 0
     select = (
         [c.strip() for c in args.select.split(",") if c.strip()]
         if args.select
         else None
     )
-    result = lint_paths(args.paths, select=select)
+    waivers = getattr(args, "report_unused_waivers", True)
+    result = lint_paths(args.paths, select=select, report_unused_waivers=waivers)
     if args.fix:
         fixable: dict[str, list[Finding]] = {}
         for f in result.findings:
@@ -341,7 +519,7 @@ def execute_lint(args: argparse.Namespace) -> int:
                 fixed_total += applied
         if fixed_total:
             print(f"fixed {fixed_total} finding(s); re-linting")
-        result = lint_paths(args.paths, select=select)
+        result = lint_paths(args.paths, select=select, report_unused_waivers=waivers)
     print(result.render_json() if args.fmt == "json" else result.render_text())
     if result.errors:
         return 2

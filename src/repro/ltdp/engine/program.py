@@ -111,11 +111,11 @@ class InstructionProgram:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instructions: list[Instruction] = []
-        self._by_slot: dict[int, list[Instruction]] = {}
-        self._recorded: dict[int, _Recorded] = {}
-        self._last_write: dict[str, int] = {}
-        self._step = 0
+        self._instructions: list[Instruction] = []  # guarded-by: self._lock
+        self._by_slot: dict[int, list[Instruction]] = {}  # guarded-by: self._lock
+        self._recorded: dict[int, _Recorded] = {}  # guarded-by: self._lock
+        self._last_write: dict[str, int] = {}  # guarded-by: self._lock
+        self._step = 0  # guarded-by: self._lock
 
     # -- compiling ------------------------------------------------------
     def add_superstep(

@@ -93,9 +93,9 @@ class RunnerCrew:
         self.queue = WorkQueue(order=self.policy.order)
         self._cond = threading.Condition()
         #: seq → deliveries enqueued but not yet fully processed.
-        self._pending: dict[int, int] = {}
-        self._errors: dict[int, BaseException] = {}
-        self._closed = False
+        self._pending: dict[int, int] = {}  # guarded-by: self._cond
+        self._errors: dict[int, BaseException] = {}  # guarded-by: self._cond
+        self._closed = False  # guarded-by: self._cond
         self._threads = [
             threading.Thread(
                 target=self._runner_loop,

@@ -188,6 +188,20 @@ class PoolProcessExecutor(Executor):
     #: state-resident pool runtime and enables the block-kernel tier.
     capabilities = ExecutorCapabilities(resident_state=True, block_kernels=True)
 
+    #: Shared mutable state and the lock that guards it (checked
+    #: statically by ``repro lint`` REP007).  Everything here is touched
+    #: by concurrent runner threads; ``_broken`` additionally has two
+    #: deliberate lock-free fast paths, waived at the access sites.
+    guarded_fields = {
+        "_seq": "_state_lock",
+        "dispatch_count": "_state_lock",
+        "_fault_plan": "_state_lock",
+        "_rebuild_hooks": "_state_lock",
+        "_closing": "_state_lock",
+        "recovery_stats": "_state_lock",
+        "_broken": "_state_lock",
+    }
+
     def __init__(
         self,
         max_workers: int | None = None,
@@ -240,7 +254,9 @@ class PoolProcessExecutor(Executor):
         # can never interleave frames.  RLocks: recovery paths nest
         # (dispatch → recover → ping) on the same worker.
         self._state_lock = threading.RLock()
-        self._worker_locks: list[threading.RLock] = []
+        # Per-worker locks exist to serialize pipe I/O; blocking under
+        # them is their purpose, hence the transport role (REP009 exempt).
+        self._worker_locks: list[threading.RLock] = []  # lock-role: transport
         self._closing = False
         self._seq = 0
         #: Total ``_dispatch`` invocations; fault plans key off this.
@@ -357,14 +373,15 @@ class PoolProcessExecutor(Executor):
 
     # -- crash detection / recovery ------------------------------------
     def _check_broken(self) -> None:
-        if self._broken is not None:
+        broken = self._broken  # repro: noqa[REP007]: lock-free fast path on the hot dispatch route; a stale read only delays the error by one dispatch
+        if broken is not None:
             raise ExecutorError(
-                f"pool executor is marked broken ({self._broken}); "
+                f"pool executor is marked broken ({broken}); "
                 "create a new executor"
             )
 
     def _mark_broken(self, reason: str) -> None:
-        self._broken = reason
+        self._broken = reason  # repro: noqa[REP007]: monotonic error-string write; racing writers both leave the pool broken, which is the point
 
     def _kill_worker(self, w: int) -> None:
         """SIGKILL worker ``w`` (fault injection)."""
@@ -439,7 +456,7 @@ class PoolProcessExecutor(Executor):
         with self._worker_locks[w]:
             seq = self._next_seq()
             timeout = self.ping_timeout if timeout is None else timeout
-            prior_broken = self._broken
+            prior_broken = self._broken  # repro: noqa[REP007]: snapshot under the worker lock only; ping restores whatever brokenness preceded it
             try:
                 self._conns[w].send(("ping", seq, None))
                 deadline = time.monotonic() + timeout
@@ -452,7 +469,7 @@ class PoolProcessExecutor(Executor):
                     if rseq > seq:  # pragma: no cover - defensive
                         return False
             except (WorkerCrashError, ExecutorError, BrokenPipeError, OSError):
-                self._broken = prior_broken  # failed ping itself is not fatal
+                self._broken = prior_broken  # repro: noqa[REP007]: a failed ping itself is not fatal; undoes _recv's mark without claiming the state lock inside the worker lock
                 return False
 
     def check_health(self) -> list[int]:

@@ -47,14 +47,14 @@ class WorkQueue:
         self.order = order
         self._lock = threading.Condition()
         #: Deliverable entries: ``(item_id, payload)``.
-        self._ready: deque[tuple[int, Any]] = deque()
+        self._ready: deque[tuple[int, Any]] = deque()  # guarded-by: self._lock
         #: Entries still waiting on dependencies: id -> list of
         #: ``(payload, pending_dep_ids)`` (a list: duplicates allowed).
-        self._blocked: dict[int, list[tuple[Any, set[int]]]] = {}
+        self._blocked: dict[int, list[tuple[Any, set[int]]]] = {}  # guarded-by: self._lock
         #: Reverse edges: dep id -> ids of blocked entries waiting on it.
-        self._waiters: dict[int, set[int]] = {}
-        self._done: set[int] = set()
-        self._abandoned = False
+        self._waiters: dict[int, set[int]] = {}  # guarded-by: self._lock
+        self._done: set[int] = set()  # guarded-by: self._lock
+        self._abandoned = False  # guarded-by: self._lock
 
     # -- producing ------------------------------------------------------
     def put(self, item_id: int, payload: Any, deps: tuple[int, ...] = ()) -> None:

@@ -191,11 +191,14 @@ class LTDPService:
         self.journal_cap = journal_cap
 
         self._cond = threading.Condition()
-        self._state = _ServiceState()
-        self._thread: threading.Thread | None = None
+        self._state = _ServiceState()  # guarded-by: self._cond
+        self._thread: threading.Thread | None = None  # guarded-by: self._cond
+        # Batcher-thread-only state (no guard): ``_ids`` is an atomic
+        # counter; ``_sessions`` is touched by the serve loop and, after
+        # the thread has been joined, by ``close()``.
         self._ids = itertools.count(1)
         self._sessions: "OrderedDict[tuple, ResidentSession]" = OrderedDict()
-        self._stats: dict[str, ClassStats] = {}
+        self._stats: dict[str, ClassStats] = {}  # guarded-by: self._cond
 
     # -- admission ------------------------------------------------------
     def submit(self, problem: LTDPProblem) -> PendingRequest:
@@ -223,7 +226,7 @@ class LTDPService:
         return req
 
     def _resolve_rejected(self, req: PendingRequest, reason: str) -> None:
-        # Caller holds self._cond.
+        # repro: locked[self._cond]
         response = ServeResponse(
             request_id=req.request_id, status=STATUS_REJECTED, reason=reason
         )
@@ -261,7 +264,7 @@ class LTDPService:
                 flushed = list(self._state.queue)
                 self._state.queue.clear()
             self._cond.notify_all()
-        thread = self._thread
+            thread = self._thread
         if thread is not None:
             thread.join()
         with self._cond:

@@ -1,0 +1,65 @@
+"""``--fix`` idempotency: fixing twice is byte-for-byte a no-op.
+
+The autofix path (REP001) rewrites literals and inserts imports; if a
+second application changed anything, CI runs and developer runs would
+fight each other.  These tests pin: fix → clean re-lint, and fix∘fix
+== fix at the byte level, through both the library and the CLI.
+"""
+
+import textwrap
+
+from repro.lint.runner import apply_fixes, lint_sources, run_lint_command
+
+DIRTY = textwrap.dedent(
+    """\
+    import math
+
+    def kernel(row):
+        lo = float("-inf")
+        hi = -math.inf
+        return lo, hi
+    """
+)
+
+
+def fix_once(path: str, source: str) -> tuple[str, int]:
+    result = lint_sources([(path, source)])
+    fixable = [f for f in result.findings if f.fix is not None]
+    return apply_fixes(path, source, fixable)
+
+
+class TestLibraryIdempotency:
+    def test_double_apply_is_byte_identical(self):
+        path = "src/repro/ltdp/fake.py"
+        once, n1 = fix_once(path, DIRTY)
+        assert n1 == 2
+        twice, n2 = fix_once(path, once)
+        assert n2 == 0
+        assert twice == once  # byte-for-byte
+
+    def test_fixed_source_lints_clean(self):
+        path = "src/repro/ltdp/fake.py"
+        once, _ = fix_once(path, DIRTY)
+        result = lint_sources([(path, once)])
+        assert result.findings == []
+
+    def test_import_inserted_exactly_once(self):
+        path = "src/repro/ltdp/fake.py"
+        once, _ = fix_once(path, DIRTY)
+        assert once.count("from repro.semiring.tropical import NEG_INF") == 1
+
+
+class TestCliIdempotency:
+    def test_cli_fix_twice_is_noop(self, tmp_path):
+        target = tmp_path / "fake.py"
+        target.write_text(DIRTY)
+        assert run_lint_command([str(target), "--fix"]) == 0
+        after_first = target.read_bytes()
+        assert run_lint_command([str(target), "--fix"]) == 0
+        assert target.read_bytes() == after_first
+
+    def test_cli_fix_then_plain_lint_is_clean(self, tmp_path):
+        target = tmp_path / "fake.py"
+        target.write_text(DIRTY)
+        assert run_lint_command([str(target), "--fix"]) == 0
+        assert run_lint_command([str(target)]) == 0

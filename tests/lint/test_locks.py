@@ -1,0 +1,318 @@
+"""Unit tests for the static lock model (``repro.lint.locks``)."""
+
+import ast
+import textwrap
+
+from repro.lint.core import FileContext
+from repro.lint.locks import (
+    ROLE_STATE,
+    ROLE_TRANSPORT,
+    build_class_models,
+    build_project_model,
+    site_block_reason,
+)
+from repro.lint.runner import package_relpath
+
+
+def make_ctx(path: str, source: str) -> FileContext:
+    source = textwrap.dedent(source)
+    return FileContext(
+        path=path,
+        relpath=package_relpath(path),
+        source=source,
+        tree=ast.parse(source),
+    )
+
+
+def model_of(source: str, path: str = "src/repro/machine/fake.py"):
+    models = build_class_models(make_ctx(path, source))
+    assert len(models) == 1
+    return models[0]
+
+
+class TestLockDiscovery:
+    def test_plain_ctor_assignment(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rl = threading.RLock()
+                    self._cond = threading.Condition()
+            """
+        )
+        assert set(m.locks) == {"_lock", "_rl", "_cond"}
+        assert m.locks["_lock"].reentrant is False
+        assert m.locks["_rl"].reentrant is True
+        assert m.locks["_cond"].reentrant is True
+        assert m.locks["_lock"].role == ROLE_STATE
+
+    def test_annotated_list_of_locks(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._worker_locks: list[threading.RLock] = []
+
+                def grow(self):
+                    self._worker_locks.append(threading.RLock())
+            """
+        )
+        info = m.locks["_worker_locks"]
+        assert info.is_list is True
+        assert info.node_name == "C._worker_locks[i]"
+
+    def test_transport_role_comment(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._pipe_lock = threading.Lock()  # lock-role: transport
+                    self._state = threading.Lock()
+            """
+        )
+        assert m.locks["_pipe_lock"].role == ROLE_TRANSPORT
+        assert m.locks["_state"].role == ROLE_STATE
+
+    def test_unknown_role_is_a_problem(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._l = threading.Lock()  # lock-role: turbo
+            """
+        )
+        assert any("lock-role" in msg for _, msg in m.problems)
+        assert m.locks["_l"].role == ROLE_STATE  # falls back to state
+
+
+class TestGuardDeclarations:
+    def test_inline_guarded_by_comment(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: self._lock
+            """
+        )
+        assert m.guarded == {"_items": "_lock"}
+
+    def test_class_level_guarded_fields_dict(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                guarded_fields = {"_items": "_lock", "_n": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                    self._n = 0
+            """
+        )
+        assert m.guarded == {"_items": "_lock", "_n": "_lock"}
+
+    def test_guard_naming_unknown_lock_is_a_problem(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: self._lokc
+            """
+        )
+        assert any("not a discovered lock" in msg for _, msg in m.problems)
+
+    def test_non_literal_guarded_fields_is_a_problem(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                guarded_fields = dict(_items="_lock")
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """
+        )
+        assert any("literal dict" in msg for _, msg in m.problems)
+
+
+class TestHeldTracking:
+    def test_with_block_holds_and_releases(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._n += 1
+                    self._n = 0
+            """
+        )
+        accesses = [
+            a for a in m.methods["inc"].accesses if a.attr == "_n"
+        ]
+        held = [("_lock" in a.held) for a in accesses]
+        # Inside the with (read + write of the AugAssign), then outside.
+        assert held[:-1] == [True] * (len(held) - 1)
+        assert held[-1] is False
+
+    def test_caller_locked_method_starts_held(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def _inc_locked(self):  # repro: locked[self._lock]
+                    self._n += 1
+            """
+        )
+        assert m.methods["_inc_locked"].caller_locked == frozenset({"_lock"})
+        assert all("_lock" in a.held for a in m.methods["_inc_locked"].accesses)
+
+    def test_caller_locked_unknown_lock_is_a_problem(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def f(self):  # repro: locked[self._nope]
+                    pass
+            """
+        )
+        assert any("names no discovered lock" in msg for _, msg in m.problems)
+
+    def test_local_alias_acquire_release(self):
+        m = model_of(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._worker_locks: list[threading.RLock] = []
+
+                def use(self, ws):
+                    locks = [self._worker_locks[w] for w in sorted(ws)]
+                    for lock in locks:
+                        lock.acquire()
+                    try:
+                        self.work()
+                    finally:
+                        for lock in reversed(locks):
+                            lock.release()
+            """
+        )
+        method = m.methods["use"]
+        assert [a.attr for a in method.acquisitions] == ["_worker_locks"]
+        assert method.releases == {"_worker_locks"}
+        # The call to self.work() happens with the worker lock held.
+        work_sites = [
+            s for s in method.call_sites if s.attr_name == "work"
+        ]
+        assert work_sites and "_worker_locks" in work_sites[0].held
+
+
+class TestBlockingPredicate:
+    def _sites(self, body: str):
+        src = (
+            "import os\n"
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self, conn, t, xs):\n"
+            + "".join(f"        {line}\n" for line in body.splitlines())
+        )
+        m = model_of(src)
+        return m.methods["f"].call_sites
+
+    def test_pipe_and_join_block(self):
+        sites = self._sites("conn.send(1)\nt.join()\n")
+        reasons = [site_block_reason(s) for s in sites]
+        assert any(r and "pipe" in r for r in reasons)
+        assert any(r and "join" in r for r in reasons)
+
+    def test_string_join_is_not_blocking(self):
+        sites = self._sites("y = ','.join(xs)\nz = os.path.join('a', 'b')\n")
+        assert all(site_block_reason(s) is None for s in sites)
+
+
+class TestProjectModel:
+    def test_transitive_acquires_through_typed_call(self):
+        ctx = make_ctx(
+            "src/repro/machine/fake.py",
+            """
+            import threading
+
+            class Inner:
+                def __init__(self):
+                    self._b = threading.Lock()
+
+                def locked_op(self):
+                    with self._b:
+                        pass
+
+            class Outer:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._inner = Inner()
+
+                def op(self):
+                    with self._a:
+                        self._inner.locked_op()
+            """,
+        )
+        from repro.lint.core import ProjectContext
+
+        model = build_project_model(ProjectContext(files=[ctx]))
+        op_uid = ("c", "repro.machine.fake", "Outer", "op")
+        assert "Inner._b" in model.transitive_acquires[op_uid]
+
+    def test_ambiguous_class_names_dropped_from_resolution(self):
+        ctx_a = make_ctx(
+            "src/repro/machine/a.py",
+            """
+            class Dup:
+                def m(self):
+                    pass
+            """,
+        )
+        ctx_b = make_ctx(
+            "src/repro/machine/b.py",
+            """
+            class Dup:
+                def m(self):
+                    pass
+            """,
+        )
+        from repro.lint.core import ProjectContext
+
+        model = build_project_model(ProjectContext(files=[ctx_a, ctx_b]))
+        assert "Dup" not in model.classes_by_name

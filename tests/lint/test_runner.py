@@ -54,15 +54,57 @@ class TestOptions:
     def test_list_rules(self, capsys):
         assert run_lint_command(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for code in (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+        ):
             assert code in out
 
     def test_json_report(self, dirty_file, capsys):
         assert run_lint_command([dirty_file, "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["counts"] == {"REP001": 1}
         assert report["findings"][0]["fixable"] is True
+        # Per-rule catalog is zero-filled: every active rule is listed.
+        by_code = {r["code"]: r for r in report["rules"]}
+        assert by_code["REP001"]["findings"] == 1
+        assert by_code["REP009"]["findings"] == 0
+        assert by_code["REP007"]["name"] == "guarded-by-discipline"
+
+    def test_json_report_validates(self, dirty_file, tmp_path, capsys):
+        from repro.lint.runner import validate_report
+
+        run_lint_command([dirty_file, "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert validate_report(report) == []
+        # --check-report round-trip through a file.
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        assert run_lint_command(["--check-report", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_check_report_rejects_tampered_report(self, dirty_file, tmp_path, capsys):
+        run_lint_command([dirty_file, "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        report["counts"] = {"REP001": 7}  # disagree with findings
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        assert run_lint_command(["--check-report", str(path)]) == 2
+        assert "disagree" in capsys.readouterr().out
+
+    def test_check_report_rejects_old_schema(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        assert run_lint_command(["--check-report", str(path)]) == 2
+        assert "schema_version" in capsys.readouterr().out
 
     def test_fix_rewrites_file_to_clean(self, dirty_file, capsys):
         assert run_lint_command([dirty_file, "--fix"]) == 0

@@ -53,11 +53,13 @@ class TestFiltering:
         assert result.suppressed == 1
 
     def test_suppression_for_other_code_does_not_silence(self):
+        # The REP004 waiver does not silence the REP001 finding — and it
+        # is itself stale (REP004 never fired on that line).
         result = run_lint(
             "src/repro/demo.py",
             TRIGGER[:-1] + "  # repro: noqa[REP004]: wrong code\n",
         )
-        assert codes(result) == ["REP001"]
+        assert sorted(codes(result)) == ["REP000", "REP001"]
         assert result.suppressed == 0
 
     def test_reasonless_suppression_reports_rep000_and_finding(self):
@@ -67,8 +69,59 @@ class TestFiltering:
         assert sorted(codes(result)) == ["REP000", "REP001"]
 
     def test_suppression_only_applies_to_its_line(self):
+        # The waiver on line 1 silences nothing there (stale → REP000)
+        # and does not reach the trigger on line 2.
         result = run_lint(
             "src/repro/demo.py",
             "y = 0  # repro: noqa[REP001]: wrong line\n" + TRIGGER,
         )
-        assert codes(result) == ["REP001"]
+        assert sorted(codes(result)) == ["REP000", "REP001"]
+
+
+class TestStaleWaivers:
+    def test_stale_waiver_reported_by_default(self):
+        result = run_lint(
+            "src/repro/demo.py",
+            "x = 1  # repro: noqa[REP001]: nothing fires here\n",
+        )
+        assert codes(result) == ["REP000"]
+        assert "stale waiver" in result.findings[0].message
+        assert "REP001" in result.findings[0].message
+
+    def test_live_waiver_is_not_stale(self):
+        result = run_lint(
+            "src/repro/demo.py",
+            TRIGGER[:-1] + "  # repro: noqa[REP001]: raw literal needed\n",
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_opt_out_flag_silences_stale_report(self):
+        from repro.lint.runner import lint_sources
+
+        result = lint_sources(
+            [
+                (
+                    "src/repro/demo.py",
+                    "x = 1  # repro: noqa[REP001]: nothing fires here\n",
+                )
+            ],
+            report_unused_waivers=False,
+        )
+        assert result.findings == []
+
+    def test_inactive_rule_waiver_is_not_declared_stale(self):
+        # Near-miss: under --select REP001 a REP003 waiver must not be
+        # reported stale — its rule simply did not run.
+        from repro.lint.runner import lint_sources
+
+        result = lint_sources(
+            [
+                (
+                    "src/repro/demo.py",
+                    "x = 1  # repro: noqa[REP003]: covered by another run\n",
+                )
+            ],
+            select=["REP001"],
+        )
+        assert result.findings == []
