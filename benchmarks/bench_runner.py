@@ -1,78 +1,68 @@
-"""Reproducible perf-regression harness: problem x executor x P sweep.
+"""Perf-regression harness entry point (pool sweep).
 
-Standalone runner (not collected by pytest; ``testpaths = ["tests"]``)
-that times real ``solve_parallel`` wall-clock on a small grid of
-synthetic instances and emits a schema-versioned ``BENCH_pool.json`` at
-the repo root.  When a previous ``BENCH_pool.json`` exists, the runner
-compares against it cell by cell and flags regressions, so committing
-the emitted file turns every future run into a regression gate::
+The implementation lives in :mod:`repro.bench.pool_bench` so that the
+``repro bench`` CLI (record/compare/trend/report/check) shares one
+matrix runner with this script; this file only bootstraps ``src`` onto
+``sys.path`` and re-exports the public surface::
 
     PYTHONPATH=src python benchmarks/bench_runner.py --smoke
     PYTHONPATH=src python benchmarks/bench_runner.py            # full grid
     PYTHONPATH=src python benchmarks/bench_runner.py --check BENCH_pool.json
 
-Besides the timing grid, the runner asserts two observability
-guarantees of the tracing layer (recorded under ``"checks"``):
-
-- ``tracing_disabled_overhead`` — a pool solve with tracing disabled
-  (either ``tracer=None`` or a ``Tracer(enabled=False)``) stays within
-  5% of the untraced baseline (best-of-N floors, which damp scheduler
-  noise the way min-based microbenchmarks do);
-- ``trace_coverage`` — an *enabled* trace of a pool solve carries
-  exactly one ``superstep`` span per recorded superstep, and every
-  ``dispatch`` span has the per-worker send/queue-wait/compute
-  breakdown plus serialized byte counts;
-- ``delta_fixup_reduction`` — on the sparse-kernel problems (LCS, NW)
-  the §4.7 delta-mode fix-up must touch no more cells than dense mode
-  on any grid cell, and strictly fewer on at least one;
-- ``runner_scaling`` — 1-runner vs 4-runner pool solves of the Viterbi
-  and NW rows: wall clocks are recorded for trend-watching, and the
-  check passes iff the results are bit-identical (runner count must be
-  invisible in path, score and the metrics ledger);
-- ``kernel_tier_speedup`` — the block-kernel fast path
-  (``ParallelOptions(use_kernels=True)``) on the scaled ``viterbi_xl``
-  and ``nw_xl`` pool rows must be bit-identical to the dense tier-off
-  solve and at least ``KERNEL_TIER_SPEEDUP_*`` times faster in
-  cells/sec.  The classic grid rows pin ``use_kernels=False`` so their
-  timings stay comparable with pre-kernel baselines.
-
-Every result row carries ``"valid"``: a row whose best-of-N floor is
-not strictly positive (a broken clock, a sub-resolution measurement)
-gets ``valid: false`` and ``cells_per_second: 0.0`` instead of a
-silently wrong throughput, and the cell-by-cell comparison skips such
-rows loudly rather than dividing by their wall clock.
-
-Timings are floors (min over ``--repeats``); medians are also recorded.
-The grid is deliberately small — this is a regression tripwire, not the
-paper evaluation (that is ``pytest benchmarks/ --benchmark-only``).
+See the module docstring of ``repro.bench.pool_bench`` for the grid,
+the checks, and the baseline write policy (a regressed run writes a
+``*.failed.json`` sidecar; only ``--update-baseline`` replaces a
+baseline with a failing run's numbers).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import math
-import os
 import pathlib
-import platform
-import statistics
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np  # noqa: E402
-
-from repro.datagen.packets import make_received_packet  # noqa: E402
-from repro.datagen.sequences import homologous_pair, random_series  # noqa: E402
-from repro.ltdp.parallel import ParallelOptions, solve_parallel  # noqa: E402
-from repro.machine.executor import get_executor  # noqa: E402
-from repro.machine.trace import Tracer  # noqa: E402
-from repro.problems.alignment.lcs import LCSProblem  # noqa: E402
-from repro.problems.alignment.needleman_wunsch import NeedlemanWunschProblem  # noqa: E402
-from repro.problems.convolutional import STANDARD_CODES  # noqa: E402
-from repro.problems.dtw import DTWProblem  # noqa: E402
+from repro.bench.matrix import (  # noqa: E402,F401  (re-exported)
+    REGRESSION_RATIO,
+    GridCell,
+    cell_key,
+    find_duplicate_cells,
+)
+from repro.bench.pool_bench import (  # noqa: E402,F401  (re-exported)
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_OUT,
+    DELTA_PROBLEMS,
+    KERNEL_TIER_PROBLEMS,
+    KERNEL_TIER_SPEEDUP_FULL,
+    KERNEL_TIER_SPEEDUP_SMOKE,
+    OVERHEAD_RATIO,
+    SEED,
+    build_problem,
+    check_document,
+    compare_against_baseline,
+    compare_documents,
+    failed_sidecar,
+    finalize_run,
+    main,
+    run_bench,
+    run_suite,
+    throughput_cells_per_second,
+    validate_bench_doc,
+)
+from repro.bench.pool_bench import (  # noqa: E402,F401  (legacy private names)
+    _check_delta_fixup_reduction,
+    _check_disabled_overhead,
+    _check_runner_scaling,
+    _check_trace_coverage,
+    _fixup_cells,
+    _grid,
+    _measure,
+    _run_grid,
+    _run_kernel_tier,
+    _timed_solve,
+)
+from repro.bench.matrix import print_comparison as _print_comparison  # noqa: E402,F401
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -84,803 +74,6 @@ __all__ = [
     "throughput_cells_per_second",
     "validate_bench_doc",
 ]
-
-#: Bump on any incompatible change to the emitted JSON document.
-BENCH_SCHEMA_VERSION = 1
-
-DEFAULT_OUT = REPO_ROOT / "BENCH_pool.json"
-
-#: A new timing must stay under ``old * REGRESSION_RATIO`` to pass.
-#: Generous because these are single-core container floors, but tight
-#: enough to catch an accidental O(P) -> O(P^2) dispatch or a pickle
-#: blow-up.
-REGRESSION_RATIO = 1.6
-
-#: Acceptance bound for the disabled-tracer overhead check.
-OVERHEAD_RATIO = 1.05
-
-#: Minimum cells/sec speedup of the block-kernel tier over the dense
-#: per-stage path on the scaled pool rows.  The full-grid instances are
-#: big enough to amortize dispatch, so 10x is the contract; the smoke
-#: instances are dominated by fixed costs and only have to show 2x.
-KERNEL_TIER_SPEEDUP_FULL = 10.0
-KERNEL_TIER_SPEEDUP_SMOKE = 2.0
-
-#: Problems with a registered stage-block kernel, at sizes where raw
-#: sweep speed dominates (see ``build_problem``).
-KERNEL_TIER_PROBLEMS = ("viterbi_xl", "nw_xl")
-
-SEED = 2014  # PPoPP year; fixed so instances are bit-reproducible.
-
-
-def build_problem(name: str, smoke: bool):
-    """Synthetic instance for one grid row (seeded, reproducible)."""
-    rng = np.random.default_rng(SEED)
-    if name == "lcs":
-        size = 120 if smoke else 600
-        a, b = homologous_pair(size, rng, divergence=0.1)
-        return LCSProblem(a, b, width=24)
-    if name == "nw":
-        size = 120 if smoke else 600
-        a, b = homologous_pair(size, rng, divergence=0.1)
-        return NeedlemanWunschProblem(a, b, width=24)
-    if name == "viterbi":
-        size = 60 if smoke else 240
-        _, problem = make_received_packet(
-            STANDARD_CODES["Voyager"], size, rng, error_rate=0.02
-        )
-        return problem
-    if name == "viterbi_xl":
-        # Kernel-tier row: big enough that per-stage dispatch overhead
-        # is amortized and the block kernel's raw speed dominates.  The
-        # full size is sized so the forward sweep, not the O(n)
-        # traceback + accounting shared by both tiers, dominates the
-        # dense wall time (speedup plateaus ~11-12x from ~8k stages).
-        size = 960 if smoke else 15360
-        _, problem = make_received_packet(
-            STANDARD_CODES["Voyager"], size, rng, error_rate=0.02
-        )
-        return problem
-    if name == "nw_xl":
-        # Same sizing rationale as viterbi_xl: past ~5k stages the
-        # banded block kernel dominates and the speedup plateaus ~12x.
-        size = 600 if smoke else 9600
-        a, b = homologous_pair(size, rng, divergence=0.1)
-        return NeedlemanWunschProblem(a, b, width=24)
-    if name == "dtw":
-        size = 100 if smoke else 400
-        return DTWProblem(random_series(size, rng), random_series(size, rng), width=16)
-    raise ValueError(f"unknown benchmark problem {name!r}")
-
-
-#: Problems benchmarked in both dense and §4.7 delta fix-up mode — the
-#: two with a sparse stage kernel, where delta mode changes the cells
-#: actually computed (not just the accounting).
-DELTA_PROBLEMS = ("lcs", "nw")
-
-
-def _grid(smoke: bool):
-    problems = ("lcs", "nw", "viterbi") if smoke else ("lcs", "nw", "viterbi", "dtw")
-    procs = (2, 4) if smoke else (2, 4, 8)
-    return [
-        (problem, executor, p, use_delta)
-        for problem in problems
-        for executor in ("serial", "thread", "pool")
-        for p in procs
-        for use_delta in ((False, True) if problem in DELTA_PROBLEMS else (False,))
-    ]
-
-
-def throughput_cells_per_second(cells: float, best_seconds: float) -> tuple[float, bool]:
-    """Guarded throughput: returns ``(cells_per_second, valid)``.
-
-    A best-of-N floor that is zero, negative, or non-finite cannot
-    yield a meaningful rate — dividing by it either raises or produces
-    a silently wrong number (the old code emitted ``0.0``, which reads
-    as "infinitely slow" to any consumer sorting by throughput).  Such
-    rows get ``(0.0, False)`` and must be marked ``valid: false``.
-    """
-    if best_seconds > 0 and math.isfinite(best_seconds):
-        return cells / best_seconds, True
-    return 0.0, False
-
-
-def _timed_solve(problem, executor, procs: int, tracer=None, use_delta=False,
-                 use_kernels: bool | None = False):
-    # ``use_kernels`` defaults to *False* (not auto): the classic grid
-    # rows must keep timing the dense per-stage path so their floors
-    # stay comparable with BENCH_pool.json files written before the
-    # kernel tier existed.  The kernel-tier rows opt in explicitly.
-    t0 = time.perf_counter()
-    solution = solve_parallel(
-        problem,
-        ParallelOptions(
-            num_procs=procs,
-            seed=SEED,
-            executor=executor,
-            tracer=tracer,
-            use_delta=use_delta,
-            use_kernels=use_kernels,
-        ),
-    )
-    return time.perf_counter() - t0, solution
-
-
-def _measure(problem, executor, procs: int, repeats: int, tracer=None, use_delta=False,
-             use_kernels: bool | None = False):
-    """Best-of-N floor + median; returns (times, last_solution)."""
-    times = []
-    solution = None
-    for _ in range(repeats):
-        elapsed, solution = _timed_solve(
-            problem, executor, procs, tracer, use_delta, use_kernels
-        )
-        times.append(elapsed)
-    return times, solution
-
-
-def _fixup_cells(metrics) -> float:
-    """Cells actually computed across forward fix-up supersteps."""
-    return float(
-        sum(
-            s.total_work
-            for s in metrics.supersteps
-            if s.label.startswith("fixup")
-        )
-    )
-
-
-# ----------------------------------------------------------------------
-# Sweep
-# ----------------------------------------------------------------------
-
-
-def _run_grid(smoke: bool, repeats: int) -> list[dict]:
-    results = []
-    for problem_name, executor_kind, procs, use_delta in _grid(smoke):
-        problem = build_problem(problem_name, smoke)
-        with get_executor(executor_kind) as executor:
-            times, solution = _measure(
-                problem, executor, procs, repeats, use_delta=use_delta
-            )
-        m = solution.metrics
-        cells = float(m.total_work)
-        best = min(times)
-        cps, valid = throughput_cells_per_second(cells, best)
-        if not valid:
-            print(
-                f"  WARNING: {problem_name}/{executor_kind}/P={procs} measured a "
-                f"non-positive floor ({best!r}); row marked invalid"
-            )
-        results.append(
-            {
-                "problem": problem_name,
-                "executor": executor_kind,
-                "procs": procs,
-                "use_delta": use_delta,
-                "repeats": repeats,
-                "wall_seconds": best,
-                "wall_seconds_median": statistics.median(times),
-                "supersteps": len(m.supersteps),
-                "num_barriers": m.num_barriers,
-                "forward_fixup_iterations": m.forward_fixup_iterations,
-                "bytes_communicated": int(m.bytes_communicated),
-                "total_work_cells": cells,
-                "fixup_cells": _fixup_cells(m),
-                "cells_per_second": cps,
-                "valid": valid,
-            }
-        )
-        mode_tag = "delta" if use_delta else "dense"
-        print(
-            f"  {problem_name:<8s} {executor_kind:<7s} P={procs:<2d} "
-            f"{mode_tag:<5s} best {best * 1e3:8.2f} ms  "
-            f"({len(m.supersteps)} supersteps, "
-            f"{m.forward_fixup_iterations} fixups, "
-            f"{results[-1]['fixup_cells']:.0f} fixup cells)"
-        )
-    return results
-
-
-def _check_delta_fixup_reduction(results: list[dict]) -> dict:
-    """§4.7 acceptance: on the sparse-kernel problems, delta-mode fix-up
-    must never touch more cells than dense mode on the same cell of the
-    grid, and must touch strictly fewer wherever fix-up work exists."""
-    pairs = []
-    dense = {
-        (r["problem"], r["executor"], r["procs"]): r
-        for r in results
-        if not r.get("use_delta", False)
-    }
-    for row in results:
-        if not row.get("use_delta", False):
-            continue
-        base = dense.get((row["problem"], row["executor"], row["procs"]))
-        if base is None:
-            continue
-        pairs.append(
-            {
-                "problem": row["problem"],
-                "executor": row["executor"],
-                "procs": row["procs"],
-                "dense_fixup_cells": base["fixup_cells"],
-                "delta_fixup_cells": row["fixup_cells"],
-            }
-        )
-    never_worse = all(
-        p["delta_fixup_cells"] <= p["dense_fixup_cells"] for p in pairs
-    )
-    strictly_better = [
-        p for p in pairs if p["delta_fixup_cells"] < p["dense_fixup_cells"]
-    ]
-    return {
-        "pairs": pairs,
-        "never_worse": never_worse,
-        "strictly_better_cells": len(strictly_better),
-        "passed": bool(pairs) and never_worse and bool(strictly_better),
-    }
-
-
-def _check_runner_scaling(smoke: bool, repeats: int) -> dict:
-    """Runner-crew cell: 1-runner vs N-runner wall clock on the pool.
-
-    ``passed`` gates on *bit-identity* (path + score + fix-up schedule
-    must not notice the runner count), never on the speed ratio — on a
-    loaded single-core CI container concurrent runners may well be
-    slower; the ratio is recorded for trend-watching only.
-    """
-    runner_counts = (1, 4)
-    rows = []
-    identical = True
-    for problem_name in ("viterbi", "nw"):
-        problem = build_problem(problem_name, smoke)
-        per_count: dict[int, dict] = {}
-        with get_executor("pool") as executor:
-            _timed_solve(problem, executor, 4)  # warm the workers
-            for runners in runner_counts:
-                times = []
-                solution = None
-                for _ in range(repeats):
-                    t0 = time.perf_counter()
-                    solution = solve_parallel(
-                        problem,
-                        ParallelOptions(
-                            num_procs=4,
-                            seed=SEED,
-                            executor=executor,
-                            runners=runners,
-                        ),
-                    )
-                    times.append(time.perf_counter() - t0)
-                per_count[runners] = {
-                    "wall_seconds": min(times),
-                    "solution": solution,
-                }
-        base = per_count[runner_counts[0]]["solution"]
-        multi = per_count[runner_counts[-1]]["solution"]
-        cell_identical = bool(
-            np.array_equal(base.path, multi.path)
-            and base.score == multi.score
-            and base.metrics.forward_fixup_iterations
-            == multi.metrics.forward_fixup_iterations
-            and base.metrics.work_by_processor()
-            == multi.metrics.work_by_processor()
-            and base.metrics.bytes_communicated
-            == multi.metrics.bytes_communicated
-        )
-        identical &= cell_identical
-        rows.append(
-            {
-                "problem": problem_name,
-                "procs": 4,
-                "runners_1_seconds": per_count[runner_counts[0]]["wall_seconds"],
-                "runners_n_seconds": per_count[runner_counts[-1]]["wall_seconds"],
-                "runners_n": runner_counts[-1],
-                "ratio": (
-                    per_count[runner_counts[-1]]["wall_seconds"]
-                    / per_count[runner_counts[0]]["wall_seconds"]
-                ),
-                "bit_identical": cell_identical,
-            }
-        )
-    return {"rows": rows, "passed": bool(rows) and identical}
-
-
-def _run_kernel_tier(smoke: bool, repeats: int) -> tuple[list[dict], dict]:
-    """Kernel-tier rows (``kernel_tier: true/false`` at identical sizes)
-    plus the ``kernel_tier_speedup`` check.
-
-    For each scaled problem the pool solves once with the block-kernel
-    tier off and once with it on.  The check passes iff every pair is
-    bit-identical (path, score, fix-up schedule, per-processor work
-    ledger — the tier must be invisible in everything but the clock)
-    AND the tier-on row is at least ``threshold`` times faster in
-    cells/sec.  Both rows land in ``results`` so future runs regression-
-    gate the kernel path like any other cell.
-    """
-    threshold = KERNEL_TIER_SPEEDUP_SMOKE if smoke else KERNEL_TIER_SPEEDUP_FULL
-    procs = 2
-    rows: list[dict] = []
-    pairs: list[dict] = []
-    identical = True
-    fast_enough = True
-    for problem_name in KERNEL_TIER_PROBLEMS:
-        problem = build_problem(problem_name, smoke)
-        per_mode: dict[bool, tuple[list[float], object]] = {}
-        with get_executor("pool") as executor:
-            # Warm workers, the problem install, and the kernel plan
-            # cache so neither mode pays one-time costs in its floor.
-            _timed_solve(problem, executor, procs, use_kernels=True)
-            for use_kernels in (False, True):
-                per_mode[use_kernels] = _measure(
-                    problem, executor, procs, repeats, use_kernels=use_kernels
-                )
-        cps_by_mode: dict[bool, tuple[float, bool]] = {}
-        for use_kernels in (False, True):
-            times, solution = per_mode[use_kernels]
-            m = solution.metrics
-            cells = float(m.total_work)
-            best = min(times)
-            cps, valid = throughput_cells_per_second(cells, best)
-            if not valid:
-                print(
-                    f"  WARNING: {problem_name}/pool/P={procs} "
-                    f"(kernel_tier={use_kernels}) measured a non-positive "
-                    f"floor ({best!r}); row marked invalid"
-                )
-            cps_by_mode[use_kernels] = (cps, valid)
-            rows.append(
-                {
-                    "problem": problem_name,
-                    "executor": "pool",
-                    "procs": procs,
-                    "use_delta": False,
-                    "kernel_tier": use_kernels,
-                    "repeats": repeats,
-                    "wall_seconds": best,
-                    "wall_seconds_median": statistics.median(times),
-                    "supersteps": len(m.supersteps),
-                    "num_barriers": m.num_barriers,
-                    "forward_fixup_iterations": m.forward_fixup_iterations,
-                    "bytes_communicated": int(m.bytes_communicated),
-                    "total_work_cells": cells,
-                    "fixup_cells": _fixup_cells(m),
-                    "cells_per_second": cps,
-                    "valid": valid,
-                }
-            )
-            tier_tag = "tier-on" if use_kernels else "tier-off"
-            print(
-                f"  {problem_name:<10s} pool    P={procs:<2d} {tier_tag:<8s} "
-                f"best {best * 1e3:8.2f} ms  {cps / 1e6:8.2f} Mcells/s"
-            )
-        off, on = per_mode[False][1], per_mode[True][1]
-        cell_identical = bool(
-            np.array_equal(off.path, on.path)
-            and off.score == on.score
-            and off.metrics.forward_fixup_iterations
-            == on.metrics.forward_fixup_iterations
-            and off.metrics.work_by_processor() == on.metrics.work_by_processor()
-        )
-        identical &= cell_identical
-        (cps_off, valid_off), (cps_on, valid_on) = cps_by_mode[False], cps_by_mode[True]
-        speedup = cps_on / cps_off if (valid_off and valid_on and cps_off > 0) else 0.0
-        fast_enough &= valid_off and valid_on and speedup >= threshold
-        pairs.append(
-            {
-                "problem": problem_name,
-                "procs": procs,
-                "cells_per_second_off": cps_off,
-                "cells_per_second_on": cps_on,
-                "speedup": speedup,
-                "bit_identical": cell_identical,
-            }
-        )
-        print(
-            f"  {problem_name:<10s} kernel-tier speedup x{speedup:.2f} "
-            f"(threshold x{threshold:.0f}, "
-            f"bit-identical: {'yes' if cell_identical else 'NO'})"
-        )
-    check = {
-        "rows": pairs,
-        "threshold": threshold,
-        "bit_identical": identical,
-        "passed": bool(pairs) and identical and fast_enough,
-    }
-    return rows, check
-
-
-# ----------------------------------------------------------------------
-# Tracing checks (acceptance criteria of the observability layer)
-# ----------------------------------------------------------------------
-
-
-def _check_disabled_overhead(smoke: bool, repeats: int) -> dict:
-    """Disabled tracing must stay within OVERHEAD_RATIO of untraced.
-
-    The two floors are milliseconds apart in magnitude, so a single
-    best-of-N pair on a loaded host can jitter past the 5% threshold
-    with no real overhead; a first failure re-measures once with twice
-    the repeats before the check is declared failed.  A disabled tracer
-    that *records* anything fails immediately — that is a contract
-    violation, not noise.
-    """
-    problem = build_problem("lcs", smoke)
-    procs = 4
-    check: dict = {}
-    for attempt, n in enumerate((repeats, repeats * 2), start=1):
-        off = Tracer(enabled=False)
-        base_times: list[float] = []
-        off_times: list[float] = []
-        with get_executor("pool") as executor:
-            # Warm-up removes worker-spawn cost; interleaving the two
-            # variants makes the floor comparison robust to load that
-            # drifts over the measurement window.
-            _timed_solve(problem, executor, procs)
-            for _ in range(n):
-                elapsed, _ = _timed_solve(problem, executor, procs)
-                base_times.append(elapsed)
-                elapsed, _ = _timed_solve(problem, executor, procs, tracer=off)
-                off_times.append(elapsed)
-        base, disabled = min(base_times), min(off_times)
-        ratio = disabled / base if base > 0 else 1.0
-        check = {
-            "baseline_seconds": base,
-            "disabled_tracer_seconds": disabled,
-            "ratio": ratio,
-            "threshold": OVERHEAD_RATIO,
-            "passed": ratio < OVERHEAD_RATIO,
-            "spans_recorded": len(off.spans) + len(off.events),
-            "attempts": attempt,
-        }
-        if off.spans or off.events:
-            check["passed"] = False  # a disabled tracer must record nothing
-            break
-        if check["passed"]:
-            break
-    return check
-
-
-def _check_trace_coverage(smoke: bool, trace_path: str | None) -> dict:
-    """An enabled pool trace must cover every superstep and dispatch."""
-    problem = build_problem("lcs", smoke)
-    tracer = Tracer()
-    with get_executor("pool") as executor:
-        _, solution = _timed_solve(problem, executor, 4, tracer=tracer)
-    superstep_spans = [s for s in tracer.spans if s.name == "superstep"]
-    dispatch_spans = [s for s in tracer.spans if s.name == "dispatch"]
-    breakdown_keys = (
-        "worker",
-        "send_seconds",
-        "queue_wait_seconds",
-        "compute_seconds",
-        "request_bytes",
-        "reply_bytes",
-    )
-    complete = all(
-        all(k in s.attrs for k in breakdown_keys) for s in dispatch_spans
-    )
-    recorded = len(solution.metrics.supersteps)
-    check = {
-        "superstep_spans": len(superstep_spans),
-        "recorded_supersteps": recorded,
-        "dispatch_spans": len(dispatch_spans),
-        "dispatch_breakdown_complete": complete,
-        "passed": bool(
-            superstep_spans
-            and len(superstep_spans) == recorded
-            and dispatch_spans
-            and complete
-        ),
-    }
-    if trace_path:
-        tracer.dump_jsonl(trace_path)
-        check["trace_path"] = trace_path
-    return check
-
-
-# ----------------------------------------------------------------------
-# Schema validation (hand-rolled; no jsonschema dependency)
-# ----------------------------------------------------------------------
-
-_RESULT_FIELDS = {
-    "problem": str,
-    "executor": str,
-    "procs": int,
-    "repeats": int,
-    "wall_seconds": float,
-    "wall_seconds_median": float,
-    "supersteps": int,
-    "num_barriers": int,
-    "forward_fixup_iterations": int,
-    "bytes_communicated": int,
-    "total_work_cells": float,
-    "cells_per_second": float,
-}
-
-
-def validate_bench_doc(doc) -> None:
-    """Raise ``ValueError`` unless ``doc`` matches the BENCH_pool schema."""
-
-    def need(obj, key, types, where):
-        if key not in obj:
-            raise ValueError(f"{where}: missing required key {key!r}")
-        if not isinstance(obj[key], types):
-            raise ValueError(
-                f"{where}: key {key!r} has type {type(obj[key]).__name__}, "
-                f"expected {types}"
-            )
-        return obj[key]
-
-    if not isinstance(doc, dict):
-        raise ValueError(f"document must be an object, got {type(doc).__name__}")
-    version = need(doc, "schema_version", int, "document")
-    if version != BENCH_SCHEMA_VERSION:
-        raise ValueError(
-            f"schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
-        )
-    need(doc, "kind", str, "document")
-    if doc["kind"] != "repro-bench":
-        raise ValueError(f"kind {doc['kind']!r} != 'repro-bench'")
-    need(doc, "mode", str, "document")
-    need(doc, "host", dict, "document")
-    results = need(doc, "results", list, "document")
-    if not results:
-        raise ValueError("document: 'results' must be non-empty")
-    for idx, row in enumerate(results):
-        where = f"results[{idx}]"
-        if not isinstance(row, dict):
-            raise ValueError(f"{where}: must be an object")
-        for key, typ in _RESULT_FIELDS.items():
-            types = (int, float) if typ is float else typ
-            need(row, key, types, where)
-        # Optional fields (schema v1 compatible: absent in older docs).
-        if "valid" in row and not isinstance(row["valid"], bool):
-            raise ValueError(f"{where}: valid must be a bool")
-        if row.get("valid", True) and row["wall_seconds"] <= 0:
-            raise ValueError(
-                f"{where}: wall_seconds must be positive on a valid row"
-            )
-        if "use_delta" in row and not isinstance(row["use_delta"], bool):
-            raise ValueError(f"{where}: use_delta must be a bool")
-        if "kernel_tier" in row and not isinstance(row["kernel_tier"], bool):
-            raise ValueError(f"{where}: kernel_tier must be a bool")
-        if "fixup_cells" in row and not isinstance(row["fixup_cells"], (int, float)):
-            raise ValueError(f"{where}: fixup_cells must be numeric")
-    checks = need(doc, "checks", dict, "document")
-    for name, check in checks.items():
-        if not isinstance(check, dict) or "passed" not in check:
-            raise ValueError(f"checks[{name!r}]: must be an object with 'passed'")
-
-
-# ----------------------------------------------------------------------
-# Comparison against the previous BENCH_pool.json
-# ----------------------------------------------------------------------
-
-
-def compare_documents(old: dict, new: dict, ratio: float = REGRESSION_RATIO) -> dict:
-    """Cell-by-cell wall-clock deltas of ``new`` against ``old``.
-
-    Only cells present in both grids (same problem/executor/procs, same
-    mode) are compared; a cell regresses when its new floor exceeds
-    ``old * ratio``.  Rows marked ``valid: false`` on either side are
-    skipped (listed under ``skipped_invalid``) instead of dividing by a
-    zero-duration wall clock.  Rows whose instance size changed between
-    the files (different ``total_work_cells``) are skipped too (listed
-    under ``skipped_resized``) — a wall-clock ratio across different
-    problem sizes is not a regression signal.
-    """
-    comparison = {
-        "baseline_created": old.get("created"),
-        "comparable": old.get("mode") == new.get("mode"),
-        "regression_ratio": ratio,
-        "cells": [],
-        "regressions": [],
-        "skipped_invalid": [],
-        "skipped_resized": [],
-    }
-    if not comparison["comparable"]:
-        comparison["note"] = (
-            f"baseline mode {old.get('mode')!r} != new mode {new.get('mode')!r}; "
-            "timings not compared"
-        )
-        return comparison
-    # ``use_delta`` and ``kernel_tier`` join the key via .get so
-    # documents written before those cells existed still compare their
-    # classic cells.
-    old_cells = {
-        (
-            r["problem"],
-            r["executor"],
-            r["procs"],
-            r.get("use_delta", False),
-            r.get("kernel_tier", False),
-        ): r
-        for r in old.get("results", [])
-    }
-    for row in new.get("results", []):
-        key = (
-            row["problem"],
-            row["executor"],
-            row["procs"],
-            row.get("use_delta", False),
-            row.get("kernel_tier", False),
-        )
-        base = old_cells.get(key)
-        if base is None:
-            continue
-        ident = {
-            "problem": key[0],
-            "executor": key[1],
-            "procs": key[2],
-            "use_delta": key[3],
-            "kernel_tier": key[4],
-        }
-        if (
-            not row.get("valid", True)
-            or not base.get("valid", True)
-            or base["wall_seconds"] <= 0
-        ):
-            comparison["skipped_invalid"].append(ident)
-            continue
-        old_work = base.get("total_work_cells")
-        new_work = row.get("total_work_cells")
-        if old_work is not None and new_work is not None and old_work != new_work:
-            comparison["skipped_resized"].append(
-                {**ident, "old_cells": old_work, "new_cells": new_work}
-            )
-            continue
-        delta = row["wall_seconds"] / base["wall_seconds"]
-        cell = {
-            **ident,
-            "old_seconds": base["wall_seconds"],
-            "new_seconds": row["wall_seconds"],
-            "ratio": delta,
-            "regressed": delta > ratio,
-        }
-        comparison["cells"].append(cell)
-        if cell["regressed"]:
-            comparison["regressions"].append(cell)
-    return comparison
-
-
-def _print_comparison(comparison: dict) -> None:
-    if not comparison["comparable"]:
-        print(f"comparison: {comparison['note']}")
-        return
-    print(f"comparison vs previous file ({len(comparison['cells'])} cells):")
-    for cell in comparison["cells"]:
-        mark = "REGRESSION" if cell["regressed"] else "ok"
-        mode_tag = "delta" if cell.get("use_delta") else "dense"
-        if cell.get("kernel_tier"):
-            mode_tag = "tier"
-        print(
-            f"  {cell['problem']:<8s} {cell['executor']:<7s} "
-            f"P={cell['procs']:<2d} {mode_tag:<5s} "
-            f"{cell['old_seconds'] * 1e3:8.2f} -> {cell['new_seconds'] * 1e3:8.2f} ms "
-            f"(x{cell['ratio']:.2f})  {mark}"
-        )
-    for ident in comparison.get("skipped_invalid", []):
-        print(
-            f"  SKIPPED (invalid row): {ident['problem']} {ident['executor']} "
-            f"P={ident['procs']} use_delta={ident['use_delta']} "
-            f"kernel_tier={ident['kernel_tier']} — zero-duration or marked invalid"
-        )
-    for ident in comparison.get("skipped_resized", []):
-        print(
-            f"  SKIPPED (instance resized): {ident['problem']} {ident['executor']} "
-            f"P={ident['procs']} use_delta={ident['use_delta']} "
-            f"kernel_tier={ident['kernel_tier']} — "
-            f"{ident['old_cells']:.0f} -> {ident['new_cells']:.0f} work cells"
-        )
-    n = len(comparison["regressions"])
-    print(f"  {n} regression(s) flagged" if n else "  no regressions")
-
-
-# ----------------------------------------------------------------------
-# Entry point
-# ----------------------------------------------------------------------
-
-
-def run_bench(
-    smoke: bool,
-    repeats: int,
-    out: pathlib.Path,
-    trace_path: str | None = None,
-) -> tuple[dict, int]:
-    """Run the sweep + checks, emit ``out``, return (document, exit code)."""
-    mode = "smoke" if smoke else "full"
-    print(f"bench runner: mode={mode} repeats={repeats}")
-    results = _run_grid(smoke, repeats)
-
-    print("kernel tier:")
-    tier_rows, tier_check = _run_kernel_tier(smoke, repeats)
-    results.extend(tier_rows)
-
-    print("checks:")
-    checks = {
-        "tracing_disabled_overhead": _check_disabled_overhead(smoke, repeats + 2),
-        "trace_coverage": _check_trace_coverage(smoke, trace_path),
-        "delta_fixup_reduction": _check_delta_fixup_reduction(results),
-        "runner_scaling": _check_runner_scaling(smoke, repeats),
-        "kernel_tier_speedup": tier_check,
-    }
-    for name, check in checks.items():
-        print(f"  {name}: {'pass' if check['passed'] else 'FAIL'} {check}")
-
-    doc = {
-        "schema_version": BENCH_SCHEMA_VERSION,
-        "kind": "repro-bench",
-        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "mode": mode,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
-        "results": results,
-        "checks": checks,
-    }
-
-    exit_code = 0 if all(c["passed"] for c in checks.values()) else 1
-
-    if out.exists():
-        try:
-            old = json.loads(out.read_text())
-            validate_bench_doc(old)
-        except (ValueError, OSError) as exc:
-            print(f"previous {out.name} unusable ({exc}); skipping comparison")
-        else:
-            doc["comparison"] = compare_documents(old, doc)
-            _print_comparison(doc["comparison"])
-            if doc["comparison"]["regressions"]:
-                exit_code = 1
-
-    validate_bench_doc(doc)
-    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out}")
-    return doc, exit_code
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny instances / reduced grid (CI-sized, ~seconds)",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=3, help="timed repetitions per cell"
-    )
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=DEFAULT_OUT,
-        help=f"output document (default {DEFAULT_OUT})",
-    )
-    parser.add_argument(
-        "--trace",
-        metavar="PATH",
-        default=None,
-        help="also dump the coverage check's JSONL trace here (CI artifact)",
-    )
-    parser.add_argument(
-        "--check",
-        metavar="PATH",
-        default=None,
-        help="validate an existing document against the schema and exit",
-    )
-    args = parser.parse_args(argv)
-
-    if args.check:
-        doc = json.loads(pathlib.Path(args.check).read_text())
-        validate_bench_doc(doc)
-        print(f"{args.check}: valid repro-bench document (schema v{doc['schema_version']}, "
-              f"{len(doc['results'])} cells, mode={doc['mode']})")
-        return 0
-
-    _, exit_code = run_bench(args.smoke, args.repeats, args.out, args.trace)
-    return exit_code
 
 
 if __name__ == "__main__":

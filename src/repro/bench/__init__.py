@@ -1,0 +1,70 @@
+"""Longitudinal perf intelligence: matrix runner, history store, trends.
+
+The benchmark layer has two time horizons:
+
+- **one run vs. one file** — the suite runners
+  (:mod:`repro.bench.pool_bench`, :mod:`repro.bench.serve_bench`) sweep
+  the problem x executor x P x delta-mode x kernel-tier matrix and
+  compare against a single committed baseline with the 1.6x ratio gate
+  (:mod:`repro.bench.matrix`);
+- **many runs over time** — ``repro bench record`` appends every run to
+  an append-only JSONL history (:mod:`repro.bench.history`), and
+  ``repro bench trend`` runs a per-cell rolling median/MAD detector
+  over it (:mod:`repro.bench.trend`) so a regression verdict needs a
+  sustained shift, not one noisy floor.
+
+``benchmarks/bench_runner.py`` and ``benchmarks/bench_serve.py`` remain
+the standalone entry points; they are thin shims over this package.
+"""
+
+from repro.bench.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryLoad,
+    append_record,
+    git_fingerprint,
+    load_history,
+    make_history_record,
+    validate_history_file,
+    validate_history_record,
+)
+from repro.bench.matrix import (
+    REGRESSION_RATIO,
+    BenchDocumentError,
+    GridCell,
+    cell_key,
+    compare_documents,
+    find_duplicate_cells,
+    make_document,
+    throughput_cells_per_second,
+)
+from repro.bench.report import (
+    render_markdown_report,
+    render_text_report,
+    render_trend_table,
+)
+from repro.bench.trend import TrendPolicy, detect_series, trend_report
+
+__all__ = [
+    "BenchDocumentError",
+    "GridCell",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryLoad",
+    "REGRESSION_RATIO",
+    "TrendPolicy",
+    "append_record",
+    "cell_key",
+    "compare_documents",
+    "detect_series",
+    "find_duplicate_cells",
+    "git_fingerprint",
+    "load_history",
+    "make_document",
+    "make_history_record",
+    "render_markdown_report",
+    "render_text_report",
+    "render_trend_table",
+    "throughput_cells_per_second",
+    "trend_report",
+    "validate_history_file",
+    "validate_history_record",
+]

@@ -1,0 +1,235 @@
+"""``repro bench`` — record / compare / trend / report / check.
+
+The longitudinal workflow on top of the suite runners:
+
+``record``
+    Run a suite (pool sweep or serving grid) and append one record —
+    commit SHA, dirty flag, host fingerprint, mode, full result grid +
+    check verdicts — to the append-only JSONL history.  The committed
+    baseline is read-only for comparison; it is only rewritten under
+    ``--update-baseline``.
+``compare``
+    Cell-by-cell 1.6x ratio comparison of two bench documents (the
+    zero-history fallback gate, exposed standalone).
+``trend``
+    Per-cell rolling median/MAD verdicts over the history (see
+    :mod:`repro.bench.trend`): a regression needs a sustained shift,
+    not one noisy floor.
+``report``
+    The markdown form of ``trend`` plus a history summary (the CI
+    artifact).
+``check``
+    Schema-validate bench documents (``*.json``) and history files
+    (``*.jsonl``) — the same gate CI runs on both the committed
+    baseline and the accumulated history.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.bench.history import (
+    DEFAULT_HISTORY_NAME,
+    append_record,
+    load_history,
+    make_history_record,
+    validate_history_file,
+)
+from repro.bench.matrix import (
+    BenchDocumentError,
+    compare_documents,
+    load_json_document,
+    print_comparison,
+)
+from repro.bench.report import (
+    render_markdown_report,
+    render_text_report,
+    render_trend_table,
+    verdict_counts,
+)
+from repro.bench.trend import TrendPolicy, trend_report
+
+__all__ = ["execute_bench"]
+
+
+def _default_history(args) -> pathlib.Path:
+    if args.history is not None:
+        return pathlib.Path(args.history)
+    return pathlib.Path.cwd() / DEFAULT_HISTORY_NAME
+
+
+def _default_baseline(suite: str) -> pathlib.Path:
+    name = "BENCH_pool.json" if suite == "pool" else "BENCH_serve.json"
+    return pathlib.Path.cwd() / name
+
+
+def _policy(args) -> TrendPolicy:
+    return TrendPolicy(
+        window=args.window,
+        confirm=args.confirm,
+        min_samples=args.min_samples,
+        z_threshold=args.z_threshold,
+        min_effect=args.min_effect,
+    )
+
+
+def cmd_record(args) -> int:
+    from repro.bench import pool_bench, serve_bench
+
+    smoke = args.mode == "smoke"
+    if args.suite == "pool":
+        doc, checks_ok = pool_bench.run_suite(smoke, args.repeats, args.trace)
+    else:
+        doc, checks_ok = serve_bench.run_suite(smoke)
+    exit_code = 0 if checks_ok else 1
+
+    regressions = None
+    baseline = (
+        pathlib.Path(args.baseline)
+        if args.baseline is not None
+        else _default_baseline(args.suite)
+    )
+    if args.suite == "pool" and baseline.exists():
+        # Read-only fallback gate: the single-file 1.6x ratio.  `record`
+        # never rewrites the baseline implicitly — the history is the
+        # primary store and it keeps regressed runs *as data*.
+        if pool_bench.compare_against_baseline(doc, baseline):
+            exit_code = 1
+        comparison = doc.get("comparison")
+        if comparison is not None and comparison.get("comparable"):
+            regressions = len(comparison["regressions"])
+
+    history = _default_history(args)
+    record = make_history_record(args.suite, doc, regressions=regressions)
+    count = append_record(history, record)
+    commit = record["commit"] or "(no git)"
+    print(
+        f"recorded {args.suite}/{doc['mode']} run as history entry #{count} "
+        f"-> {history} (commit {commit}"
+        + (", dirty tree" if record["dirty"] else "")
+        + ")"
+    )
+
+    if args.out is not None:
+        # A plain document artifact (CI uploads these); not a baseline.
+        import json
+
+        pathlib.Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    if args.update_baseline:
+        import json
+
+        baseline.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"re-baselined {baseline}")
+    return exit_code
+
+
+def cmd_compare(args) -> int:
+    from repro.bench import pool_bench
+
+    try:
+        old = load_json_document(args.old)
+        new = load_json_document(args.new)
+        pool_bench.validate_bench_doc(old)
+        pool_bench.validate_bench_doc(new)
+    except (BenchDocumentError, ValueError) as exc:
+        print(f"bench compare failed: {exc}", file=sys.stderr)
+        return 1
+    comparison = compare_documents(old, new, ratio=args.ratio)
+    print_comparison(comparison)
+    if comparison["regressions"] or comparison["duplicate_cells"]:
+        return 1
+    return 0
+
+
+def _load_history_or_fail(path):
+    try:
+        return load_history(path)
+    except BenchDocumentError as exc:
+        print(f"bench history unusable: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_trend(args) -> int:
+    history = _default_history(args)
+    load = _load_history_or_fail(history)
+    if load is None:
+        return 1
+    cells = trend_report(load.records, _policy(args), suite=args.suite, mode=args.mode)
+    if args.fmt == "markdown":
+        print(render_markdown_report(load, cells))
+    else:
+        print(render_text_report(load, cells))
+    counts = verdict_counts(cells)
+    if args.strict and counts["regressions"]:
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    history = _default_history(args)
+    load = _load_history_or_fail(history)
+    if load is None:
+        return 1
+    cells = trend_report(load.records, _policy(args), suite=args.suite, mode=args.mode)
+    text = render_markdown_report(load, cells)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out} ({verdict_counts(cells)['cells']} cells)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.bench import pool_bench, serve_bench
+
+    failures = 0
+    for raw in args.paths:
+        path = pathlib.Path(raw)
+        try:
+            if path.suffix == ".jsonl":
+                summary = validate_history_file(path)
+                note = " (torn trailing line dropped)" if summary["corrupt_tail"] else ""
+                print(
+                    f"{path}: valid history — {summary['records']} record(s), "
+                    f"suites {summary['suites']}, "
+                    f"{summary['commits']} distinct commit(s){note}"
+                )
+                continue
+            doc = load_json_document(path)
+            kind = doc.get("kind") if isinstance(doc, dict) else None
+            if kind == "repro-serve-bench":
+                serve_bench.validate_serve_doc(doc)
+            else:
+                pool_bench.validate_bench_doc(doc, check_duplicates=True)
+            print(
+                f"{path}: valid {kind or 'repro-bench'} document "
+                f"(schema v{doc['schema_version']}, {len(doc['results'])} rows, "
+                f"mode={doc['mode']})"
+            )
+        except (BenchDocumentError, ValueError) as exc:
+            message = str(exc)
+            prefix = f"{path}: "
+            if message.startswith(prefix) or message.startswith(str(path) + ":"):
+                print(f"bench check failed: {message}", file=sys.stderr)
+            else:
+                print(f"bench check failed: {path}: {message}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+_HANDLERS = {
+    "record": cmd_record,
+    "compare": cmd_compare,
+    "trend": cmd_trend,
+    "report": cmd_report,
+    "check": cmd_check,
+}
+
+
+def execute_bench(args) -> int:
+    return _HANDLERS[args.bench_command](args)

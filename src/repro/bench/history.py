@@ -1,0 +1,234 @@
+"""Append-only JSONL perf history: one record per benchmark run.
+
+The longitudinal store behind ``repro bench record``.  Every run of a
+suite (the pool sweep or the serving grid) appends exactly one line to
+the history file: the commit SHA and dirty flag at record time, the
+host fingerprint, the run mode, and the *full* result grid plus check
+verdicts of the emitted document.  Records are never rewritten — a
+regressed run is recorded like any other (that is the point: the
+committed baseline must not launder, but the history must not censor).
+
+The file format is deliberately boring: one JSON object per line,
+appended with a single ``write`` so a crash mid-append can corrupt at
+most the trailing line.  :func:`load_history` therefore tolerates a
+torn *trailing* line (reported, not fatal); a corrupt line anywhere
+else means the file was hand-edited or truncated and is an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import subprocess
+import time
+
+from repro.bench.matrix import BenchDocumentError, need
+
+__all__ = [
+    "DEFAULT_HISTORY_NAME",
+    "HISTORY_KIND",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryLoad",
+    "SUITES",
+    "append_record",
+    "git_fingerprint",
+    "load_history",
+    "make_history_record",
+    "validate_history_file",
+    "validate_history_record",
+]
+
+#: Bump on any incompatible change to the per-line record schema.
+HISTORY_SCHEMA_VERSION = 1
+
+HISTORY_KIND = "repro-bench-history"
+
+#: Default history file name, resolved against the working directory.
+DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
+
+SUITES = ("pool", "serve")
+
+
+def git_fingerprint(repo_root=None) -> dict:
+    """``{"commit": sha|None, "dirty": bool|None}`` of the working tree.
+
+    ``None`` values mean "not a git checkout / git unavailable" — the
+    history store works (and records that fact) outside a repository.
+    """
+    root = pathlib.Path(repo_root) if repo_root is not None else pathlib.Path.cwd()
+
+    def _git(*argv: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *argv],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout
+
+    sha = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain")
+    return {
+        "commit": sha.strip() if sha else None,
+        "dirty": bool(status.strip()) if status is not None else None,
+    }
+
+
+def make_history_record(suite: str, doc: dict, *, repo_root=None,
+                        regressions: int | None = None) -> dict:
+    """One history record from a suite's emitted document.
+
+    ``regressions`` is the count flagged by the single-file comparison
+    (``None`` when no baseline was available to compare against).
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {SUITES}")
+    fingerprint = git_fingerprint(repo_root)
+    record = {
+        "history_schema_version": HISTORY_SCHEMA_VERSION,
+        "kind": HISTORY_KIND,
+        "suite": suite,
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": fingerprint["commit"],
+        "dirty": fingerprint["dirty"],
+        "mode": doc["mode"],
+        "host": doc["host"],
+        "schema_version": doc["schema_version"],
+        "results": doc["results"],
+        "checks": {
+            name: {"passed": bool(check.get("passed", False))}
+            for name, check in doc.get("checks", {}).items()
+        },
+        "regressions": regressions,
+    }
+    validate_history_record(record)
+    return record
+
+
+def validate_history_record(record) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the history schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"history record must be an object, got {type(record).__name__}")
+    where = "history record"
+    version = need(record, "history_schema_version", int, where)
+    if version != HISTORY_SCHEMA_VERSION:
+        raise ValueError(
+            f"history_schema_version {version} != supported {HISTORY_SCHEMA_VERSION}"
+        )
+    kind = need(record, "kind", str, where)
+    if kind != HISTORY_KIND:
+        raise ValueError(f"kind {kind!r} != {HISTORY_KIND!r}")
+    suite = need(record, "suite", str, where)
+    if suite not in SUITES:
+        raise ValueError(f"suite {suite!r} not in {SUITES}")
+    need(record, "recorded", str, where)
+    need(record, "mode", str, where)
+    need(record, "host", dict, where)
+    if "commit" not in record or not isinstance(record["commit"], (str, type(None))):
+        raise ValueError(f"{where}: commit must be a string or null")
+    if "dirty" not in record or not isinstance(record["dirty"], (bool, type(None))):
+        raise ValueError(f"{where}: dirty must be a bool or null")
+    results = need(record, "results", list, where)
+    if not results:
+        raise ValueError(f"{where}: 'results' must be non-empty")
+    for idx, row in enumerate(results):
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: results[{idx}] must be an object")
+    checks = need(record, "checks", dict, where)
+    for name, check in checks.items():
+        if not isinstance(check, dict) or "passed" not in check:
+            raise ValueError(f"{where}: checks[{name!r}] must be an object with 'passed'")
+    if "regressions" in record and not isinstance(record["regressions"], (int, type(None))):
+        raise ValueError(f"{where}: regressions must be an int or null")
+
+
+def append_record(path, record: dict) -> int:
+    """Validate + append one record; returns the new record count.
+
+    The line is written in a single call so partial writes can only
+    tear the file's tail (which :func:`load_history` tolerates).
+    """
+    validate_history_record(record)
+    p = pathlib.Path(path)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    with open(p, "a", encoding="utf-8") as handle:
+        handle.write(line)
+    return sum(1 for raw in p.read_text().splitlines() if raw.strip())
+
+
+@dataclasses.dataclass
+class HistoryLoad:
+    """Parsed history file: records in append (chronological) order."""
+
+    records: list
+    path: str = ""
+    corrupt_tail: bool = False
+
+    def filtered(self, suite: str | None = None, mode: str | None = None) -> list:
+        return [
+            r
+            for r in self.records
+            if (suite is None or r["suite"] == suite)
+            and (mode is None or r["mode"] == mode)
+        ]
+
+
+def load_history(path, *, tolerate_corrupt_tail: bool = True) -> HistoryLoad:
+    """Parse a JSONL history file.
+
+    A torn trailing line (crash mid-append) is dropped and flagged via
+    ``corrupt_tail`` when ``tolerate_corrupt_tail``; corruption anywhere
+    else raises :class:`BenchDocumentError` with the line number.
+    """
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text()
+    except FileNotFoundError:
+        raise BenchDocumentError(f"{p}: no such file") from None
+    except OSError as exc:
+        raise BenchDocumentError(f"{p}: cannot read ({exc.strerror or exc})") from None
+    lines = text.splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    records = []
+    corrupt_tail = False
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_corrupt_tail and lineno == last_content:
+                corrupt_tail = True
+                continue
+            raise BenchDocumentError(
+                f"{p}:{lineno + 1}: corrupt history line ({exc.msg})"
+            ) from None
+        try:
+            validate_history_record(record)
+        except ValueError as exc:
+            raise BenchDocumentError(f"{p}:{lineno + 1}: {exc}") from None
+        records.append(record)
+    return HistoryLoad(records=records, path=str(p), corrupt_tail=corrupt_tail)
+
+
+def validate_history_file(path) -> dict:
+    """Load + validate; returns a summary for ``repro bench check``."""
+    load = load_history(path)
+    suites = sorted({r["suite"] for r in load.records})
+    commits = {r["commit"] for r in load.records if r["commit"]}
+    return {
+        "path": load.path,
+        "records": len(load.records),
+        "suites": suites,
+        "commits": len(commits),
+        "corrupt_tail": load.corrupt_tail,
+    }

@@ -1,0 +1,311 @@
+"""Shared matrix-runner machinery for the perf suites.
+
+Both standalone runners (``benchmarks/bench_runner.py`` for the pool
+sweep, ``benchmarks/bench_serve.py`` for the serving grid) and the
+``repro bench`` CLI build their documents through this module: the
+five-axis cell identity (problem x executor x P x delta-mode x
+kernel-tier), best-of-N floor timing helpers, the schema-versioned
+document envelope, and the cell-by-cell comparison against a previous
+document.
+
+The comparison here is the *fallback* signal — a single-file ratio gate
+(:data:`REGRESSION_RATIO`) that works with zero history.  The
+longitudinal layer (:mod:`repro.bench.history` + :mod:`repro.bench.trend`)
+keys its per-cell series with the same :func:`cell_key`, so a cell's
+identity is identical in both views.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import pathlib
+import platform
+import statistics
+import time
+
+__all__ = [
+    "BenchDocumentError",
+    "CELL_KEY_FIELDS",
+    "GridCell",
+    "REGRESSION_RATIO",
+    "best_and_median",
+    "cell_ident",
+    "cell_key",
+    "compare_documents",
+    "find_duplicate_cells",
+    "host_info",
+    "load_json_document",
+    "make_document",
+    "need",
+    "print_comparison",
+    "throughput_cells_per_second",
+]
+
+#: A new timing must stay under ``old * REGRESSION_RATIO`` to pass the
+#: single-file comparison.  Generous because these are single-core
+#: container floors, but tight enough to catch an accidental
+#: O(P) -> O(P^2) dispatch or a pickle blow-up.
+REGRESSION_RATIO = 1.6
+
+#: The five axes that identify one cell of the benchmark matrix.
+CELL_KEY_FIELDS = ("problem", "executor", "procs", "use_delta", "kernel_tier")
+
+
+class BenchDocumentError(ValueError):
+    """A bench document or history file that cannot be read or parsed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class GridCell:
+    """One cell of the problem x executor x P x delta x tier matrix."""
+
+    problem: str
+    executor: str
+    procs: int
+    use_delta: bool = False
+    kernel_tier: bool = False
+
+    @property
+    def key(self) -> tuple:
+        return (self.problem, self.executor, self.procs, self.use_delta, self.kernel_tier)
+
+    def ident(self) -> dict:
+        return dict(zip(CELL_KEY_FIELDS, self.key))
+
+
+def cell_key(row: dict) -> tuple:
+    """Identity of a result row; ``.get`` defaults keep documents written
+    before the delta/kernel axes existed comparable."""
+    return (
+        row["problem"],
+        row["executor"],
+        row["procs"],
+        row.get("use_delta", False),
+        row.get("kernel_tier", False),
+    )
+
+
+def cell_ident(key: tuple) -> dict:
+    return dict(zip(CELL_KEY_FIELDS, key))
+
+
+def find_duplicate_cells(rows: list) -> list[dict]:
+    """Cells that appear more than once in a result grid.
+
+    A duplicated key means any keyed lookup (comparison baselines, trend
+    series) silently last-wins on an arbitrary row — so duplicates are a
+    document defect, not a tolerable redundancy.
+    """
+    counts: dict[tuple, int] = {}
+    for row in rows:
+        key = cell_key(row)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {**cell_ident(key), "count": count}
+        for key, count in counts.items()
+        if count > 1
+    ]
+
+
+def throughput_cells_per_second(cells: float, best_seconds: float) -> tuple[float, bool]:
+    """Guarded throughput: returns ``(cells_per_second, valid)``.
+
+    A best-of-N floor that is zero, negative, or non-finite cannot
+    yield a meaningful rate — dividing by it either raises or produces
+    a silently wrong number (``0.0`` reads as "infinitely slow" to any
+    consumer sorting by throughput).  Such rows get ``(0.0, False)``
+    and must be marked ``valid: false``.
+    """
+    if best_seconds > 0 and math.isfinite(best_seconds):
+        return cells / best_seconds, True
+    return 0.0, False
+
+
+def best_and_median(times: list[float]) -> tuple[float, float]:
+    """Best-of-N floor and median of a timing series."""
+    return min(times), statistics.median(times)
+
+
+def host_info() -> dict:
+    """Host fingerprint embedded in every document and history record."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "node": platform.node(),
+    }
+
+
+def make_document(kind: str, schema_version: int, mode: str,
+                  results: list, checks: dict) -> dict:
+    """Schema-versioned document envelope shared by both suites."""
+    return {
+        "schema_version": schema_version,
+        "kind": kind,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": mode,
+        "host": host_info(),
+        "results": results,
+        "checks": checks,
+    }
+
+
+def need(obj: dict, key: str, types, where: str):
+    """Validation helper: require ``obj[key]`` of the given type(s)."""
+    if key not in obj:
+        raise ValueError(f"{where}: missing required key {key!r}")
+    if not isinstance(obj[key], types):
+        raise ValueError(
+            f"{where}: key {key!r} has type {type(obj[key]).__name__}, "
+            f"expected {types}"
+        )
+    return obj[key]
+
+
+def load_json_document(path) -> dict:
+    """Read + parse a JSON document, raising :class:`BenchDocumentError`
+    with a one-line message instead of a raw traceback."""
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text()
+    except FileNotFoundError:
+        raise BenchDocumentError(f"{p}: no such file") from None
+    except OSError as exc:
+        raise BenchDocumentError(f"{p}: cannot read ({exc.strerror or exc})") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchDocumentError(
+            f"{p}: not valid JSON (line {exc.lineno}: {exc.msg})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Comparison against a previous document (the single-file fallback gate)
+# ----------------------------------------------------------------------
+
+
+def compare_documents(old: dict, new: dict, ratio: float = REGRESSION_RATIO) -> dict:
+    """Cell-by-cell wall-clock deltas of ``new`` against ``old``.
+
+    Only cells present in both grids (same problem/executor/procs, same
+    mode) are compared; a cell regresses when its new floor exceeds
+    ``old * ratio``.  Rows marked ``valid: false`` on either side are
+    skipped (listed under ``skipped_invalid``) instead of dividing by a
+    zero-duration wall clock.  Rows whose instance size changed between
+    the files (different ``total_work_cells``) are skipped too (listed
+    under ``skipped_resized``) — a wall-clock ratio across different
+    problem sizes is not a regression signal.
+
+    Cells whose key appears more than once on either side are excluded
+    from the ratio check (comparing against an arbitrary duplicate is
+    not a signal) and surfaced under ``duplicate_cells``; callers must
+    treat a non-empty ``duplicate_cells`` as a failed comparison.
+    """
+    comparison = {
+        "baseline_created": old.get("created"),
+        "comparable": old.get("mode") == new.get("mode"),
+        "regression_ratio": ratio,
+        "cells": [],
+        "regressions": [],
+        "skipped_invalid": [],
+        "skipped_resized": [],
+        "duplicate_cells": (
+            [{"side": "baseline", **dup} for dup in find_duplicate_cells(old.get("results", []))]
+            + [{"side": "new", **dup} for dup in find_duplicate_cells(new.get("results", []))]
+        ),
+    }
+    if not comparison["comparable"]:
+        comparison["note"] = (
+            f"baseline mode {old.get('mode')!r} != new mode {new.get('mode')!r}; "
+            "timings not compared"
+        )
+        return comparison
+    duplicate_keys = {
+        tuple(dup[field] for field in CELL_KEY_FIELDS)
+        for dup in comparison["duplicate_cells"]
+    }
+    old_cells = {
+        cell_key(r): r
+        for r in old.get("results", [])
+        if cell_key(r) not in duplicate_keys
+    }
+    for row in new.get("results", []):
+        key = cell_key(row)
+        if key in duplicate_keys:
+            continue
+        base = old_cells.get(key)
+        if base is None:
+            continue
+        ident = cell_ident(key)
+        if (
+            not row.get("valid", True)
+            or not base.get("valid", True)
+            or base["wall_seconds"] <= 0
+        ):
+            comparison["skipped_invalid"].append(ident)
+            continue
+        old_work = base.get("total_work_cells")
+        new_work = row.get("total_work_cells")
+        if old_work is not None and new_work is not None and old_work != new_work:
+            comparison["skipped_resized"].append(
+                {**ident, "old_cells": old_work, "new_cells": new_work}
+            )
+            continue
+        delta = row["wall_seconds"] / base["wall_seconds"]
+        cell = {
+            **ident,
+            "old_seconds": base["wall_seconds"],
+            "new_seconds": row["wall_seconds"],
+            "ratio": delta,
+            "regressed": delta > ratio,
+        }
+        comparison["cells"].append(cell)
+        if cell["regressed"]:
+            comparison["regressions"].append(cell)
+    return comparison
+
+
+def print_comparison(comparison: dict) -> None:
+    if not comparison["comparable"]:
+        print(f"comparison: {comparison['note']}")
+        return
+    print(f"comparison vs previous file ({len(comparison['cells'])} cells):")
+    for cell in comparison["cells"]:
+        mark = "REGRESSION" if cell["regressed"] else "ok"
+        mode_tag = "delta" if cell.get("use_delta") else "dense"
+        if cell.get("kernel_tier"):
+            mode_tag = "tier"
+        print(
+            f"  {cell['problem']:<8s} {cell['executor']:<7s} "
+            f"P={cell['procs']:<2d} {mode_tag:<5s} "
+            f"{cell['old_seconds'] * 1e3:8.2f} -> {cell['new_seconds'] * 1e3:8.2f} ms "
+            f"(x{cell['ratio']:.2f})  {mark}"
+        )
+    for ident in comparison.get("skipped_invalid", []):
+        print(
+            f"  SKIPPED (invalid row): {ident['problem']} {ident['executor']} "
+            f"P={ident['procs']} use_delta={ident['use_delta']} "
+            f"kernel_tier={ident['kernel_tier']} — zero-duration or marked invalid"
+        )
+    for ident in comparison.get("skipped_resized", []):
+        print(
+            f"  SKIPPED (instance resized): {ident['problem']} {ident['executor']} "
+            f"P={ident['procs']} use_delta={ident['use_delta']} "
+            f"kernel_tier={ident['kernel_tier']} — "
+            f"{ident['old_cells']:.0f} -> {ident['new_cells']:.0f} work cells"
+        )
+    for dup in comparison.get("duplicate_cells", []):
+        print(
+            f"  DUPLICATE ({dup['side']} side): {dup['problem']} {dup['executor']} "
+            f"P={dup['procs']} use_delta={dup['use_delta']} "
+            f"kernel_tier={dup['kernel_tier']} appears {dup['count']} times — "
+            "cell excluded from the ratio check"
+        )
+    n = len(comparison["regressions"])
+    print(f"  {n} regression(s) flagged" if n else "  no regressions")
+    if comparison.get("duplicate_cells"):
+        print(f"  {len(comparison['duplicate_cells'])} duplicate cell key(s) — comparison FAILED")

@@ -1,0 +1,158 @@
+"""Terminal and markdown rendering of longitudinal trend reports.
+
+Pure formatting over the cell reports produced by
+:func:`repro.bench.trend.trend_report` — no measurement, no I/O beyond
+returning strings.  The markdown variant is what the CI bench job
+uploads next to its history artifact.
+"""
+
+from __future__ import annotations
+
+from repro.bench.history import HistoryLoad
+from repro.bench.trend import (
+    VERDICT_IMPROVEMENT,
+    VERDICT_INSUFFICIENT,
+    VERDICT_REGRESSION,
+)
+
+__all__ = [
+    "render_markdown_report",
+    "render_trend_table",
+    "sparkline",
+    "verdict_counts",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(samples: list[float], width: int = 16) -> str:
+    """Tiny unicode sparkline of the most recent ``width`` samples."""
+    xs = [x for x in samples[-width:] if isinstance(x, (int, float))]
+    if not xs:
+        return ""
+    lo, hi = min(xs), max(xs)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(xs)
+    span = hi - lo
+    return "".join(
+        _SPARK_LEVELS[int((x - lo) / span * (len(_SPARK_LEVELS) - 1))] for x in xs
+    )
+
+
+def verdict_counts(cells: list[dict]) -> dict:
+    counts = {"cells": len(cells), "regressions": 0, "improvements": 0, "insufficient": 0}
+    for cell in cells:
+        if cell["verdict"] == VERDICT_REGRESSION:
+            counts["regressions"] += 1
+        elif cell["verdict"] == VERDICT_IMPROVEMENT:
+            counts["improvements"] += 1
+        elif cell["verdict"] == VERDICT_INSUFFICIENT:
+            counts["insufficient"] += 1
+    return counts
+
+
+def _fmt_ms(value) -> str:
+    return f"{value * 1e3:.2f}" if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_ratio(value) -> str:
+    return f"x{value:.2f}" if isinstance(value, (int, float)) else "-"
+
+
+def _cell_columns(cell: dict) -> list[str]:
+    return [
+        f"{cell['suite']}/{cell['mode']}",
+        cell["cell"],
+        str(cell["n"]),
+        _fmt_ms(cell["baseline_median"]),
+        _fmt_ms(cell["mad"]),
+        _fmt_ms(cell["samples"][-1] if cell["samples"] else None),
+        _fmt_ratio(cell["recent_ratio"]),
+        sparkline(cell["samples"]),
+        cell["verdict"].upper() if cell["verdict"] == VERDICT_REGRESSION else cell["verdict"],
+    ]
+
+
+_HEADERS = ["suite", "cell", "n", "median ms", "MAD ms", "last ms", "recent", "history", "verdict"]
+
+
+def render_trend_table(cells: list[dict], fmt: str = "text") -> str:
+    """Per-cell trend table, ``text`` (aligned) or ``markdown``."""
+    rows = [_cell_columns(cell) for cell in cells]
+    if fmt == "markdown":
+        lines = [
+            "| " + " | ".join(_HEADERS) + " |",
+            "|" + "|".join("---" for _ in _HEADERS) + "|",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in rows)
+        return "\n".join(lines)
+    if fmt != "text":
+        raise ValueError(f"unknown trend format {fmt!r}")
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) if rows else len(header)
+        for i, header in enumerate(_HEADERS)
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(_HEADERS)).rstrip()]
+    lines.extend(
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(row)).rstrip()
+        for row in rows
+    )
+    return "\n".join(lines)
+
+
+def _history_summary_lines(load: HistoryLoad) -> list[str]:
+    commits = {r["commit"] for r in load.records if r["commit"]}
+    dirty = sum(1 for r in load.records if r.get("dirty"))
+    combos = sorted({f"{r['suite']}/{r['mode']}" for r in load.records})
+    lines = [
+        f"history: {load.path} — {len(load.records)} record(s), "
+        f"{len(commits)} distinct commit(s), {dirty} dirty-tree run(s)",
+        f"suites: {', '.join(combos) if combos else '(empty)'}",
+    ]
+    if load.corrupt_tail:
+        lines.append("note: a torn trailing line was dropped (crash mid-append)")
+    return lines
+
+
+def render_text_report(load: HistoryLoad, cells: list[dict]) -> str:
+    counts = verdict_counts(cells)
+    lines = _history_summary_lines(load)
+    lines.append("")
+    lines.append(render_trend_table(cells, fmt="text"))
+    lines.append("")
+    lines.append(
+        f"{counts['regressions']} sustained regression(s), "
+        f"{counts['improvements']} improvement(s), "
+        f"{counts['insufficient']} cell(s) with insufficient history "
+        "(1.6x single-file ratio remains their gate)"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown_report(load: HistoryLoad, cells: list[dict]) -> str:
+    """Markdown trend report (the CI artifact next to the history file)."""
+    counts = verdict_counts(cells)
+    latest = load.records[-1] if load.records else None
+    lines = ["# Bench trend report", ""]
+    for line in _history_summary_lines(load):
+        lines.append(f"- {line}")
+    if latest is not None:
+        commit = latest["commit"] or "(no git)"
+        lines.append(
+            f"- latest record: `{commit}`"
+            + (" (dirty)" if latest.get("dirty") else "")
+            + f" at {latest['recorded']} [{latest['suite']}/{latest['mode']}]"
+        )
+    lines.extend(
+        [
+            "",
+            f"**{counts['regressions']} sustained regression(s)**, "
+            f"{counts['improvements']} improvement(s), "
+            f"{counts['insufficient']} cell(s) below the history threshold "
+            "(gated by the legacy 1.6x ratio instead).",
+            "",
+            render_trend_table(cells, fmt="markdown"),
+            "",
+        ]
+    )
+    return "\n".join(lines)

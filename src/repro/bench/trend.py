@@ -1,0 +1,214 @@
+"""Variance-aware trend detection over the benchmark history.
+
+The single-file comparison (``old * 1.6``) is a one-shot ratio against
+whatever happened to be committed last — it has no notion of a cell's
+natural noise floor, so one jittery run can flag a phantom regression
+and a slow creep under 1.6x per step is invisible forever.  This module
+replaces that verdict with a per-cell *rolling median/MAD window* over
+the append-only history:
+
+- the baseline for a cell is the median of its trailing window of
+  floors (excluding the most recent ``confirm`` samples);
+- the spread is the MAD of that window, scaled to sigma-equivalents
+  (x1.4826) and floored at ``rel_floor`` of the median so a perfectly
+  quiet synthetic series does not become hypersensitive;
+- a regression verdict requires a *sustained* shift: every one of the
+  last ``confirm`` samples must sit ``z_threshold`` robust sigmas above
+  the baseline median AND their median must exceed it by ``min_effect``.
+
+A single outlier therefore never flags (it cannot fill the confirm
+tail), while a genuine 2x step does as soon as ``confirm`` runs land on
+the far side.  Cells with fewer than ``min_samples`` recorded runs get
+the ``insufficient-history`` verdict — for those, the legacy best-of-N
+floors and the 1.6x single-file ratio remain the only (fallback) gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.bench.matrix import cell_key
+
+__all__ = [
+    "TrendPolicy",
+    "VERDICT_IMPROVEMENT",
+    "VERDICT_INSUFFICIENT",
+    "VERDICT_REGRESSION",
+    "VERDICT_STABLE",
+    "collect_series",
+    "detect_series",
+    "row_key",
+    "row_label",
+    "row_metric",
+    "trend_report",
+]
+
+VERDICT_STABLE = "stable"
+VERDICT_REGRESSION = "regression"
+VERDICT_IMPROVEMENT = "improvement"
+VERDICT_INSUFFICIENT = "insufficient-history"
+
+#: Robust-sigma equivalence factor for the MAD of a normal sample.
+MAD_TO_SIGMA = 1.4826
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendPolicy:
+    """Knobs of the MAD-window detector (defaults tuned for CI floors)."""
+
+    #: Baseline window: trailing samples (excluding the confirm tail)
+    #: that define the cell's rolling median and MAD.
+    window: int = 8
+    #: Consecutive most-recent samples that must *all* shift before a
+    #: verdict — this is what makes one noisy floor a non-event.
+    confirm: int = 3
+    #: Below this many total samples the verdict is insufficient-history
+    #: and the legacy 1.6x single-file ratio stays the only gate.
+    min_samples: int = 6
+    #: Robust z-score each confirm sample must exceed.
+    z_threshold: float = 3.5
+    #: The confirm tail's median must also shift by this ratio — a
+    #: statistically crisp 3% drift is not worth a red build.
+    min_effect: float = 1.25
+    #: MAD floor as a fraction of the baseline median (guards the
+    #: zero-MAD pathology of ultra-quiet series).
+    rel_floor: float = 0.05
+
+
+def detect_series(samples: list[float], policy: TrendPolicy = TrendPolicy()) -> dict:
+    """Verdict for one cell's chronological series of floors."""
+    n = len(samples)
+    base_report = {
+        "n": n,
+        "baseline_median": None,
+        "mad": None,
+        "scale": None,
+        "recent_median": None,
+        "recent_ratio": None,
+        "zscores": [],
+        "verdict": VERDICT_INSUFFICIENT,
+    }
+    if n < max(policy.min_samples, policy.confirm + 3):
+        return base_report
+    recent = samples[-policy.confirm:]
+    window_lo = max(0, n - policy.confirm - policy.window)
+    window = samples[window_lo:n - policy.confirm]
+    med = statistics.median(window)
+    mad = statistics.median(abs(x - med) for x in window)
+    scale = max(mad * MAD_TO_SIGMA, abs(med) * policy.rel_floor, 1e-12)
+    zscores = [(x - med) / scale for x in recent]
+    recent_median = statistics.median(recent)
+    ratio = recent_median / med if med > 0 else None
+    verdict = VERDICT_STABLE
+    if (
+        all(z > policy.z_threshold for z in zscores)
+        and ratio is not None
+        and ratio >= policy.min_effect
+    ):
+        verdict = VERDICT_REGRESSION
+    elif (
+        all(z < -policy.z_threshold for z in zscores)
+        and ratio is not None
+        and ratio <= 1.0 / policy.min_effect
+    ):
+        verdict = VERDICT_IMPROVEMENT
+    return {
+        **base_report,
+        "baseline_median": med,
+        "mad": mad,
+        "scale": scale,
+        "recent_median": recent_median,
+        "recent_ratio": ratio,
+        "zscores": zscores,
+        "verdict": verdict,
+    }
+
+
+def row_key(suite: str, row: dict) -> tuple:
+    """Cell identity of one result row inside a history record."""
+    if suite == "pool":
+        return cell_key(row)
+    # Serve rows are keyed by their named grid row plus its shape knobs.
+    return (
+        row.get("row", "?"),
+        row.get("num_procs", 0),
+        row.get("max_workers", 0),
+        row.get("problem_size", 0),
+    )
+
+
+def row_label(suite: str, key: tuple) -> str:
+    """Human-readable cell label for reports."""
+    if suite == "pool":
+        problem, executor, procs, use_delta, kernel_tier = key
+        label = f"{problem}/{executor}/P{procs}"
+        if use_delta:
+            label += "/delta"
+        if kernel_tier:
+            label += "/tier"
+        return label
+    name, procs, workers, size = key
+    return f"{name}/P{procs}/W{workers}/n{size}"
+
+
+def row_metric(suite: str, row: dict) -> float | None:
+    """The floor tracked longitudinally for one row (seconds)."""
+    if suite == "pool":
+        if not row.get("valid", True):
+            return None
+        value = row.get("wall_seconds")
+    else:
+        value = row.get("serve_seconds")
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def collect_series(records: list, suite: str, mode: str) -> dict[tuple, list[float]]:
+    """Per-cell chronological floor series from matching history records."""
+    series: dict[tuple, list[float]] = {}
+    for record in records:
+        if record["suite"] != suite or record["mode"] != mode:
+            continue
+        for row in record["results"]:
+            value = row_metric(suite, row)
+            if value is None:
+                continue
+            series.setdefault(row_key(suite, row), []).append(value)
+    return series
+
+
+def trend_report(records: list, policy: TrendPolicy = TrendPolicy(),
+                 suite: str | None = None, mode: str | None = None) -> list[dict]:
+    """MAD-window verdict per cell, across every (suite, mode) present.
+
+    ``suite`` / ``mode`` restrict the report; by default every
+    combination found in the history is analyzed (smoke and full runs
+    never share a series — their instance sizes differ by design).
+    """
+    combos = sorted(
+        {
+            (record["suite"], record["mode"])
+            for record in records
+            if (suite is None or record["suite"] == suite)
+            and (mode is None or record["mode"] == mode)
+        }
+    )
+    cells = []
+    for combo_suite, combo_mode in combos:
+        series = collect_series(records, combo_suite, combo_mode)
+        for key in sorted(series, key=str):
+            samples = series[key]
+            report = detect_series(samples, policy)
+            cells.append(
+                {
+                    "suite": combo_suite,
+                    "mode": combo_mode,
+                    "cell": row_label(combo_suite, key),
+                    "key": list(key),
+                    "samples": samples,
+                    **report,
+                }
+            )
+    return cells

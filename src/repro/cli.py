@@ -23,6 +23,11 @@ Commands
     through one resident worker pool, answering near-duplicates by
     §4.7 delta repair, verifying every answer against a sequential
     solve (see ``docs/serving.md``).
+``bench``
+    Longitudinal perf intelligence: ``record`` a suite run into the
+    append-only JSONL history, ``compare`` two bench documents,
+    ``trend``/``report`` the per-cell rolling median/MAD verdicts, and
+    ``check`` document/history schemas (see ``docs/benchmarking.md``).
 
 All instances are generated from seeded synthetic workloads, so every
 invocation is reproducible via ``--seed``.
@@ -31,6 +36,7 @@ invocation is reproducible via ``--seed``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
@@ -249,6 +255,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return execute_lint(args)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import execute_bench
+
+    return execute_bench(args)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     if not args.selftest:
         print(
@@ -370,6 +382,111 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument("--seed", type=int, default=0)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="longitudinal perf intelligence: record/compare/trend/report/check",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_trend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--history",
+            type=pathlib.Path,
+            default=None,
+            metavar="PATH",
+            help="history JSONL file (default ./BENCH_history.jsonl)",
+        )
+        p.add_argument(
+            "--suite", choices=("pool", "serve"), default=None,
+            help="restrict to one suite (default: all present)",
+        )
+        p.add_argument(
+            "--mode", choices=("smoke", "full"), default=None,
+            help="restrict to one mode (default: all present)",
+        )
+        p.add_argument("--window", type=_positive_int, default=8,
+                       help="baseline window: trailing samples behind the confirm tail")
+        p.add_argument("--confirm", type=_positive_int, default=3,
+                       help="consecutive recent samples that must all shift")
+        p.add_argument("--min-samples", type=_positive_int, default=6,
+                       help="below this many runs a cell is insufficient-history")
+        p.add_argument("--z-threshold", type=float, default=3.5,
+                       help="robust z-score each confirm sample must exceed")
+        p.add_argument("--min-effect", type=float, default=1.25,
+                       help="minimum recent/baseline median ratio for a verdict")
+
+    p_brecord = bench_sub.add_parser(
+        "record",
+        help="run a suite and append one record to the JSONL history",
+    )
+    p_brecord.add_argument("--suite", choices=("pool", "serve"), default="pool")
+    p_brecord.add_argument("--mode", choices=("smoke", "full"), default="smoke")
+    p_brecord.add_argument(
+        "--repeats", type=_positive_int, default=3,
+        help="timed repetitions per cell (pool suite)",
+    )
+    p_brecord.add_argument(
+        "--history", type=pathlib.Path, default=None, metavar="PATH",
+        help="history JSONL file to append to (default ./BENCH_history.jsonl)",
+    )
+    p_brecord.add_argument(
+        "--baseline", type=pathlib.Path, default=None, metavar="PATH",
+        help="read-only comparison baseline (default ./BENCH_pool.json "
+        "or ./BENCH_serve.json by suite)",
+    )
+    p_brecord.add_argument(
+        "--out", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write the run document here (plain artifact, not a baseline)",
+    )
+    p_brecord.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline with this run's document (explicit re-baselining)",
+    )
+    p_brecord.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="dump the coverage check's JSONL trace here (pool suite)",
+    )
+
+    p_bcompare = bench_sub.add_parser(
+        "compare",
+        help="cell-by-cell ratio comparison of two bench documents",
+    )
+    p_bcompare.add_argument("old", help="baseline document (JSON)")
+    p_bcompare.add_argument("new", help="candidate document (JSON)")
+    p_bcompare.add_argument(
+        "--ratio", type=float, default=1.6,
+        help="regression threshold on new/old wall-clock (default 1.6)",
+    )
+
+    p_btrend = bench_sub.add_parser(
+        "trend",
+        help="per-cell rolling median/MAD verdicts over the history",
+    )
+    _add_trend_args(p_btrend)
+    p_btrend.add_argument(
+        "--format", dest="fmt", choices=("text", "markdown"), default="text"
+    )
+    p_btrend.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any cell has a sustained-regression verdict",
+    )
+
+    p_breport = bench_sub.add_parser(
+        "report",
+        help="markdown trend report + history summary (CI artifact)",
+    )
+    _add_trend_args(p_breport)
+    p_breport.add_argument(
+        "--out", type=pathlib.Path, default=None, metavar="PATH",
+        help="write the markdown report here (default: stdout)",
+    )
+
+    p_bcheck = bench_sub.add_parser(
+        "check",
+        help="schema-validate bench documents (*.json) and history files (*.jsonl)",
+    )
+    p_bcheck.add_argument("paths", nargs="+", help="files to validate")
+
     p_lint = sub.add_parser(
         "lint",
         help="static analysis: semiring / determinism / protocol / concurrency contracts",
@@ -413,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "trace": cmd_trace,
         "serve": cmd_serve,
+        "bench": cmd_bench,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

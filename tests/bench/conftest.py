@@ -1,0 +1,47 @@
+"""Shared fixtures for the longitudinal bench-layer tests."""
+
+import pytest
+
+from repro.bench.pool_bench import BENCH_SCHEMA_VERSION
+
+
+def make_pool_row(**overrides) -> dict:
+    row = {
+        "problem": "lcs",
+        "executor": "pool",
+        "procs": 2,
+        "use_delta": False,
+        "kernel_tier": False,
+        "repeats": 2,
+        "wall_seconds": 0.01,
+        "wall_seconds_median": 0.012,
+        "supersteps": 4,
+        "num_barriers": 4,
+        "forward_fixup_iterations": 1,
+        "bytes_communicated": 1000,
+        "total_work_cells": 5000.0,
+        "fixup_cells": 100.0,
+        "cells_per_second": 500000.0,
+        "valid": True,
+    }
+    row.update(overrides)
+    return row
+
+
+def make_pool_doc(*rows, mode="smoke", checks=None) -> dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "created": "2026-01-01T00:00:00Z",
+        "mode": mode,
+        "host": {"platform": "x", "python": "3", "cpu_count": 1, "node": "ci"},
+        "results": list(rows) if rows else [make_pool_row()],
+        "checks": checks
+        if checks is not None
+        else {"trace_coverage": {"passed": True}},
+    }
+
+
+@pytest.fixture
+def pool_doc():
+    return make_pool_doc()

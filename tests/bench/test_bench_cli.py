@@ -1,0 +1,213 @@
+"""End-to-end tests for the ``repro bench`` subcommands.
+
+The pool sweep is monkeypatched to return a canned document so these
+tests exercise the record/compare/trend/report/check plumbing (history
+appends, baseline policy, exit codes) without timing real solves.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import pool_bench
+from repro.bench.history import append_record, load_history, make_history_record
+from repro.cli import main
+
+from tests.bench.conftest import make_pool_doc, make_pool_row
+
+
+@pytest.fixture
+def canned_suite(monkeypatch):
+    """Replace the real pool sweep with a canned (doc, checks_ok) pair."""
+
+    state = {"doc": make_pool_doc(), "checks_ok": True}
+
+    def fake_run_suite(smoke, repeats, trace_path=None):
+        doc = json.loads(json.dumps(state["doc"]))
+        doc["mode"] = "smoke" if smoke else "full"
+        return doc, state["checks_ok"]
+
+    monkeypatch.setattr(pool_bench, "run_suite", fake_run_suite)
+    return state
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestRecord:
+    def test_record_twice_yields_two_history_entries(self, canned_suite, workdir, capsys):
+        assert main(["bench", "record"]) == 0
+        assert main(["bench", "record"]) == 0
+        out = capsys.readouterr().out
+        assert "history entry #1" in out
+        assert "history entry #2" in out
+        load = load_history(workdir / "BENCH_history.jsonl")
+        assert len(load.records) == 2
+        assert all(r["suite"] == "pool" and r["mode"] == "smoke" for r in load.records)
+
+    def test_record_does_not_touch_baseline(self, canned_suite, workdir):
+        baseline = workdir / "BENCH_pool.json"
+        baseline_doc = make_pool_doc(make_pool_row(wall_seconds=0.02))
+        payload = json.dumps(baseline_doc, indent=2) + "\n"
+        baseline.write_text(payload)
+        assert main(["bench", "record"]) == 0
+        assert baseline.read_text() == payload
+
+    def test_record_regression_exits_1_and_keeps_baseline(self, canned_suite, workdir, capsys):
+        # Baseline is 10x faster than the canned run -> 1.6x gate trips.
+        baseline = workdir / "BENCH_pool.json"
+        payload = json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.001))) + "\n"
+        baseline.write_text(payload)
+        assert main(["bench", "record"]) == 1
+        assert baseline.read_text() == payload
+        record = load_history(workdir / "BENCH_history.jsonl").records[0]
+        assert record["regressions"] == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_record_update_baseline_rewrites(self, canned_suite, workdir):
+        baseline = workdir / "BENCH_pool.json"
+        baseline.write_text(json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.02))) + "\n")
+        assert main(["bench", "record", "--update-baseline"]) == 0
+        rewritten = json.loads(baseline.read_text())
+        assert rewritten["results"][0]["wall_seconds"] == pytest.approx(0.01)
+
+    def test_record_failed_checks_exit_1_but_still_recorded(self, canned_suite, workdir):
+        canned_suite["checks_ok"] = False
+        assert main(["bench", "record"]) == 1
+        assert len(load_history(workdir / "BENCH_history.jsonl").records) == 1
+
+    def test_record_out_writes_plain_artifact(self, canned_suite, workdir):
+        out = workdir / "artifact.json"
+        assert main(["bench", "record", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "repro-bench"
+
+    def test_record_explicit_history_path(self, canned_suite, workdir):
+        history = workdir / "elsewhere" / "h.jsonl"
+        history.parent.mkdir()
+        assert main(["bench", "record", "--history", str(history)]) == 0
+        assert len(load_history(history).records) == 1
+
+
+class TestCompare:
+    def test_compare_clean(self, workdir, capsys):
+        old = workdir / "old.json"
+        new = workdir / "new.json"
+        old.write_text(json.dumps(make_pool_doc()))
+        new.write_text(json.dumps(make_pool_doc()))
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_1(self, workdir, capsys):
+        old = workdir / "old.json"
+        new = workdir / "new.json"
+        old.write_text(json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.001))))
+        new.write_text(json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.01))))
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_custom_ratio(self, workdir):
+        old = workdir / "old.json"
+        new = workdir / "new.json"
+        old.write_text(json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.001))))
+        new.write_text(json.dumps(make_pool_doc(make_pool_row(wall_seconds=0.01))))
+        assert main(["bench", "compare", str(old), str(new), "--ratio", "100"]) == 0
+
+    def test_compare_bad_document_is_clean_failure(self, workdir, capsys):
+        old = workdir / "old.json"
+        old.write_text("{not json")
+        new = workdir / "new.json"
+        new.write_text(json.dumps(make_pool_doc()))
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        assert "bench compare failed:" in capsys.readouterr().err
+
+
+def seeded_history(path, series, **row_overrides):
+    for value in series:
+        doc = make_pool_doc(make_pool_row(wall_seconds=value, **row_overrides))
+        append_record(path, make_history_record("pool", doc))
+
+
+STABLE = [0.100, 0.103, 0.098, 0.101, 0.099, 0.102, 0.100, 0.097, 0.101, 0.100]
+
+
+class TestTrendAndReport:
+    def test_trend_renders_per_cell_report(self, workdir, capsys):
+        seeded_history(workdir / "BENCH_history.jsonl", STABLE)
+        assert main(["bench", "trend"]) == 0
+        out = capsys.readouterr().out
+        assert "lcs/pool/P2" in out
+        assert "stable" in out
+
+    def test_trend_strict_flags_sustained_regression(self, workdir, capsys):
+        seeded_history(workdir / "BENCH_history.jsonl", STABLE + [0.205, 0.199, 0.202])
+        assert main(["bench", "trend"]) == 0  # informational by default
+        assert main(["bench", "trend", "--strict"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_trend_strict_ok_on_stable_history(self, workdir):
+        seeded_history(workdir / "BENCH_history.jsonl", STABLE)
+        assert main(["bench", "trend", "--strict"]) == 0
+
+    def test_trend_markdown_format(self, workdir, capsys):
+        seeded_history(workdir / "BENCH_history.jsonl", STABLE)
+        assert main(["bench", "trend", "--format", "markdown"]) == 0
+        assert "# Bench trend report" in capsys.readouterr().out
+
+    def test_trend_missing_history_is_clean_failure(self, workdir, capsys):
+        assert main(["bench", "trend"]) == 1
+        assert "bench history unusable:" in capsys.readouterr().err
+
+    def test_report_writes_markdown_file(self, workdir):
+        seeded_history(workdir / "BENCH_history.jsonl", STABLE)
+        out = workdir / "trend.md"
+        assert main(["bench", "report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Bench trend report")
+        assert "lcs/pool/P2" in text
+
+
+class TestCheck:
+    def test_check_valid_document_and_history(self, workdir, capsys):
+        doc = workdir / "doc.json"
+        doc.write_text(json.dumps(make_pool_doc()))
+        history = workdir / "h.jsonl"
+        seeded_history(history, [0.1, 0.2])
+        assert main(["bench", "check", str(doc), str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "valid repro-bench document" in out
+        assert "valid history" in out
+
+    def test_check_duplicate_cells_fail(self, workdir, capsys):
+        doc = workdir / "doc.json"
+        doc.write_text(json.dumps(make_pool_doc(make_pool_row(), make_pool_row())))
+        assert main(["bench", "check", str(doc)]) == 1
+        assert "duplicate result cell" in capsys.readouterr().err
+
+    def test_check_corrupt_history_fails(self, workdir, capsys):
+        history = workdir / "h.jsonl"
+        seeded_history(history, [0.1])
+        with open(history, "a") as handle:
+            handle.write("garbage\n")
+        seeded_history(history, [0.2])
+        assert main(["bench", "check", str(history)]) == 1
+        assert "bench check failed:" in capsys.readouterr().err
+
+    def test_check_missing_file_fails_cleanly(self, workdir, capsys):
+        assert main(["bench", "check", str(workdir / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert "bench check failed:" in err
+        assert "no such file" in err
+
+    def test_check_mixed_one_bad_fails_overall(self, workdir, capsys):
+        good = workdir / "good.json"
+        good.write_text(json.dumps(make_pool_doc()))
+        bad = workdir / "bad.json"
+        bad.write_text("{oops")
+        assert main(["bench", "check", str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "valid repro-bench document" in captured.out
+        assert "not valid JSON" in captured.err

@@ -1,0 +1,105 @@
+"""``--check`` failure-shape tests for both benchmark entry points.
+
+Before the fix, pointing ``--check`` at a missing or malformed file
+died with a raw ``FileNotFoundError`` / ``JSONDecodeError`` traceback.
+Both mains must now print a one-line diagnostic to stderr and exit
+non-zero cleanly.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import pool_bench, serve_bench
+
+from tests.bench.conftest import make_pool_doc
+
+
+def make_serve_row() -> dict:
+    return {
+        "row": "mixed-small",
+        "num_requests": 60,
+        "problem_size": 32,
+        "num_procs": 2,
+        "max_workers": 2,
+        "serve_seconds": 1.5,
+        "requests_per_second": 40.0,
+        "ok": 58,
+        "hits": 20,
+        "misses": 38,
+        "rejected": 2,
+        "errors": 0,
+        "hit_rate": 0.33,
+        "delta_cells": 1000,
+        "latency_mean_seconds": 0.02,
+        "latency_max_seconds": 0.1,
+        "verified": 58,
+        "mismatches": 0,
+        "leaked_workers": 0,
+    }
+
+
+def make_serve_doc() -> dict:
+    return {
+        "schema_version": serve_bench.SERVE_SCHEMA_VERSION,
+        "kind": "repro-serve-bench",
+        "created": "2026-01-01T00:00:00Z",
+        "mode": "smoke",
+        "host": {"platform": "x", "python": "3", "cpu_count": 1, "node": "ci"},
+        "results": [make_serve_row()],
+        "checks": {"bit_identity": {"passed": True}},
+    }
+
+
+@pytest.mark.parametrize(
+    "runner_main, valid_doc",
+    [
+        (pool_bench.main, make_pool_doc),
+        (serve_bench.main, make_serve_doc),
+    ],
+    ids=["pool", "serve"],
+)
+class TestCheckFlag:
+    def test_missing_file_is_one_line_error(self, runner_main, valid_doc, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert runner_main(["--check", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "bench check failed:" in err
+        assert "no such file" in err
+        assert "Traceback" not in err
+
+    def test_malformed_json_is_one_line_error(self, runner_main, valid_doc, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text('{"schema_version": 1, "kind": ')
+        assert runner_main(["--check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "bench check failed:" in err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_wrong_schema_is_one_line_error(self, runner_main, valid_doc, tmp_path, capsys):
+        path = tmp_path / "wrong.json"
+        doc = valid_doc()
+        doc["schema_version"] = 999
+        path.write_text(json.dumps(doc))
+        assert runner_main(["--check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "bench check failed:" in err
+        assert "schema_version" in err
+
+    def test_valid_document_passes(self, runner_main, valid_doc, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(valid_doc()))
+        assert runner_main(["--check", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+
+class TestPoolCheckDuplicates:
+    def test_duplicate_cells_rejected(self, tmp_path, capsys):
+        from tests.bench.conftest import make_pool_row
+
+        doc = make_pool_doc(make_pool_row(), make_pool_row())
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(doc))
+        assert pool_bench.main(["--check", str(path)]) == 1
+        assert "duplicate result cell" in capsys.readouterr().err

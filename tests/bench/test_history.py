@@ -1,0 +1,160 @@
+"""Round-trip tests for the append-only JSONL history store."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    HISTORY_KIND,
+    HISTORY_SCHEMA_VERSION,
+    append_record,
+    git_fingerprint,
+    load_history,
+    make_history_record,
+    validate_history_file,
+    validate_history_record,
+)
+from repro.bench.matrix import BenchDocumentError
+
+from tests.bench.conftest import make_pool_doc, make_pool_row
+
+
+def record_for(doc=None, **kwargs):
+    return make_history_record("pool", doc or make_pool_doc(), **kwargs)
+
+
+class TestRecordShape:
+    def test_record_carries_provenance_and_grid(self):
+        doc = make_pool_doc()
+        record = record_for(doc, regressions=2)
+        assert record["history_schema_version"] == HISTORY_SCHEMA_VERSION
+        assert record["kind"] == HISTORY_KIND
+        assert record["suite"] == "pool"
+        assert record["mode"] == "smoke"
+        assert record["host"] == doc["host"]
+        assert record["results"] == doc["results"]
+        assert record["checks"] == {"trace_coverage": {"passed": True}}
+        assert record["regressions"] == 2
+        assert "commit" in record and "dirty" in record
+        assert "recorded" in record
+
+    def test_git_fingerprint_in_repo(self, tmp_path):
+        # The repo itself has a HEAD; an empty tmp dir has none.
+        import pathlib
+
+        here = pathlib.Path(__file__).resolve().parent
+        fp = git_fingerprint(here)
+        assert fp["commit"] is None or len(fp["commit"]) == 40
+        outside = git_fingerprint(tmp_path)
+        assert outside["commit"] is None
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="suite"):
+            make_history_record("warp", make_pool_doc())
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda r: r.pop("suite"), "suite"),
+            (lambda r: r.update(suite="warp"), "suite"),
+            (lambda r: r.update(kind="other"), "kind"),
+            (lambda r: r.update(history_schema_version=999), "history_schema_version"),
+            (lambda r: r.update(results=[]), "non-empty"),
+            (lambda r: r.update(commit=7), "commit"),
+            (lambda r: r.update(dirty="yes"), "dirty"),
+            (lambda r: r.update(checks={"x": {}}), "passed"),
+            (lambda r: r.update(regressions="two"), "regressions"),
+        ],
+    )
+    def test_validator_rejects_malformed_records(self, mutate, match):
+        record = record_for()
+        mutate(record)
+        with pytest.raises(ValueError, match=match):
+            validate_history_record(record)
+
+
+class TestAppendReload:
+    def test_round_trip_preserves_records_in_order(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        first = record_for(make_pool_doc(make_pool_row(wall_seconds=0.01)))
+        second = record_for(make_pool_doc(make_pool_row(wall_seconds=0.02)))
+        assert append_record(path, first) == 1
+        assert append_record(path, second) == 2
+        load = load_history(path)
+        assert [r["results"][0]["wall_seconds"] for r in load.records] == [0.01, 0.02]
+        assert not load.corrupt_tail
+
+    def test_append_refuses_invalid_record(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with pytest.raises(ValueError):
+            append_record(path, {"kind": "junk"})
+        assert not path.exists()
+
+    def test_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(BenchDocumentError, match="no such file"):
+            load_history(tmp_path / "absent.jsonl")
+
+    def test_corrupt_trailing_line_tolerated(self, tmp_path):
+        # A crash mid-append tears at most the tail; the store must keep
+        # every complete record and report the torn line.
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        append_record(path, record_for())
+        with open(path, "a") as handle:
+            handle.write('{"kind": "repro-bench-hist')  # torn mid-write
+        load = load_history(path)
+        assert len(load.records) == 2
+        assert load.corrupt_tail
+
+    def test_corrupt_middle_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        append_record(path, record_for())
+        with pytest.raises(BenchDocumentError, match=r"history\.jsonl:2"):
+            load_history(path)
+
+    def test_corrupt_tail_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        with open(path, "a") as handle:
+            handle.write("{torn")
+        with pytest.raises(BenchDocumentError, match="corrupt history line"):
+            load_history(path, tolerate_corrupt_tail=False)
+
+    def test_invalid_record_in_file_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"kind": "junk"}) + "\n")
+        with pytest.raises(BenchDocumentError, match=r"history\.jsonl:2"):
+            load_history(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        append_record(path, record_for())
+        assert len(load_history(path).records) == 2
+
+    def test_filtered_by_suite_and_mode(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for(make_pool_doc(mode="smoke")))
+        append_record(path, record_for(make_pool_doc(mode="full")))
+        load = load_history(path)
+        assert len(load.filtered(suite="pool", mode="smoke")) == 1
+        assert len(load.filtered(suite="serve")) == 0
+        assert len(load.filtered()) == 2
+
+
+class TestValidateHistoryFile:
+    def test_summary_counts(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(path, record_for())
+        append_record(path, record_for())
+        summary = validate_history_file(path)
+        assert summary["records"] == 2
+        assert summary["suites"] == ["pool"]
+        assert summary["corrupt_tail"] is False

@@ -1,0 +1,161 @@
+"""Trend detection on synthetic histories.
+
+Acceptance scenarios from the issue: stable noise must not flag, a
+sustained 2x step must flag as a regression, and a single outlier
+sample must not flag.
+"""
+
+import pytest
+
+from repro.bench.history import make_history_record
+from repro.bench.trend import (
+    VERDICT_IMPROVEMENT,
+    VERDICT_INSUFFICIENT,
+    VERDICT_REGRESSION,
+    VERDICT_STABLE,
+    TrendPolicy,
+    collect_series,
+    detect_series,
+    row_key,
+    row_label,
+    row_metric,
+    trend_report,
+)
+from repro.bench.report import (
+    render_markdown_report,
+    render_text_report,
+    render_trend_table,
+    sparkline,
+    verdict_counts,
+)
+
+from tests.bench.conftest import make_pool_doc, make_pool_row
+
+POLICY = TrendPolicy()
+
+STABLE_NOISE = [0.100, 0.103, 0.098, 0.101, 0.099, 0.102, 0.100, 0.097, 0.101, 0.100]
+
+
+class TestDetectSeries:
+    def test_stable_noise_not_flagged(self):
+        report = detect_series(STABLE_NOISE, POLICY)
+        assert report["verdict"] == VERDICT_STABLE
+
+    def test_sustained_2x_step_flagged(self):
+        samples = STABLE_NOISE + [0.205, 0.199, 0.202]
+        report = detect_series(samples, POLICY)
+        assert report["verdict"] == VERDICT_REGRESSION
+        assert report["recent_ratio"] == pytest.approx(2.0, rel=0.1)
+
+    def test_single_outlier_not_flagged(self):
+        # One 3x spike in the middle of otherwise-stable noise: a robust
+        # detector must not raise a flag on it.
+        samples = STABLE_NOISE + [0.300, 0.101, 0.099]
+        report = detect_series(samples, POLICY)
+        assert report["verdict"] == VERDICT_STABLE
+
+    def test_sustained_speedup_is_improvement(self):
+        samples = STABLE_NOISE + [0.050, 0.049, 0.051]
+        report = detect_series(samples, POLICY)
+        assert report["verdict"] == VERDICT_IMPROVEMENT
+
+    def test_thin_history_is_insufficient(self):
+        report = detect_series([0.1, 0.2, 0.1, 0.1], POLICY)
+        assert report["verdict"] == VERDICT_INSUFFICIENT
+
+    def test_small_drift_below_min_effect_not_flagged(self):
+        # Statistically visible but below the 1.25x practical-effect
+        # floor: must stay stable so tiny machines don't cry wolf.
+        flat = [0.1000, 0.1001, 0.1000, 0.0999, 0.1000, 0.1001, 0.1000, 0.1000]
+        samples = flat + [0.1100, 0.1101, 0.1099]
+        report = detect_series(samples, POLICY)
+        assert report["verdict"] == VERDICT_STABLE
+
+    def test_zero_variance_window_does_not_divide_by_zero(self):
+        samples = [0.1] * 8 + [0.5, 0.5, 0.5]
+        report = detect_series(samples, POLICY)
+        assert report["verdict"] == VERDICT_REGRESSION
+
+
+def history_records(series, **row_overrides):
+    return [
+        make_history_record(
+            "pool",
+            make_pool_doc(make_pool_row(wall_seconds=value, **row_overrides)),
+        )
+        for value in series
+    ]
+
+
+class TestSeriesCollection:
+    def test_collect_series_groups_by_cell(self):
+        records = history_records(STABLE_NOISE)
+        records += history_records([0.5, 0.6], executor="serial", procs=1)
+        series = collect_series(records, "pool", "smoke")
+        assert len(series) == 2
+        key = row_key("pool", make_pool_row())
+        assert series[key] == STABLE_NOISE
+
+    def test_invalid_rows_skipped(self):
+        records = history_records([0.1, 0.2])
+        records += history_records([9.9], valid=False)
+        series = collect_series(records, "pool", "smoke")
+        key = row_key("pool", make_pool_row())
+        assert series[key] == [0.1, 0.2]
+
+    def test_row_label_pool(self):
+        key = row_key("pool", make_pool_row(use_delta=True, kernel_tier=True))
+        assert row_label("pool", key) == "lcs/pool/P2/delta/tier"
+
+    def test_row_metric_rejects_nonpositive(self):
+        assert row_metric("pool", make_pool_row(wall_seconds=0.0)) is None
+        assert row_metric("pool", make_pool_row(wall_seconds=-1.0)) is None
+
+
+class TestTrendReport:
+    def test_report_flags_only_the_stepped_cell(self):
+        records = history_records(STABLE_NOISE + [0.205, 0.199, 0.202])
+        stable = history_records(STABLE_NOISE, executor="serial", procs=1)
+        # interleave so ordering does not matter
+        merged = [r for pair in zip(records, stable) for r in pair]
+        merged += records[len(stable):]
+        cells = trend_report(merged, POLICY)
+        verdicts = {c["cell"]: c["verdict"] for c in cells}
+        assert verdicts["lcs/pool/P2"] == VERDICT_REGRESSION
+        assert verdicts["lcs/serial/P1"] == VERDICT_STABLE
+
+    def test_report_filters_by_mode(self):
+        records = history_records(STABLE_NOISE)
+        assert trend_report(records, POLICY, mode="full") == []
+
+
+class TestRendering:
+    def test_sparkline_spans_range(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_render_text_and_markdown_smoke(self):
+        records = history_records(STABLE_NOISE + [0.205, 0.199, 0.202])
+        cells = trend_report(records, POLICY)
+        text = render_trend_table(cells, fmt="text")
+        assert "lcs/pool/P2" in text and "REGRESSION" in text
+        md = render_trend_table(cells, fmt="markdown")
+        assert md.startswith("|")
+        counts = verdict_counts(cells)
+        assert counts["regressions"] == 1
+
+    def test_full_reports_include_summary(self, tmp_path):
+        from repro.bench.history import append_record
+        from repro.bench.history import load_history
+
+        path = tmp_path / "history.jsonl"
+        for record in history_records(STABLE_NOISE):
+            append_record(path, record)
+        load = load_history(path)
+        cells = trend_report(load.records, POLICY)
+        text = render_text_report(load, cells)
+        assert "10 record" in text
+        md = render_markdown_report(load, cells)
+        assert "# Bench trend report" in md

@@ -253,6 +253,152 @@ class TestKernelTierCells:
         assert sig.parameters["use_kernels"].default is False
 
 
+class TestBaselineLaundering:
+    """Regression tests for baseline self-laundering.
+
+    Before the fix, a run that *flagged a regression* exited 1 but
+    still overwrote ``--out`` — so the very next run compared against
+    the regressed floors and passed.  A failing run must leave the
+    committed baseline byte-identical and write its document to the
+    ``*.failed.json`` sidecar instead.
+    """
+
+    def write_baseline(self, runner, path, **row_overrides):
+        doc = valid_doc(runner)
+        doc["results"][0].update(row_overrides)
+        payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        path.write_text(payload)
+        return payload
+
+    def test_regressed_run_leaves_baseline_untouched(self, runner, tmp_path, capsys):
+        out = tmp_path / "BENCH_pool.json"
+        baseline_bytes = self.write_baseline(runner, out, wall_seconds=0.001)
+        slow = valid_doc(runner)  # 0.01s: 10x over the 0.001s baseline
+        assert runner.finalize_run(slow, out) == 1
+        assert out.read_text() == baseline_bytes  # byte-identical
+        sidecar = runner.failed_sidecar(out)
+        assert sidecar.exists()
+        runner.validate_bench_doc(json.loads(sidecar.read_text()))
+        captured = capsys.readouterr().out
+        assert "left untouched" in captured
+        assert "--update-baseline" in captured
+
+    def test_passing_run_updates_baseline(self, runner, tmp_path):
+        out = tmp_path / "BENCH_pool.json"
+        self.write_baseline(runner, out, wall_seconds=0.011)
+        doc = valid_doc(runner)
+        assert runner.finalize_run(doc, out) == 0
+        assert json.loads(out.read_text())["results"][0]["wall_seconds"] == 0.01
+        assert not runner.failed_sidecar(out).exists()
+
+    def test_failed_checks_go_to_sidecar(self, runner, tmp_path):
+        out = tmp_path / "BENCH_pool.json"
+        doc = valid_doc(runner)
+        assert runner.finalize_run(doc, out, checks_ok=False) == 1
+        assert not out.exists()
+        assert runner.failed_sidecar(out).exists()
+
+    def test_update_baseline_overrides_but_keeps_exit_code(self, runner, tmp_path):
+        out = tmp_path / "BENCH_pool.json"
+        self.write_baseline(runner, out, wall_seconds=0.001)
+        slow = valid_doc(runner)
+        assert runner.finalize_run(slow, out, update_baseline=True) == 1
+        assert json.loads(out.read_text())["results"][0]["wall_seconds"] == 0.01
+
+    def test_mode_mismatch_never_replaces_baseline_silently(self, runner, tmp_path, capsys):
+        # A smoke run against a committed full-mode baseline passes (no
+        # timings compared) but must not replace it.
+        out = tmp_path / "BENCH_pool.json"
+        doc_full = valid_doc(runner)
+        doc_full["mode"] = "full"
+        baseline_bytes = json.dumps(doc_full, indent=2, sort_keys=True) + "\n"
+        out.write_text(baseline_bytes)
+        smoke = valid_doc(runner)
+        assert runner.finalize_run(smoke, out) == 0
+        assert out.read_text() == baseline_bytes
+        assert runner.failed_sidecar(out).exists()
+        assert "mode 'smoke' != baseline mode" in capsys.readouterr().out
+
+    def test_first_run_writes_fresh_baseline(self, runner, tmp_path):
+        out = tmp_path / "BENCH_pool.json"
+        assert runner.finalize_run(valid_doc(runner), out) == 0
+        assert out.exists()
+
+
+class TestDuplicateCells:
+    """Regression tests for silent duplicate-cell collapse.
+
+    ``compare_documents`` used to index rows into a dict keyed by the
+    cell identity — two rows sharing a key silently collapsed to
+    whichever came last, so a duplicated (and possibly contradictory)
+    measurement never reached the report.  Duplicates on either side
+    must now surface under ``duplicate_cells`` and fail the comparison.
+    """
+
+    def test_baseline_duplicates_surface_and_exclude(self, runner):
+        old = valid_doc(runner)
+        old["results"].append(dict(old["results"][0], wall_seconds=0.5))
+        new = valid_doc(runner)
+        cmp = runner.compare_documents(old, new)
+        assert cmp["cells"] == []  # ambiguous cell excluded from ratios
+        assert len(cmp["duplicate_cells"]) == 1
+        dup = cmp["duplicate_cells"][0]
+        assert dup["side"] == "baseline"
+        assert dup["count"] == 2
+        assert (dup["problem"], dup["executor"]) == ("lcs", "pool")
+
+    def test_new_side_duplicates_surface(self, runner):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"].append(dict(new["results"][0]))
+        cmp = runner.compare_documents(old, new)
+        assert [d["side"] for d in cmp["duplicate_cells"]] == ["new"]
+
+    def test_unique_cells_still_compared_alongside_duplicates(self, runner):
+        old = valid_doc(runner)
+        other = dict(old["results"][0], executor="serial", procs=1)
+        old["results"].append(other)
+        old["results"].append(dict(old["results"][0]))  # duplicate lcs/pool
+        new = valid_doc(runner)
+        new["results"].append(dict(other))
+        cmp = runner.compare_documents(old, new)
+        assert len(cmp["cells"]) == 1
+        assert cmp["cells"][0]["executor"] == "serial"
+
+    def test_print_comparison_reports_failure(self, runner, capsys):
+        old = valid_doc(runner)
+        new = valid_doc(runner)
+        new["results"].append(dict(new["results"][0]))
+        runner._print_comparison(runner.compare_documents(old, new))
+        out = capsys.readouterr().out
+        assert "DUPLICATE (new side)" in out
+        assert "comparison FAILED" in out
+
+    def test_find_duplicate_cells_counts(self, runner):
+        rows = [valid_doc(runner)["results"][0] for _ in range(3)]
+        dups = runner.find_duplicate_cells(rows)
+        assert len(dups) == 1
+        assert dups[0]["count"] == 3
+        assert runner.find_duplicate_cells(rows[:1]) == []
+
+    def test_validator_opt_in_rejects_duplicates(self, runner):
+        doc = valid_doc(runner)
+        doc["results"].append(dict(doc["results"][0]))
+        runner.validate_bench_doc(doc)  # lenient by default (legacy docs)
+        with pytest.raises(ValueError, match="duplicate result cell"):
+            runner.validate_bench_doc(doc, check_duplicates=True)
+
+    def test_finalize_run_fails_on_duplicate_baseline(self, runner, tmp_path, capsys):
+        # A duplicated baseline is not "unusable" — it must fail the
+        # comparison loudly, not be skipped.
+        out = tmp_path / "BENCH_pool.json"
+        old = valid_doc(runner)
+        old["results"].append(dict(old["results"][0]))
+        out.write_text(json.dumps(old, indent=2, sort_keys=True) + "\n")
+        assert runner.finalize_run(valid_doc(runner), out) == 1
+        assert "duplicate cell key(s)" in capsys.readouterr().out
+
+
 class TestEndToEnd:
     def test_smoke_run_emits_valid_doc_then_compares(self, runner, tmp_path, capsys):
         out = tmp_path / "BENCH_pool.json"
